@@ -1,0 +1,45 @@
+"""Ablation: background migration pacing (section 2.2's "slowly inject").
+
+Sweeps the background chunk size at a fixed pause, measuring how long
+the sweep takes to migrate a table with no client traffic.  Bigger
+chunks finish faster but hold the interpreter in longer bursts — the
+trade-off the experiment harness tunes for the figures (client latency
+vs completion time).
+"""
+
+import pytest
+
+from repro import BackgroundConfig, Database, LazyMigrationEngine
+
+DDL = """
+CREATE TABLE copy (id INT PRIMARY KEY, v INT);
+INSERT INTO copy (id, v) SELECT id, v FROM src;
+"""
+
+
+def run_sweep(chunk: int, interval: float, rows: int = 5_000) -> None:
+    db = Database()
+    s = db.connect()
+    s.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
+    session = db.connect()
+    session.internal = True
+    session.begin()
+    ctx = session._context()
+    db.executor.insert_rows(
+        db.catalog.table("src"),
+        ({"id": i, "v": i} for i in range(rows)),
+        ctx,
+    )
+    session.commit()
+    engine = LazyMigrationEngine(
+        db,
+        background=BackgroundConfig(delay=0.0, chunk=chunk, interval=interval),
+    )
+    handle = engine.submit("m", DDL)
+    assert handle.await_completion(timeout=120)
+    assert len(db.catalog.table("copy")) == rows
+
+
+@pytest.mark.parametrize("chunk", [16, 64, 256, 1024])
+def test_background_chunk_sweep(benchmark, chunk):
+    benchmark.pedantic(run_sweep, args=(chunk, 0.002), rounds=1, iterations=1)

@@ -1,0 +1,43 @@
+"""Figure 3: throughput during the table-split migration.
+
+Eager vs multi-step vs BullFrog (bitmap tracker) vs BullFrog
+(ON CONFLICT), at the sub-saturation (LOW ~ the paper's 450 TPS) and
+saturating (HIGH ~ 700 TPS) request rates.
+"""
+
+from repro.bench.experiments import fig3_table_split_throughput
+
+
+def test_fig3_low_rate(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig3_table_split_throughput,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "multistep", "bullfrog-tracker", "bullfrog-onconflict"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert set(result.lines) == {
+        "eager@low",
+        "multistep@low",
+        "bullfrog-tracker@low",
+        "bullfrog-onconflict@low",
+    }
+
+
+def test_fig3_high_rate(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig3_table_split_throughput,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "bullfrog-tracker", "bullfrog-nobackground"),
+            "rates": ("high",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert "bullfrog-tracker@high" in result.lines

@@ -1,0 +1,18 @@
+"""Figure 4: NewOrder latency CDFs during the table-split migration."""
+
+from repro.bench.experiments import fig4_table_split_latency
+
+
+def test_fig4_latency_cdfs(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig4_table_split_latency,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "multistep", "bullfrog-tracker"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert all(samples for samples in result.cdfs.values())

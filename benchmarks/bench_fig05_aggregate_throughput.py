@@ -1,0 +1,18 @@
+"""Figure 5: throughput during the aggregation migration (hashmap n:1)."""
+
+from repro.bench.experiments import fig5_aggregate_throughput
+
+
+def test_fig5_aggregate(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig5_aggregate_throughput,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "multistep", "bullfrog-tracker"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert "bullfrog-tracker@low" in result.lines

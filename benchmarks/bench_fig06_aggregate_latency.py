@@ -1,0 +1,18 @@
+"""Figure 6: latency CDFs during the aggregation migration."""
+
+from repro.bench.experiments import fig6_aggregate_latency
+
+
+def test_fig6_latency(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig6_aggregate_latency,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "bullfrog-tracker"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert result.cdfs

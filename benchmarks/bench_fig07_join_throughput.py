@@ -1,0 +1,18 @@
+"""Figure 7: throughput during the join migration (hashmap n:n)."""
+
+from repro.bench.experiments import fig7_join_throughput
+
+
+def test_fig7_join(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig7_join_throughput,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "multistep", "bullfrog-tracker"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert "eager@low" in result.lines

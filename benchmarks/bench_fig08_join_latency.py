@@ -1,0 +1,18 @@
+"""Figure 8: latency CDFs during the join migration."""
+
+from repro.bench.experiments import fig8_join_latency
+
+
+def test_fig8_latency(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig8_join_latency,
+        kwargs={
+            "profile": profile,
+            "systems": ("eager", "bullfrog-tracker"),
+            "rates": ("low",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert result.cdfs

@@ -1,0 +1,14 @@
+"""Figure 9: data-structure maintenance cost (bitmap vs no tracking)."""
+
+from repro.bench.experiments import fig9_tracking_overhead
+
+
+def test_fig9_tracking_overhead(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig9_tracking_overhead,
+        kwargs={"profile": profile},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert set(result.lines) == {"bullfrog-bitmap", "bullfrog-nobitmap"}

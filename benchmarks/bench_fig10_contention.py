@@ -1,0 +1,14 @@
+"""Figure 10: skewed data access (hot-set sweep, lock contention)."""
+
+from repro.bench.experiments import fig10_contention
+
+
+def test_fig10_contention(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig10_contention,
+        kwargs={"profile": profile, "hot_fractions": (1.0, 0.05)},
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert len(result.lines) == 2

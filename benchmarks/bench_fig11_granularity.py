@@ -1,0 +1,19 @@
+"""Figure 11: access skew x migration granularity (page sizes)."""
+
+from repro.bench.experiments import fig11_granularity
+
+
+def test_fig11_granularity(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig11_granularity,
+        kwargs={
+            "profile": profile,
+            "granule_sizes": (1, 64),
+            "hot_fractions": (1.0,),
+            "rates": ("high",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert len(result.lines) == 2

@@ -1,0 +1,18 @@
+"""Figure 12: FOREIGN KEY constraints on the table-split migration."""
+
+from repro.bench.experiments import fig12_constraints
+
+
+def test_fig12_constraints(benchmark, profile, record_figure):
+    result = benchmark.pedantic(
+        fig12_constraints,
+        kwargs={
+            "profile": profile,
+            "fk_variants": ("none", "district_orders"),
+            "workloads": ("customer_only",),
+        },
+        rounds=1,
+        iterations=1,
+    )
+    record_figure(result)
+    assert len(result.lines) == 2

@@ -1,0 +1,36 @@
+"""Ablation: bitmap latch partition count under concurrent claiming.
+
+Section 3.3: "We partition the bitmap into separate chunks protected by
+different latches to reduce cross-worker latch contention."
+"""
+
+import threading
+
+import pytest
+
+from repro.core import Claim, MigrationBitmap
+
+
+def _concurrent_claims(partitions: int, size: int = 20_000, threads: int = 4) -> None:
+    bitmap = MigrationBitmap(size, partitions=partitions)
+
+    def worker(offset: int) -> None:
+        for ordinal in range(offset, size, threads):
+            if bitmap.try_begin(ordinal) is Claim.MIGRATE:
+                bitmap.mark_migrated([ordinal])
+
+    workers = [
+        threading.Thread(target=worker, args=(i,)) for i in range(threads)
+    ]
+    for w in workers:
+        w.start()
+    for w in workers:
+        w.join()
+    assert bitmap.all_migrated
+
+
+@pytest.mark.parametrize("partitions", [1, 4, 16, 64])
+def test_partition_sweep(benchmark, partitions):
+    benchmark.pedantic(
+        _concurrent_claims, args=(partitions,), rounds=3, iterations=1
+    )

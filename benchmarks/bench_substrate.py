@@ -1,0 +1,63 @@
+"""Substrate micro-benchmarks: the embedded engine's hot paths, to put
+the end-to-end TPC-C numbers in context.
+"""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    session = database.connect()
+    session.execute(
+        "CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR(64), n INT)"
+    )
+    for i in range(5_000):
+        session.execute("INSERT INTO kv VALUES (?, ?, ?)", [i, f"value-{i}", i])
+    return database
+
+
+def test_point_select(benchmark, db):
+    session = db.connect()
+    counter = iter(range(100_000_000))
+
+    def lookup():
+        key = next(counter) % 5_000
+        row = session.execute("SELECT v FROM kv WHERE k = ?", [key]).scalar()
+        assert row == f"value-{key}"
+
+    benchmark(lookup)
+
+
+def test_point_update(benchmark, db):
+    session = db.connect()
+    counter = iter(range(100_000_000))
+
+    def update():
+        key = next(counter) % 5_000
+        session.execute("UPDATE kv SET n = n + 1 WHERE k = ?", [key])
+
+    benchmark(update)
+
+
+def test_insert(benchmark, db):
+    session = db.connect()
+    counter = iter(range(5_000, 100_000_000))
+
+    def insert():
+        key = next(counter)
+        session.execute("INSERT INTO kv VALUES (?, ?, ?)", [key, "x", 0])
+
+    benchmark(insert)
+
+
+def test_aggregate_scan(benchmark, db):
+    session = db.connect()
+
+    def aggregate():
+        total = session.execute("SELECT SUM(n) FROM kv WHERE n < 1000").scalar()
+        assert total is not None
+
+    benchmark(aggregate)

@@ -1,0 +1,44 @@
+"""Micro-benchmarks of the migration tracking structures themselves:
+the two-bit bitmap (Algorithm 2) and the group hashmap (Algorithm 3).
+
+These isolate the data-structure cost that figure 9 measures end-to-end.
+"""
+
+from repro.core import Claim, MigrationBitmap, MigrationHashMap
+
+
+def test_bitmap_try_begin_mark(benchmark):
+    bitmap = MigrationBitmap(100_000, partitions=16)
+    counter = iter(range(100_000_000))
+
+    def claim_and_mark():
+        ordinal = next(counter) % 100_000
+        if bitmap.try_begin(ordinal) is Claim.MIGRATE:
+            bitmap.mark_migrated([ordinal])
+
+    benchmark(claim_and_mark)
+
+
+def test_bitmap_migrated_fastpath(benchmark):
+    bitmap = MigrationBitmap(10_000, partitions=16)
+    for ordinal in range(10_000):
+        assert bitmap.try_begin(ordinal) is Claim.MIGRATE
+    bitmap.mark_migrated(range(10_000))
+    counter = iter(range(100_000_000))
+
+    def check_done():
+        assert bitmap.try_begin(next(counter) % 10_000) is Claim.DONE
+
+    benchmark(check_done)
+
+
+def test_hashmap_try_begin_mark(benchmark):
+    table = MigrationHashMap(partitions=16)
+    counter = iter(range(100_000_000))
+
+    def claim_and_mark():
+        key = (next(counter) % 100_000, 7)
+        if table.try_begin(key) is Claim.MIGRATE:
+            table.mark_migrated([key])
+
+    benchmark(claim_and_mark)

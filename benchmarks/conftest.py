@@ -1,0 +1,38 @@
+"""Shared fixtures for the figure benchmarks.
+
+Each ``bench_figNN_*`` file regenerates one figure of the paper's
+evaluation at the quick profile (small scale, seconds per run).  The
+rendered ASCII figures are appended to ``benchmarks/figures.out`` so a
+benchmark run leaves the reproduced series on disk.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.bench import Profile
+
+_FIGURES_OUT = pathlib.Path(__file__).parent / "figures.out"
+
+
+@pytest.fixture(scope="session")
+def profile() -> Profile:
+    return Profile.quick()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _reset_figures_file():
+    _FIGURES_OUT.write_text("")
+    yield
+
+
+@pytest.fixture
+def record_figure():
+    def _record(result) -> None:
+        with _FIGURES_OUT.open("a") as fh:
+            fh.write(result.render())
+            fh.write("\n\n")
+
+    return _record

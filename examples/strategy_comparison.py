@@ -1,0 +1,69 @@
+"""Compare the three migration strategies on the same workload.
+
+Runs the table-split scenario under eager, multi-step, and BullFrog
+(lazy) strategies at a sub-saturation request rate, then prints the
+throughput timeline and latency summary for each — a miniature of the
+paper's figure 3/4.
+
+Run:  python examples/strategy_comparison.py
+"""
+
+from repro.bench import ExperimentConfig, run_migration_experiment
+from repro.bench.report import render_timeseries, summary_rows
+from repro.core import Strategy
+from repro.tpcc import ScaleConfig
+
+
+def main() -> None:
+    scale = ScaleConfig(
+        warehouses=1,
+        districts_per_warehouse=4,
+        customers_per_district=200,
+        items=300,
+        initial_orders_per_district=150,
+    )
+    lines = {}
+    events = {}
+    latencies = {}
+    for strategy in (Strategy.EAGER, Strategy.MULTISTEP, Strategy.LAZY):
+        print(f"running {strategy.value} ...")
+        config = ExperimentConfig(
+            scenario="split",
+            scale=scale,
+            strategy=strategy,
+            duration=10.0,
+            migrate_at=2.5,
+            workers=3,
+            background_delay=1.5,
+            rate_fraction=0.55,
+        )
+        result = run_migration_experiment(config)
+        name = strategy.value
+        lines[name] = result.throughput
+        latencies[name] = result.latencies("new_order")
+        marks = [(result.migration_started_at, "migration start")]
+        if result.migration_completed_at is not None:
+            marks.append((result.migration_completed_at, "migration end"))
+        events[name] = [(t, lbl) for t, lbl in marks if t is not None]
+        print(
+            f"  max={result.max_tps:.0f} tps, rate={result.rate:.0f} tps, "
+            f"completed={result.driver.completed}, "
+            f"migration window="
+            f"{result.migration_started_at and round(result.migration_started_at, 1)}"
+            f"..{result.migration_completed_at and round(result.migration_completed_at, 1)}s"
+        )
+
+    print()
+    print(render_timeseries(lines, events, title="Throughput during table-split migration"))
+    print()
+    print("NewOrder latency from migration start (milliseconds):")
+    for row in summary_rows(latencies):
+        print(
+            f"  {row['system']:<10} p50={row['p50_ms']:8.1f}  "
+            f"p99={row['p99_ms']:8.1f}  max={row['max_ms']:8.1f}  "
+            f"(n={row['count']})"
+        )
+
+
+if __name__ == "__main__":
+    main()

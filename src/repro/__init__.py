@@ -1,0 +1,51 @@
+"""BullFrog reproduction: online schema evolution via lazy evaluation.
+
+A from-scratch Python implementation of the BullFrog system (SIGMOD
+2021): an embedded relational engine plus a lazy, exactly-once schema
+migration layer, with eager and multi-step baselines, a TPC-C workload
+extended with schema migrations, and an OLTP-Bench-style harness.
+
+Quickstart::
+
+    from repro import Database, MigrationController, Strategy
+
+    db = Database()
+    session = db.connect()
+    # ... create and fill the old schema ...
+    controller = MigrationController(db)
+    controller.submit("my-migration", ddl, strategy=Strategy.LAZY)
+    # the new schema is immediately live; data migrates lazily.
+"""
+
+from .db import Database, Result, Session
+from .errors import (
+    MigrationError,
+    ReproError,
+    SchemaVersionError,
+    TransactionAborted,
+)
+from .core import (
+    BackgroundConfig,
+    ConflictMode,
+    LazyMigrationEngine,
+    MigrationController,
+    Strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "Result",
+    "Session",
+    "MigrationError",
+    "ReproError",
+    "SchemaVersionError",
+    "TransactionAborted",
+    "BackgroundConfig",
+    "ConflictMode",
+    "LazyMigrationEngine",
+    "MigrationController",
+    "Strategy",
+    "__version__",
+]

@@ -1,0 +1,56 @@
+"""Command-line figure runner.
+
+Usage::
+
+    python -m repro.bench fig3                 # quick profile
+    python -m repro.bench fig7 --profile paper # scaled-down paper profile
+    python -m repro.bench all --out results.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import ALL_FIGURES, Profile
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the BullFrog paper's evaluation figures.",
+    )
+    parser.add_argument(
+        "figure",
+        choices=sorted(ALL_FIGURES) + ["all"],
+        help="which figure to run (or 'all')",
+    )
+    parser.add_argument(
+        "--profile",
+        choices=["quick", "paper"],
+        default="quick",
+        help="run sizing: quick (~seconds per run) or paper (~minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="also append rendered figures to this file",
+    )
+    args = parser.parse_args(argv)
+
+    profile = Profile.quick() if args.profile == "quick" else Profile.paper()
+    names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    for name in names:
+        print(f"[repro.bench] running {name} ({args.profile} profile)...")
+        result = ALL_FIGURES[name](profile)
+        rendered = result.render()
+        print(rendered)
+        print()
+        if args.out:
+            with open(args.out, "a") as fh:
+                fh.write(rendered + "\n\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

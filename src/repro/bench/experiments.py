@@ -1,0 +1,428 @@
+"""One runner per paper figure (sections 4.1-4.5).
+
+Every runner returns a :class:`FigureResult` whose ``lines`` are the
+throughput series (figures 3/5/7/9/10/11/12) and whose ``cdfs`` are the
+NewOrder latency samples (figures 4/6/8) — the same rows/series the
+paper plots.  Runners accept a :class:`Profile` so the benchmarks can
+run a quick smoke profile while EXPERIMENTS.md records a fuller one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Sequence
+
+from ..core import ConflictMode, Strategy
+from ..tpcc import ScaleConfig
+from .metrics import LatencySummary
+from .report import render_cdf, render_timeseries, summary_rows
+from .scenarios import (
+    HIGH_RATE_FRACTION,
+    LOW_RATE_FRACTION,
+    ExperimentConfig,
+    ExperimentResult,
+    run_migration_experiment,
+)
+
+
+@dataclass
+class Profile:
+    """Run sizing shared by all figure runners."""
+
+    scale: ScaleConfig = field(default_factory=ScaleConfig.small)
+    duration: float = 8.0
+    migrate_at: float = 2.0
+    workers: int = 3
+    background_delay: float = 1.5
+    seed: int = 42
+
+    @staticmethod
+    def quick() -> "Profile":
+        """Smoke profile: each run finishes in well under 10 seconds."""
+        return Profile(
+            scale=ScaleConfig.small(),
+            duration=5.0,
+            migrate_at=1.0,
+            workers=2,
+            background_delay=1.0,
+        )
+
+    @staticmethod
+    def paper() -> "Profile":
+        """Scaled-down analogue of the paper's runs (minutes, not hours)."""
+        return Profile(
+            scale=ScaleConfig(),
+            duration=30.0,
+            migrate_at=6.0,
+            workers=4,
+            background_delay=4.0,
+        )
+
+
+@dataclass
+class FigureResult:
+    figure: str
+    title: str
+    lines: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    cdfs: dict[str, list[float]] = field(default_factory=dict)
+    events: dict[str, list[tuple[float, str]]] = field(default_factory=dict)
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        parts = [f"=== {self.figure}: {self.title} ==="]
+        if self.lines:
+            parts.append(render_timeseries(self.lines, self.events))
+        if self.cdfs:
+            parts.append(render_cdf(self.cdfs, title="Latency CDFs (NewOrder)"))
+        if self.meta:
+            for key, value in self.meta.items():
+                parts.append(f"  {key}: {value}")
+        return "\n".join(parts)
+
+    def latency_summaries(self) -> list[dict[str, Any]]:
+        return summary_rows(self.cdfs)
+
+
+# ======================================================================
+# Shared machinery: strategy comparison on one scenario (figs 3-8)
+# ======================================================================
+
+SYSTEMS: dict[str, dict[str, Any]] = {
+    "eager": {"strategy": Strategy.EAGER},
+    "multistep": {"strategy": Strategy.MULTISTEP},
+    "bullfrog-tracker": {
+        "strategy": Strategy.LAZY,
+        "conflict_mode": ConflictMode.TRACKER,
+    },
+    "bullfrog-onconflict": {
+        "strategy": Strategy.LAZY,
+        "conflict_mode": ConflictMode.ON_CONFLICT,
+    },
+    "bullfrog-nobackground": {
+        "strategy": Strategy.LAZY,
+        "conflict_mode": ConflictMode.TRACKER,
+        "background_enabled": False,
+    },
+}
+
+_RATE_FRACTIONS = {"low": LOW_RATE_FRACTION, "high": HIGH_RATE_FRACTION}
+
+
+def run_strategy_comparison(
+    scenario: str,
+    profile: Profile,
+    systems: Sequence[str],
+    rates: Sequence[str] = ("low",),
+    tracker_override: str | None = None,
+) -> dict[str, ExperimentResult]:
+    """Run each (system, rate) pair once; keys are ``system@rate``."""
+    results: dict[str, ExperimentResult] = {}
+    for rate_name in rates:
+        for system in systems:
+            options = dict(SYSTEMS[system])
+            background_enabled = options.pop("background_enabled", True)
+            config = ExperimentConfig(
+                scenario=scenario,
+                scale=profile.scale,
+                duration=profile.duration,
+                migrate_at=profile.migrate_at,
+                workers=profile.workers,
+                background_delay=profile.background_delay,
+                background_enabled=background_enabled,
+                rate_fraction=_RATE_FRACTIONS[rate_name],
+                seed=profile.seed,
+                **options,
+            )
+            results[f"{system}@{rate_name}"] = run_migration_experiment(config)
+    return results
+
+
+def _comparison_figure(
+    figure: str,
+    title: str,
+    results: dict[str, ExperimentResult],
+    latency_txn: str | None = "new_order",
+) -> FigureResult:
+    out = FigureResult(figure, title)
+    for name, result in results.items():
+        out.lines[name] = result.throughput
+        out.cdfs[name] = result.latencies(latency_txn)
+        events = [(result.migration_started_at, "migration start")]
+        if result.migration_completed_at is not None:
+            events.append((result.migration_completed_at, "migration end"))
+        if result.background_started_at is not None:
+            events.append((result.background_started_at, "background start"))
+        out.events[name] = [(t, label) for t, label in events if t is not None]
+        out.meta[f"{name}.max_tps"] = round(result.max_tps, 1)
+        out.meta[f"{name}.rate"] = round(result.rate, 1)
+        out.meta[f"{name}.stats"] = {
+            k: v
+            for k, v in result.migration_stats.items()
+            if k in ("tuples_migrated", "skip_waits", "aborts", "duplicates", "complete")
+        }
+    return out
+
+
+# ======================================================================
+# Figures 3-4: table split
+# ======================================================================
+
+
+def fig3_table_split_throughput(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker", "bullfrog-onconflict"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("split", profile, systems, rates)
+    return _comparison_figure(
+        "Figure 3", "Throughput during table-split migration", results
+    )
+
+
+def fig4_table_split_latency(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("split", profile, systems, rates)
+    figure = _comparison_figure(
+        "Figure 4", "Latency CDFs during table-split migration", results
+    )
+    figure.lines = {}  # latency figure: CDFs only
+    return figure
+
+
+# ======================================================================
+# Figures 5-6: aggregate migration
+# ======================================================================
+
+
+def fig5_aggregate_throughput(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("aggregate", profile, systems, rates)
+    return _comparison_figure(
+        "Figure 5", "Throughput during aggregation migration (hashmap n:1)", results
+    )
+
+
+def fig6_aggregate_latency(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("aggregate", profile, systems, rates)
+    figure = _comparison_figure(
+        "Figure 6", "Latency CDFs during aggregation migration", results
+    )
+    figure.lines = {}
+    return figure
+
+
+# ======================================================================
+# Figures 7-8: join migration
+# ======================================================================
+
+
+def fig7_join_throughput(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("join", profile, systems, rates)
+    return _comparison_figure(
+        "Figure 7", "Throughput during join migration (hashmap n:n)", results
+    )
+
+
+def fig8_join_latency(
+    profile: Profile | None = None,
+    systems: Sequence[str] = ("eager", "multistep", "bullfrog-tracker"),
+    rates: Sequence[str] = ("low", "high"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results = run_strategy_comparison("join", profile, systems, rates)
+    figure = _comparison_figure(
+        "Figure 8", "Latency CDFs during join migration", results
+    )
+    figure.lines = {}
+    return figure
+
+
+# ======================================================================
+# Figure 9: data-structure maintenance cost (section 4.4.1)
+# ======================================================================
+
+
+def fig9_tracking_overhead(profile: Profile | None = None) -> FigureResult:
+    """BullFrog with the bitmap vs. a variant with tracking disabled,
+    under a disjoint access pattern (every tuple accessed once)."""
+    profile = profile or Profile.quick()
+    results: dict[str, ExperimentResult] = {}
+    for name, tracking in (("bullfrog-bitmap", True), ("bullfrog-nobitmap", False)):
+        config = ExperimentConfig(
+            scenario="split",
+            scale=profile.scale,
+            duration=profile.duration,
+            migrate_at=profile.migrate_at,
+            workers=profile.workers,
+            background_delay=profile.background_delay,
+            rate_fraction=LOW_RATE_FRACTION,
+            seed=profile.seed,
+            strategy=Strategy.LAZY,
+            tracking_enabled=tracking,
+            # Section 4.4.1: the application is modified so transactions
+            # "cumulatively access each tuple in the old schema exactly
+            # once, rendering migration status tracking unnecessary" —
+            # per-worker disjoint customer strides.
+            disjoint_customers=True,
+        )
+        results[name] = run_migration_experiment(config)
+    figure = _comparison_figure(
+        "Figure 9", "Data structure maintenance cost", results
+    )
+    return figure
+
+
+# ======================================================================
+# Figure 10: skewed access / lock contention (section 4.4.2)
+# ======================================================================
+
+
+def fig10_contention(
+    profile: Profile | None = None,
+    hot_fractions: Sequence[float] = (1.0, 0.01, 0.002),
+) -> FigureResult:
+    """Hot-set sweep: the paper's 1.5M / 15k / 3k customers out of 1.5M."""
+    profile = profile or Profile.quick()
+    total_per_district = profile.scale.customers_per_district
+    results: dict[str, ExperimentResult] = {}
+    for fraction in hot_fractions:
+        hot = max(1, int(total_per_district * fraction))
+        config = ExperimentConfig(
+            scenario="split",
+            scale=profile.scale,
+            duration=profile.duration,
+            migrate_at=profile.migrate_at,
+            workers=profile.workers,
+            background_delay=profile.background_delay,
+            rate_fraction=HIGH_RATE_FRACTION,
+            hot_customers=None if fraction >= 1.0 else hot,
+            seed=profile.seed,
+        )
+        label = f"hot={'all' if fraction >= 1.0 else hot}"
+        results[label] = run_migration_experiment(config)
+    figure = _comparison_figure("Figure 10", "Skewed data access", results)
+    for label, result in results.items():
+        figure.meta[f"{label}.skip_waits"] = result.migration_stats.get("skip_waits")
+    return figure
+
+
+# ======================================================================
+# Figure 11: migration granularity (section 4.4.3)
+# ======================================================================
+
+
+def fig11_granularity(
+    profile: Profile | None = None,
+    granule_sizes: Sequence[int] = (1, 64, 128, 256),
+    hot_fractions: Sequence[float] = (1.0, 0.01),
+    rates: Sequence[str] = ("high",),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    total_per_district = profile.scale.customers_per_district
+    results: dict[str, ExperimentResult] = {}
+    for rate_name in rates:
+        for fraction in hot_fractions:
+            hot = max(1, int(total_per_district * fraction))
+            for granule in granule_sizes:
+                config = ExperimentConfig(
+                    scenario="split",
+                    scale=profile.scale,
+                    duration=profile.duration,
+                    migrate_at=profile.migrate_at,
+                    workers=profile.workers,
+                    background_delay=profile.background_delay,
+                    rate_fraction=_RATE_FRACTIONS[rate_name],
+                    hot_customers=None if fraction >= 1.0 else hot,
+                    granule_size=granule,
+                    seed=profile.seed,
+                )
+                label = (
+                    f"page={granule},hot="
+                    f"{'all' if fraction >= 1.0 else hot}@{rate_name}"
+                )
+                results[label] = run_migration_experiment(config)
+    figure = _comparison_figure(
+        "Figure 11", "Access skew x migration granularity", results
+    )
+    for label, result in results.items():
+        if result.migration_completed_at and result.migration_started_at:
+            figure.meta[f"{label}.migration_seconds"] = round(
+                result.migration_completed_at - result.migration_started_at, 2
+            )
+    return figure
+
+
+# ======================================================================
+# Figure 12: integrity constraints (section 4.5)
+# ======================================================================
+
+_FK_LABELS = {
+    "none": "PK: Customer",
+    "district": "PK: Customer, FK: District",
+    "district_orders": "PK: Customer, FK: Order, District",
+}
+
+_CUSTOMER_ONLY = ("new_order", "payment", "delivery", "order_status")
+
+
+def fig12_constraints(
+    profile: Profile | None = None,
+    fk_variants: Sequence[str] = ("none", "district", "district_orders"),
+    workloads: Sequence[str] = ("full", "customer_only"),
+) -> FigureResult:
+    profile = profile or Profile.quick()
+    results: dict[str, ExperimentResult] = {}
+    for workload in workloads:
+        for fk_variant in fk_variants:
+            config = ExperimentConfig(
+                scenario="split",
+                scale=profile.scale,
+                duration=profile.duration,
+                migrate_at=profile.migrate_at,
+                workers=profile.workers,
+                background_delay=profile.background_delay,
+                rate_fraction=LOW_RATE_FRACTION,
+                fk_variant=fk_variant,
+                transaction_filter=(
+                    _CUSTOMER_ONLY if workload == "customer_only" else None
+                ),
+                seed=profile.seed,
+            )
+            label = f"{_FK_LABELS[fk_variant]} ({workload})"
+            results[label] = run_migration_experiment(config)
+    return _comparison_figure(
+        "Figure 12", "FOREIGN KEY constraints on table-split migration", results
+    )
+
+
+ALL_FIGURES = {
+    "fig3": fig3_table_split_throughput,
+    "fig4": fig4_table_split_latency,
+    "fig5": fig5_aggregate_throughput,
+    "fig6": fig6_aggregate_latency,
+    "fig7": fig7_join_throughput,
+    "fig8": fig8_join_latency,
+    "fig9": fig9_tracking_overhead,
+    "fig10": fig10_contention,
+    "fig11": fig11_granularity,
+    "fig12": fig12_constraints,
+}

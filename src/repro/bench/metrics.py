@@ -1,0 +1,132 @@
+"""Measurement primitives for the OLTP-Bench-style harness.
+
+Matches the paper's methodology (section 4): throughput as transactions
+per second bucketed over time; end-to-end latency from the moment the
+client *issues* (schedules) a request until the response — so queueing
+delay counts, which is what makes eager migration's downtime visible in
+the latency CDFs.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class ThroughputSeries:
+    """Thread-safe per-bucket completion counter."""
+
+    def __init__(self, bucket_seconds: float = 1.0) -> None:
+        self.bucket_seconds = bucket_seconds
+        self._counts: dict[int, int] = {}
+        self._latch = threading.Lock()
+
+    def record(self, elapsed: float) -> None:
+        bucket = int(elapsed / self.bucket_seconds)
+        with self._latch:
+            self._counts[bucket] = self._counts.get(bucket, 0) + 1
+
+    def series(self, duration: float | None = None) -> list[tuple[float, float]]:
+        """[(bucket_start_seconds, txns_per_second), ...] dense from 0."""
+        with self._latch:
+            counts = dict(self._counts)
+        if not counts and duration is None:
+            return []
+        last = int(duration / self.bucket_seconds) if duration else max(counts)
+        return [
+            (
+                bucket * self.bucket_seconds,
+                counts.get(bucket, 0) / self.bucket_seconds,
+            )
+            for bucket in range(last + 1)
+        ]
+
+
+@dataclass
+class LatencySample:
+    at: float  # seconds since experiment start (issue time)
+    latency: float  # seconds
+    txn_type: str
+
+
+class LatencyRecorder:
+    """Thread-safe latency sample sink."""
+
+    def __init__(self) -> None:
+        self._samples: list[LatencySample] = []
+        self._latch = threading.Lock()
+
+    def record(self, at: float, latency: float, txn_type: str) -> None:
+        with self._latch:
+            self._samples.append(LatencySample(at, latency, txn_type))
+
+    def samples(
+        self,
+        txn_type: str | None = None,
+        after: float | None = None,
+    ) -> list[LatencySample]:
+        with self._latch:
+            snapshot = list(self._samples)
+        return [
+            s
+            for s in snapshot
+            if (txn_type is None or s.txn_type == txn_type)
+            and (after is None or s.at >= after)
+        ]
+
+    def __len__(self) -> int:
+        with self._latch:
+            return len(self._samples)
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return float("nan")
+    rank = min(
+        len(sorted_values) - 1,
+        max(0, int(round(p / 100.0 * (len(sorted_values) - 1)))),
+    )
+    return sorted_values[rank]
+
+
+def cdf_points(
+    values: Iterable[float], points: int = 100
+) -> list[tuple[float, float]]:
+    """(latency, fraction<=latency) pairs, ``points`` evenly spaced in
+    rank — the paper's latency CDFs."""
+    ordered = sorted(values)
+    if not ordered:
+        return []
+    n = len(ordered)
+    result = []
+    for i in range(points + 1):
+        rank = min(n - 1, int(i / points * (n - 1)))
+        result.append((ordered[rank], (rank + 1) / n))
+    return result
+
+
+@dataclass
+class LatencySummary:
+    count: int
+    p50: float
+    p90: float
+    p99: float
+    mean: float
+    max: float
+
+    @staticmethod
+    def of(values: Iterable[float]) -> "LatencySummary":
+        ordered = sorted(values)
+        if not ordered:
+            return LatencySummary(0, float("nan"), float("nan"), float("nan"), float("nan"), float("nan"))
+        return LatencySummary(
+            count=len(ordered),
+            p50=percentile(ordered, 50),
+            p90=percentile(ordered, 90),
+            p99=percentile(ordered, 99),
+            mean=sum(ordered) / len(ordered),
+            max=ordered[-1],
+        )

@@ -1,0 +1,116 @@
+"""ASCII rendering of the paper's figures.
+
+Each experiment runner returns structured data; these helpers print the
+same *series* and *CDFs* the paper plots, as terminal-friendly charts
+plus machine-readable rows, so EXPERIMENTS.md can record paper-vs-
+measured shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .metrics import LatencySummary, cdf_points
+
+
+def render_timeseries(
+    lines: dict[str, list[tuple[float, float]]],
+    events: dict[str, list[tuple[float, str]]] | None = None,
+    title: str = "",
+    width: int = 72,
+    height: int = 12,
+) -> str:
+    """Plot several named throughput series on a shared ASCII canvas."""
+    out: list[str] = []
+    if title:
+        out.append(title)
+    all_points = [p for series in lines.values() for p in series]
+    if not all_points:
+        return "\n".join(out + ["(no data)"])
+    max_t = max(t for t, _v in all_points) or 1.0
+    max_v = max(v for _t, v in all_points) or 1.0
+    canvas = [[" "] * width for _ in range(height)]
+    markers = "ABCDEFGHIJ"
+    for line_index, (name, series) in enumerate(lines.items()):
+        mark = markers[line_index % len(markers)]
+        for t, v in series:
+            x = min(width - 1, int(t / max_t * (width - 1)))
+            y = min(height - 1, int(v / max_v * (height - 1)))
+            canvas[height - 1 - y][x] = mark
+    for row in canvas:
+        out.append("|" + "".join(row))
+    out.append("+" + "-" * width)
+    out.append(f" t: 0 .. {max_t:.0f}s   peak: {max_v:.0f} txns/s")
+    for line_index, name in enumerate(lines):
+        out.append(f"   {markers[line_index % len(markers)]} = {name}")
+    if events:
+        for name, marks in events.items():
+            for t, label in marks:
+                out.append(f"   o {name}: {label} @ {t:.1f}s")
+    return "\n".join(out)
+
+
+def render_cdf(
+    lines: dict[str, list[float]],
+    title: str = "",
+    points: int = 20,
+) -> str:
+    """Latency CDFs as rows of (fraction, latency) checkpoints."""
+    out: list[str] = []
+    if title:
+        out.append(title)
+    fractions = [0.5, 0.9, 0.95, 0.99, 1.0]
+    header = "system".ljust(34) + "".join(f"p{int(f*100):<3} ".rjust(11) for f in fractions)
+    out.append(header)
+    for name, values in lines.items():
+        summary = LatencySummary.of(values)
+        if summary.count == 0:
+            out.append(f"{name:<34}(no samples)")
+            continue
+        ordered = sorted(values)
+        row = name[:33].ljust(34)
+        for fraction in fractions:
+            rank = min(len(ordered) - 1, int(fraction * (len(ordered) - 1)))
+            row += f"{ordered[rank] * 1000:9.1f}ms "
+        out.append(row)
+    return "\n".join(out)
+
+
+def summary_rows(
+    lines: dict[str, list[float]]
+) -> list[dict[str, float | str]]:
+    """Machine-readable latency summaries (used by tests + benches)."""
+    rows: list[dict[str, float | str]] = []
+    for name, values in lines.items():
+        summary = LatencySummary.of(values)
+        rows.append(
+            {
+                "system": name,
+                "count": summary.count,
+                "p50_ms": summary.p50 * 1000,
+                "p90_ms": summary.p90 * 1000,
+                "p99_ms": summary.p99 * 1000,
+                "mean_ms": summary.mean * 1000,
+                "max_ms": summary.max * 1000,
+            }
+        )
+    return rows
+
+
+def downsample(series: Sequence[tuple[float, float]], buckets: int = 40) -> list[tuple[float, float]]:
+    """Reduce a series to ~``buckets`` points by averaging."""
+    if len(series) <= buckets:
+        return list(series)
+    chunk = len(series) / buckets
+    out: list[tuple[float, float]] = []
+    index = 0.0
+    while index < len(series):
+        part = series[int(index) : int(index + chunk)] or [series[-1]]
+        out.append(
+            (
+                part[0][0],
+                sum(v for _t, v in part) / len(part),
+            )
+        )
+        index += chunk
+    return out

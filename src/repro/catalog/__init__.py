@@ -1,0 +1,19 @@
+"""Catalog: schemas, columns, constraints, and the runtime name registry."""
+
+from .column import Column
+from .constraints import Check, Constraint, ForeignKey, PrimaryKey, Unique
+from .schema import TableSchema
+from .catalog import Catalog, Table, View
+
+__all__ = [
+    "Column",
+    "Check",
+    "Constraint",
+    "ForeignKey",
+    "PrimaryKey",
+    "Unique",
+    "TableSchema",
+    "Catalog",
+    "Table",
+    "View",
+]

@@ -1,0 +1,398 @@
+"""Runtime catalog: tables, views, and indexes.
+
+A :class:`Table` binds a logical :class:`TableSchema` to physical
+storage (heap + indexes) and compiled CHECK constraints.  The
+:class:`Catalog` is the thread-safe name registry and carries the
+BullFrog *logical schema switch*: tables can be marked retired so that
+post-migration requests against the old schema are rejected
+(:class:`repro.errors.SchemaVersionError`), while migration-internal
+transactions may still read them.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Iterator
+
+from ..errors import (
+    CheckViolation,
+    DuplicateObjectError,
+    SchemaVersionError,
+    UniqueViolation,
+    UnknownObjectError,
+)
+from ..exec.expressions import RowLayout, compile_expr, predicate_satisfied
+from ..sql import ast_nodes as ast
+from ..storage.heap import HeapTable
+from ..storage.index import HashIndex, Index, OrderedIndex
+from ..storage.page import DEFAULT_PAGE_CAPACITY
+from ..storage.tid import Tid
+from .schema import TableSchema
+
+Row = tuple[Any, ...]
+
+
+class Table:
+    """A physical table: schema + heap + indexes + compiled checks."""
+
+    def __init__(
+        self,
+        schema: TableSchema,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+    ) -> None:
+        self.schema = schema
+        self.heap = HeapTable(schema.name, page_capacity)
+        self.indexes: dict[str, Index] = {}
+        self.retired = False
+        self._compiled_checks: list[tuple[str, Any]] | None = None
+        self._index_positions: dict[str, list[int]] = {}
+        self._auto_unique_indexes()
+
+    # ------------------------------------------------------------------
+    # Index management
+    # ------------------------------------------------------------------
+    def _auto_unique_indexes(self) -> None:
+        """PostgreSQL materializes PK/UNIQUE constraints as unique B-tree
+        indexes; we do the same (hash flavour) so enforcement is O(1)."""
+        if self.schema.primary_key is not None:
+            name = f"{self.schema.name}_pkey"
+            self.add_index(name, self.schema.primary_key.columns, unique=True)
+        for position, unique in enumerate(self.schema.uniques):
+            name = unique.name or f"{self.schema.name}_unique_{position}"
+            if name not in self.indexes:
+                self.add_index(name, unique.columns, unique=True)
+
+    def add_index(
+        self,
+        name: str,
+        columns: tuple[str, ...],
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> Index:
+        if name in self.indexes:
+            raise DuplicateObjectError(f"index {name!r} already exists")
+        for column in columns:
+            self.schema.column(column)  # raises if unknown
+        index: Index
+        if ordered:
+            index = OrderedIndex(name, self.schema.name, columns, unique)
+        else:
+            index = HashIndex(name, self.schema.name, columns, unique)
+        # Build from existing rows.
+        positions = [self.schema.column_index(c) for c in columns]
+        for tid, row in self.heap.scan():
+            index.insert(tuple(row[p] for p in positions), tid)
+        self.indexes[name] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        if name not in self.indexes:
+            raise UnknownObjectError(f"index {name!r} does not exist")
+        del self.indexes[name]
+        self._index_positions.pop(name, None)
+
+    def index_key(self, index: Index, row: Row) -> tuple[Any, ...]:
+        positions = self._index_positions.get(index.name)
+        if positions is None:
+            positions = [self.schema.column_index(c) for c in index.columns]
+            self._index_positions[index.name] = positions
+        return tuple(row[p] for p in positions)
+
+    def invalidate_caches(self) -> None:
+        """Drop derived per-schema caches after an ALTER."""
+        self._index_positions.clear()
+        self._compiled_checks = None
+
+    def find_index(self, columns: tuple[str, ...]) -> Index | None:
+        """An index whose key is exactly ``columns`` (order-insensitive)."""
+        wanted = frozenset(columns)
+        for index in self.indexes.values():
+            if frozenset(index.columns) == wanted:
+                return index
+        return None
+
+    def find_prefix_index(self, columns: frozenset[str]) -> Index | None:
+        """An index whose full key is a subset of ``columns`` — usable for
+        an equality lookup given bindings for all of ``columns``."""
+        best: Index | None = None
+        for index in self.indexes.values():
+            if frozenset(index.columns) <= columns:
+                if best is None or len(index.columns) > len(best.columns):
+                    best = index
+        return best
+
+    def find_equality_index(
+        self, columns: frozenset[str]
+    ) -> tuple[Index, tuple[str, ...]] | None:
+        """Best index to serve equality bindings on ``columns``.
+
+        Returns (index, usable_key_columns): the full key for an exact
+        match, or the longest usable *leading prefix* of an ordered
+        index (served via ``prefix_scan``).  Prefers full-key matches,
+        then longer prefixes.
+        """
+        exact = self.find_prefix_index(columns)
+        if exact is not None:
+            return exact, exact.columns
+        best: tuple[Index, tuple[str, ...]] | None = None
+        for index in self.indexes.values():
+            if not isinstance(index, OrderedIndex):
+                continue
+            prefix: list[str] = []
+            for column in index.columns:
+                if column in columns:
+                    prefix.append(column)
+                else:
+                    break
+            if prefix and (best is None or len(prefix) > len(best[1])):
+                best = (index, tuple(prefix))
+        return best
+
+    # ------------------------------------------------------------------
+    # CHECK constraints
+    # ------------------------------------------------------------------
+    def _checks(self) -> list[tuple[str, Any]]:
+        if self._compiled_checks is None:
+            layout = RowLayout.for_table(self.schema.name, self.schema.column_names)
+            compiled: list[tuple[str, Any]] = []
+            for position, check in enumerate(self.schema.checks):
+                name = check.name or f"{self.schema.name}_check_{position}"
+                compiled.append((name, compile_expr(check.expr, layout)))
+            self._compiled_checks = compiled
+        return self._compiled_checks
+
+    def enforce_checks(self, row: Row) -> None:
+        """Raise CheckViolation unless every CHECK passes (NULL passes,
+        per SQL semantics)."""
+        for name, check in self._checks():
+            value = check(row, ())
+            if value is False:
+                raise CheckViolation(
+                    f"new row for table {self.schema.name} violates check "
+                    f"constraint {name!r}",
+                    constraint=name,
+                )
+
+    # ------------------------------------------------------------------
+    # Physical mutation (constraint-checked; undo handled by caller)
+    # ------------------------------------------------------------------
+    def physical_insert(self, row: Row) -> Tid:
+        """Insert a coerced row; maintains all indexes.  On a unique
+        violation partway through index maintenance, already-updated
+        indexes are rolled back before re-raising."""
+        self.enforce_checks(row)
+        tid = self.heap.insert(row)
+        inserted: list[tuple[Index, tuple[Any, ...]]] = []
+        try:
+            for index in self.indexes.values():
+                key = self.index_key(index, row)
+                index.insert(key, tid)
+                inserted.append((index, key))
+        except UniqueViolation:
+            for index, key in inserted:
+                index.delete(key, tid)
+            self.heap.delete(tid)
+            raise
+        return tid
+
+    def physical_update(self, tid: Tid, new_row: Row) -> Row:
+        """Overwrite the row at ``tid``; returns the old row."""
+        self.enforce_checks(new_row)
+        old_row = self.heap.read(tid)
+        if old_row is None:
+            raise UnknownObjectError(f"tuple {tid} of {self.schema.name} is gone")
+        changed: list[tuple[Index, tuple[Any, ...], tuple[Any, ...]]] = []
+        for index in self.indexes.values():
+            old_key = self.index_key(index, old_row)
+            new_key = self.index_key(index, new_row)
+            if old_key == new_key:
+                continue
+            index.delete(old_key, tid)
+            try:
+                index.insert(new_key, tid)
+            except UniqueViolation:
+                # Restore this index's old entry, then unwind the ones
+                # already moved.
+                index.insert(old_key, tid)
+                for moved, moved_old, moved_new in changed:
+                    moved.delete(moved_new, tid)
+                    moved.insert(moved_old, tid)
+                raise
+            changed.append((index, old_key, new_key))
+        self.heap.update(tid, new_row)
+        return old_row
+
+    def physical_delete(self, tid: Tid) -> Row:
+        old_row = self.heap.delete(tid)
+        for index in self.indexes.values():
+            index.delete(self.index_key(index, old_row), tid)
+        return old_row
+
+    def physical_restore(self, tid: Tid, row: Row) -> None:
+        """Undo of a delete."""
+        self.heap.restore(tid, row)
+        for index in self.indexes.values():
+            index.insert(self.index_key(index, row), tid)
+
+    def physical_unindex(self, tid: Tid, row: Row) -> None:
+        """Undo of an insert: tombstone + remove index entries."""
+        self.heap.delete(tid)
+        for index in self.indexes.values():
+            index.delete(self.index_key(index, row), tid)
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+
+class View:
+    """A named SELECT.  ``internal`` marks BullFrog's migration views,
+    which are hidden from user-facing listing."""
+
+    def __init__(self, name: str, query: ast.Select, internal: bool = False) -> None:
+        self.name = name
+        self.query = query
+        self.internal = internal
+
+
+class Catalog:
+    """Thread-safe name registry with retired-table tracking."""
+
+    def __init__(self, default_page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self._tables: dict[str, Table] = {}
+        self._views: dict[str, View] = {}
+        self._latch = threading.RLock()
+        self.default_page_capacity = default_page_capacity
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(
+        self,
+        schema: TableSchema,
+        if_not_exists: bool = False,
+        page_capacity: int | None = None,
+    ) -> Table:
+        with self._latch:
+            if schema.name in self._tables or schema.name in self._views:
+                if if_not_exists and schema.name in self._tables:
+                    return self._tables[schema.name]
+                raise DuplicateObjectError(
+                    f"relation {schema.name!r} already exists"
+                )
+            table = Table(schema, page_capacity or self.default_page_capacity)
+            self._tables[schema.name] = table
+            return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        with self._latch:
+            if name not in self._tables:
+                if if_exists:
+                    return
+                raise UnknownObjectError(f"table {name!r} does not exist")
+            del self._tables[name]
+
+    def rename_table(self, old: str, new: str) -> None:
+        with self._latch:
+            table = self.table(old)
+            if new in self._tables or new in self._views:
+                raise DuplicateObjectError(f"relation {new!r} already exists")
+            table.schema = table.schema.with_name(new)
+            table.heap.name = new
+            del self._tables[old]
+            self._tables[new] = table
+
+    def table(self, name: str) -> Table:
+        with self._latch:
+            table = self._tables.get(name)
+        if table is None:
+            raise UnknownObjectError(f"table {name!r} does not exist")
+        return table
+
+    def table_checked(self, name: str, allow_retired: bool = False) -> Table:
+        """Like :meth:`table` but rejects retired (old-schema) tables for
+        ordinary requests — the paper's big-flip rejection."""
+        table = self.table(name)
+        if table.retired and not allow_retired:
+            raise SchemaVersionError(
+                f"table {name!r} belongs to a retired schema version; "
+                "resubmit the request against the new schema"
+            )
+        return table
+
+    def has_table(self, name: str) -> bool:
+        with self._latch:
+            return name in self._tables
+
+    def tables(self, include_retired: bool = True) -> list[Table]:
+        with self._latch:
+            tables = list(self._tables.values())
+        if include_retired:
+            return tables
+        return [t for t in tables if not t.retired]
+
+    def retire_table(self, name: str) -> None:
+        self.table(name).retired = True
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(
+        self, name: str, query: ast.Select, internal: bool = False, or_replace: bool = False
+    ) -> View:
+        with self._latch:
+            if name in self._tables:
+                raise DuplicateObjectError(f"relation {name!r} already exists")
+            if name in self._views and not or_replace:
+                raise DuplicateObjectError(f"view {name!r} already exists")
+            view = View(name, query, internal)
+            self._views[name] = view
+            return view
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        with self._latch:
+            if name not in self._views:
+                if if_exists:
+                    return
+                raise UnknownObjectError(f"view {name!r} does not exist")
+            del self._views[name]
+
+    def view(self, name: str) -> View:
+        with self._latch:
+            view = self._views.get(name)
+        if view is None:
+            raise UnknownObjectError(f"view {name!r} does not exist")
+        return view
+
+    def has_view(self, name: str) -> bool:
+        with self._latch:
+            return name in self._views
+
+    def views(self) -> list[View]:
+        with self._latch:
+            return list(self._views.values())
+
+    # ------------------------------------------------------------------
+    # Indexes (global namespace, PostgreSQL-style)
+    # ------------------------------------------------------------------
+    def create_index(
+        self,
+        name: str,
+        table_name: str,
+        columns: tuple[str, ...],
+        unique: bool = False,
+        ordered: bool = False,
+    ) -> Index:
+        with self._latch:
+            for table in self._tables.values():
+                if name in table.indexes:
+                    raise DuplicateObjectError(f"index {name!r} already exists")
+            return self.table(table_name).add_index(name, columns, unique, ordered)
+
+    def drop_index(self, name: str, if_exists: bool = False) -> None:
+        with self._latch:
+            for table in self._tables.values():
+                if name in table.indexes:
+                    table.drop_index(name)
+                    return
+        if not if_exists:
+            raise UnknownObjectError(f"index {name!r} does not exist")

@@ -1,0 +1,54 @@
+"""Table constraint metadata.
+
+Constraint *definitions* live here; constraint *enforcement* happens in
+the heap-table write path (``repro.storage.heap``) and in the executor's
+DML operators, with foreign-key checks coordinated by the database
+facade since they span tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..sql import ast_nodes as ast
+
+
+@dataclass(frozen=True)
+class PrimaryKey:
+    """PRIMARY KEY — implies NOT NULL on its columns plus uniqueness."""
+
+    columns: tuple[str, ...]
+    name: str = "primary_key"
+
+
+@dataclass(frozen=True)
+class Unique:
+    """UNIQUE over one or more columns (NULLs exempt, SQL semantics)."""
+
+    columns: tuple[str, ...]
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Check:
+    """CHECK(expr); expr references columns of this table only."""
+
+    expr: ast.Expr
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """FOREIGN KEY (columns) REFERENCES ref_table (ref_columns).
+
+    If ``ref_columns`` is empty it defaults to the referenced table's
+    primary key at resolution time.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...] = ()
+    name: str = ""
+
+
+Constraint = PrimaryKey | Unique | Check | ForeignKey

@@ -1,0 +1,51 @@
+"""BullFrog core: lazy schema migration with exactly-once guarantees."""
+
+from .bitmap import Claim, MigrationBitmap
+from .hashmap import GroupState, MigrationHashMap
+from .granularity import GranuleMapper
+from .classify import (
+    AuxJoin,
+    JoinKeySpec,
+    MigrationCategory,
+    OutputSpec,
+    UnitPlan,
+)
+from .migration import MigrationSpec, parse_migration
+from .predicates import PredicateTransfer, Scope
+from .stats import MigrationStats
+from .background import BackgroundConfig, BackgroundMigrator
+from .engine import ConflictMode, LazyMigrationEngine, MigrationHandle
+from .eager import EagerMigration
+from .multistep import MultiStepMigration
+from .recovery import rebuild_trackers, simulate_crash
+from .controller import MigrationController, Strategy, SubmitResult
+
+__all__ = [
+    "Claim",
+    "MigrationBitmap",
+    "GroupState",
+    "MigrationHashMap",
+    "GranuleMapper",
+    "AuxJoin",
+    "JoinKeySpec",
+    "MigrationCategory",
+    "OutputSpec",
+    "UnitPlan",
+    "MigrationSpec",
+    "parse_migration",
+    "PredicateTransfer",
+    "Scope",
+    "MigrationStats",
+    "BackgroundConfig",
+    "BackgroundMigrator",
+    "ConflictMode",
+    "LazyMigrationEngine",
+    "MigrationHandle",
+    "EagerMigration",
+    "MultiStepMigration",
+    "rebuild_trackers",
+    "simulate_crash",
+    "MigrationController",
+    "Strategy",
+    "SubmitResult",
+]

@@ -1,0 +1,180 @@
+"""The migration bitmap (paper section 3.3, Algorithm 2).
+
+Two bits per migration granule, stored adjacently so both are read in a
+single load:
+
+* ``[0 0]`` — NOT_STARTED: the granule has not begun migrating;
+* ``[1 0]`` — IN_PROGRESS: a worker holds the migration "lock bit";
+* ``[0 1]`` — MIGRATED: migration completed;
+* ``[1 1]`` — never occurs (asserted).
+
+The bitmap is partitioned into chunks, each protected by its own latch,
+"to reduce cross-worker latch contention" (section 3.3).  The fast path
+of :meth:`try_begin` reads the pair without the latch and only takes the
+exclusive latch when it intends to set the lock bit — mirroring
+Algorithm 2's recheck-under-latch structure.
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Iterable, Iterator
+
+NOT_STARTED = 0b00
+MIGRATED = 0b01  # migrate bit
+IN_PROGRESS = 0b10  # lock bit
+
+_GRANULES_PER_BYTE = 4  # 2 bits each
+
+
+class Claim(Enum):
+    """Outcome of a worker's attempt to claim a granule (Algorithm 2)."""
+
+    MIGRATE = "MIGRATE"  # caller owns the granule: add to WIP
+    SKIP = "SKIP"  # another worker is migrating it: add to SKIP
+    DONE = "DONE"  # already migrated: nothing to do
+
+
+class MigrationBitmap:
+    """Partitioned two-bit-per-granule migration tracker."""
+
+    def __init__(self, size: int, partitions: int = 16) -> None:
+        """``size`` is the number of granules (dense ordinals 0..size-1)."""
+        if size < 0:
+            raise ValueError("bitmap size must be non-negative")
+        self.size = size
+        self._bits = bytearray((size + _GRANULES_PER_BYTE - 1) // _GRANULES_PER_BYTE)
+        partitions = max(1, min(partitions, max(size, 1)))
+        self._partition_count = partitions
+        # Partition by contiguous granule ranges, aligned to whole bytes
+        # so two partitions never share a byte.
+        granules_per_partition = max(
+            _GRANULES_PER_BYTE,
+            -(-size // partitions),  # ceil
+        )
+        # Round up to a multiple of 4 for byte alignment.
+        self._granules_per_partition = (
+            (granules_per_partition + _GRANULES_PER_BYTE - 1)
+            // _GRANULES_PER_BYTE
+            * _GRANULES_PER_BYTE
+        )
+        actual = max(1, -(-size // self._granules_per_partition)) if size else 1
+        self._latches = [threading.Lock() for _ in range(actual)]
+        self._migrated_count = 0
+        self._count_latch = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Raw pair access
+    # ------------------------------------------------------------------
+    def _pair(self, ordinal: int) -> int:
+        byte = self._bits[ordinal // _GRANULES_PER_BYTE]
+        shift = (ordinal % _GRANULES_PER_BYTE) * 2
+        return (byte >> shift) & 0b11
+
+    def _set_pair(self, ordinal: int, value: int) -> None:
+        index = ordinal // _GRANULES_PER_BYTE
+        shift = (ordinal % _GRANULES_PER_BYTE) * 2
+        byte = self._bits[index]
+        byte &= ~(0b11 << shift)
+        byte |= value << shift
+        self._bits[index] = byte
+
+    def _latch_for(self, ordinal: int) -> threading.Lock:
+        return self._latches[
+            min(ordinal // self._granules_per_partition, len(self._latches) - 1)
+        ]
+
+    def _check(self, ordinal: int) -> None:
+        if not 0 <= ordinal < self.size:
+            raise IndexError(f"granule {ordinal} out of range [0, {self.size})")
+
+    # ------------------------------------------------------------------
+    # Algorithm 2
+    # ------------------------------------------------------------------
+    def try_begin(self, ordinal: int) -> Claim:
+        """Attempt to claim ``ordinal`` for migration (Algorithm 2).
+
+        Returns MIGRATE if this worker set the lock bit (it must later
+        call :meth:`mark_migrated` or :meth:`reset`), SKIP if another
+        worker holds it, DONE if already migrated.
+        """
+        self._check(ordinal)
+        pair = self._pair(ordinal)  # unlatched fast-path read (lines 1-4)
+        if pair & MIGRATED:
+            return Claim.DONE
+        if pair & IN_PROGRESS:
+            return Claim.SKIP
+        latch = self._latch_for(ordinal)
+        with latch:  # lines 5-16: recheck under the exclusive latch
+            pair = self._pair(ordinal)
+            if pair & MIGRATED:
+                return Claim.DONE
+            if pair & IN_PROGRESS:
+                return Claim.SKIP
+            self._set_pair(ordinal, IN_PROGRESS)
+            return Claim.MIGRATE
+
+    def mark_migrated(self, ordinals: Iterable[int]) -> None:
+        """Algorithm 1 line 9: flip claimed granules to ``[0 1]``."""
+        count = 0
+        for ordinal in ordinals:
+            self._check(ordinal)
+            with self._latch_for(ordinal):
+                pair = self._pair(ordinal)
+                assert pair != (IN_PROGRESS | MIGRATED), "state [1 1] must not occur"
+                if pair & MIGRATED:
+                    continue
+                self._set_pair(ordinal, MIGRATED)
+                count += 1
+        if count:
+            with self._count_latch:
+                self._migrated_count += count
+
+    def reset(self, ordinals: Iterable[int]) -> None:
+        """Abort handling (section 3.5): claimed granules back to [0 0]."""
+        for ordinal in ordinals:
+            self._check(ordinal)
+            with self._latch_for(ordinal):
+                pair = self._pair(ordinal)
+                if pair == IN_PROGRESS:
+                    self._set_pair(ordinal, NOT_STARTED)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state(self, ordinal: int) -> int:
+        """The raw two-bit pair for a granule."""
+        self._check(ordinal)
+        return self._pair(ordinal)
+
+    def is_migrated(self, ordinal: int) -> bool:
+        self._check(ordinal)
+        return bool(self._pair(ordinal) & MIGRATED)
+
+    def is_in_progress(self, ordinal: int) -> bool:
+        self._check(ordinal)
+        return bool(self._pair(ordinal) & IN_PROGRESS)
+
+    @property
+    def migrated_count(self) -> int:
+        with self._count_latch:
+            return self._migrated_count
+
+    @property
+    def all_migrated(self) -> bool:
+        return self.migrated_count >= self.size
+
+    def iter_unmigrated(self, start: int = 0, limit: int | None = None) -> Iterator[int]:
+        """Yield granules whose migrate bit is unset, from ``start``.
+        Used by background migration threads to find remaining work."""
+        produced = 0
+        for ordinal in range(start, self.size):
+            if not self._pair(ordinal) & MIGRATED:
+                yield ordinal
+                produced += 1
+                if limit is not None and produced >= limit:
+                    return
+
+    def __len__(self) -> int:
+        return self.size

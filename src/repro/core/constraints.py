@@ -1,0 +1,159 @@
+"""Constraint-driven migration scope expansion (paper sections 2.1, 4.5).
+
+``INSERT commands generally can be performed over the new schema
+without requiring any prior migration unless there are integrity
+constraints defined on the new schema``:
+
+* a UNIQUE/PRIMARY KEY constraint on an output table means an INSERT
+  (or an UPDATE of the unique attribute) must first migrate old rows
+  with *potentially conflicting* values so the constraint can be
+  checked over the new schema;
+* a FOREIGN KEY from an output table to another migrated table means
+  the referenced parent row must be migrated before the child insert
+  can validate.
+
+This module computes the extra output-column conjuncts those
+constraints imply; :class:`~repro.core.predicates.PredicateTransfer`
+then maps them onto the old schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from ..sql import ast_nodes as ast
+from ..exec.expressions import RowLayout, compile_expr
+
+
+def insert_conjuncts(
+    table, stmt: ast.Insert, params: Sequence[Any]
+) -> list[tuple[str, ast.Expr]]:
+    """(output_table, conjunct) pairs for the unique-key values an INSERT
+    will write — these rows must be migrated first."""
+    unique_sets = table.schema.unique_column_sets()
+    if not unique_sets:
+        return []
+    columns = stmt.columns or table.schema.column_names
+    rows = _literal_rows(stmt, columns, params)
+    if rows is None:
+        return []
+    conjuncts: list[tuple[str, ast.Expr]] = []
+    for values in rows:
+        for unique_set in unique_sets:
+            if not all(c in values for c in unique_set):
+                continue
+            if any(values[c] is None for c in unique_set):
+                continue  # NULLs never conflict under SQL uniqueness
+            predicate = None
+            for column in unique_set:
+                clause = ast.BinaryOp(
+                    "=", ast.ColumnRef(column), ast.Literal(values[column])
+                )
+                predicate = (
+                    clause
+                    if predicate is None
+                    else ast.BinaryOp("AND", predicate, clause)
+                )
+            assert predicate is not None
+            conjuncts.append((table.schema.name, predicate))
+    return conjuncts
+
+
+def fk_parent_conjuncts(
+    table, stmt: ast.Insert, params: Sequence[Any], output_tables: set[str]
+) -> list[tuple[str, ast.Expr]]:
+    """(parent_output_table, conjunct) pairs: rows the FK parents of an
+    INSERT must contain — migrate them before validating the FK."""
+    if not table.schema.foreign_keys:
+        return []
+    columns = stmt.columns or table.schema.column_names
+    rows = _literal_rows(stmt, columns, params)
+    if rows is None:
+        return []
+    conjuncts: list[tuple[str, ast.Expr]] = []
+    for values in rows:
+        for fk in table.schema.foreign_keys:
+            if fk.ref_table not in output_tables:
+                continue
+            if not all(c in values for c in fk.columns):
+                continue
+            key = [values[c] for c in fk.columns]
+            if any(part is None for part in key):
+                continue
+            ref_columns = fk.ref_columns or fk.columns
+            predicate = None
+            for ref_column, value in zip(ref_columns, key):
+                clause = ast.BinaryOp(
+                    "=", ast.ColumnRef(ref_column), ast.Literal(value)
+                )
+                predicate = (
+                    clause
+                    if predicate is None
+                    else ast.BinaryOp("AND", predicate, clause)
+                )
+            assert predicate is not None
+            conjuncts.append((fk.ref_table, predicate))
+    return conjuncts
+
+
+def update_unique_conjuncts(
+    table, stmt: ast.Update, params: Sequence[Any]
+) -> list[tuple[str, ast.Expr]]:
+    """An UPDATE that sets a unique column to a constant must migrate
+    old rows carrying that value (they would conflict post-migration)."""
+    unique_sets = table.schema.unique_column_sets()
+    if not unique_sets:
+        return []
+    assigned: dict[str, Any] = {}
+    empty = RowLayout()
+    for column, expr in stmt.assignments:
+        if not any(isinstance(n, ast.ColumnRef) for n in ast.walk(expr)):
+            try:
+                assigned[column] = compile_expr(expr, empty)((), params)
+            except Exception:
+                continue
+    if not assigned:
+        return []
+    conjuncts: list[tuple[str, ast.Expr]] = []
+    for unique_set in unique_sets:
+        touched = [c for c in unique_set if c in assigned]
+        if not touched:
+            continue
+        # Conservative: any old row matching the assigned value(s) on the
+        # touched column(s) is potentially conflicting.
+        predicate = None
+        for column in touched:
+            if assigned[column] is None:
+                predicate = None
+                break
+            clause = ast.BinaryOp(
+                "=", ast.ColumnRef(column), ast.Literal(assigned[column])
+            )
+            predicate = (
+                clause if predicate is None else ast.BinaryOp("AND", predicate, clause)
+            )
+        if predicate is not None:
+            conjuncts.append((table.schema.name, predicate))
+    return conjuncts
+
+
+def _literal_rows(
+    stmt: ast.Insert, columns: Sequence[str], params: Sequence[Any]
+) -> list[dict[str, Any]] | None:
+    """Evaluate VALUES rows whose expressions are column-free.  Returns
+    None for INSERT..SELECT (scope cannot be derived cheaply — the
+    engine falls back to unique-check-at-insert which is still correct
+    because the unit's own scope machinery migrates the SELECT's
+    sources)."""
+    if stmt.query is not None or not stmt.rows:
+        return None
+    empty = RowLayout()
+    rows: list[dict[str, Any]] = []
+    for row_exprs in stmt.rows:
+        values: dict[str, Any] = {}
+        for column, expr in zip(columns, row_exprs):
+            if any(isinstance(n, ast.ColumnRef) for n in ast.walk(expr)):
+                return None
+            values[column] = compile_expr(expr, empty)((), params)
+        rows.append(values)
+    return rows

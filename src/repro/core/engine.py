@@ -1,0 +1,796 @@
+"""The lazy migration engine (paper sections 2 and 3).
+
+``LazyMigrationEngine.submit`` performs the *logical* schema switch:
+output tables are created empty, internal views record the mapping, the
+old tables are retired (big flip), and a statement interceptor is
+installed.  From then on every client statement that touches a new
+table first runs the per-transaction migration loop of Algorithm 1 —
+claiming granules through the bitmap (Algorithm 2) or hashmap
+(Algorithm 3), migrating claimed data in separate transactions, and
+re-checking skipped granules until the other workers' migrations commit
+or abort.
+
+Two duplicate-prevention modes are supported (section 3.7):
+
+* ``ConflictMode.TRACKER`` — BullFrog's own lock/migrate tracking
+  structures (the default);
+* ``ConflictMode.ON_CONFLICT`` — no claims; rely on the output tables'
+  unique indexes plus INSERT .. ON CONFLICT DO NOTHING, detecting
+  duplicates at insert time at the cost of wasted work.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Sequence
+
+from ..db import Database, Session, build_schema
+from ..errors import (
+    MigrationError,
+    MigrationStateError,
+    TransactionAborted,
+    UnsupportedMigrationError,
+)
+from ..catalog import Column, TableSchema
+from ..exec.expressions import RowLayout, compile_expr, predicate_satisfied
+from ..exec.plan import ExecutionContext
+from ..sql import ast_nodes as ast
+from ..sql.render import render_statement
+from ..types import text_type
+from .background import BackgroundConfig, BackgroundMigrator
+from .bitmap import Claim, MigrationBitmap
+from .classify import MigrationCategory, UnitPlan
+from .constraints import (
+    fk_parent_conjuncts,
+    insert_conjuncts,
+    update_unique_conjuncts,
+)
+from .granularity import GranuleMapper
+from .hashmap import MigrationHashMap
+from .migration import MigrationSpec, parse_migration
+from .predicates import PredicateTransfer, Scope
+from .stats import MigrationStats
+
+
+class ConflictMode(Enum):
+    TRACKER = "tracker"
+    ON_CONFLICT = "on-conflict"
+
+
+@dataclass
+class _OutputRuntime:
+    table: Any  # catalog Table
+    column_names: tuple[str, ...]
+    fns: list  # compiled projections over the combined anchor(+aux) layout
+
+
+class UnitRuntime:
+    """Everything needed to migrate one unit at run time."""
+
+    def __init__(self, engine: "LazyMigrationEngine", plan: UnitPlan) -> None:
+        self.engine = engine
+        self.plan = plan
+        self.catalog = engine.db.catalog
+        self.anchor_table = self.catalog.table(plan.anchor)
+        self.complete = False
+        self.swept = False  # hashmap units: background finished a clean pass
+        self._latch = threading.Lock()
+
+        granule_size = engine.granule_size
+        self.transfer = PredicateTransfer(
+            plan, self.catalog, engine.db.planner, granule_size
+        )
+        if plan.category.uses_bitmap:
+            self.mapper = GranuleMapper(self.anchor_table.heap, granule_size)
+            self.tracker: MigrationBitmap | MigrationHashMap = MigrationBitmap(
+                self.mapper.granule_count, partitions=engine.tracker_partitions
+            )
+        else:
+            self.mapper = None
+            self.tracker = MigrationHashMap(partitions=engine.tracker_partitions)
+
+        self._compile_production()
+        self._build_key_sql()
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def _compile_production(self) -> None:
+        """Bitmap units: compile per-output projections over the anchor
+        (plus aux-join) row layout for direct, TID-addressed production."""
+        plan = self.plan
+        if not plan.category.uses_bitmap:
+            self.outputs_runtime: list[_OutputRuntime] = []
+            return
+        layout = RowLayout.for_table(
+            plan.anchor_binding, self.anchor_table.schema.column_names
+        )
+        self.aux_table = None
+        self._aux_positions: list[int] = []
+        self._aux_index = None
+        self._aux_lookup_positions: list[int] = []
+        if plan.aux is not None:
+            self.aux_table = self.catalog.table(plan.aux.table)
+            aux_layout = RowLayout.for_table(
+                plan.aux.binding, self.aux_table.schema.column_names
+            )
+            layout = layout.extend(aux_layout)
+            anchor_schema = self.anchor_table.schema
+            self._aux_positions = [
+                anchor_schema.column_index(a) for a, _b in plan.aux.pairs
+            ]
+            aux_cols = tuple(b for _a, b in plan.aux.pairs)
+            self._aux_index = self.aux_table.find_prefix_index(frozenset(aux_cols))
+            if self._aux_index is not None:
+                # Key order must follow the index's column order.
+                by_aux = {b: a for a, b in plan.aux.pairs}
+                self._aux_positions = [
+                    anchor_schema.column_index(by_aux[c])
+                    for c in self._aux_index.columns
+                ]
+            else:
+                self._aux_lookup_positions = [
+                    self.aux_table.schema.column_index(b) for _a, b in plan.aux.pairs
+                ]
+        self._layout = layout
+        self._static_fn = (
+            compile_expr(plan.static_filter, layout)
+            if plan.static_filter is not None
+            else None
+        )
+        self.outputs_runtime = []
+        for output in plan.outputs:
+            table = self.catalog.table(output.table)
+            fns = [compile_expr(item, layout) for item in output.items]
+            self.outputs_runtime.append(
+                _OutputRuntime(table, output.column_names, fns)
+            )
+
+    def _build_key_sql(self) -> None:
+        """Hashmap units: pre-render per-key INSERT..SELECT statements
+        (the paper's rewritten migration DDL with injected predicates)."""
+        self.key_sql: list[str] = []
+        plan = self.plan
+        if plan.category.uses_bitmap:
+            return
+        on_conflict = self.engine.conflict_mode is ConflictMode.ON_CONFLICT
+        if plan.category is MigrationCategory.N_TO_ONE:
+            key_refs = [
+                ast.ColumnRef(c, plan.anchor_binding) for c in plan.group_columns
+            ]
+            sides = [key_refs]
+        else:
+            jk = plan.join_key
+            assert jk is not None
+            sides = [
+                [ast.ColumnRef(c, plan.anchor_binding) for c in jk.anchor_columns],
+                [ast.ColumnRef(c, jk.other_binding) for c in jk.other_columns],
+            ]
+        for output in plan.outputs:
+            select = output.select
+            where = select.where
+            param_index = 0
+            for side in sides:
+                for ref in side:
+                    clause = ast.BinaryOp("=", ref, ast.Param(param_index))
+                    param_index += 1
+                    where = (
+                        clause if where is None else ast.BinaryOp("AND", where, clause)
+                    )
+            pinned = ast.Select(
+                items=select.items,
+                from_items=select.from_items,
+                where=where,
+                group_by=select.group_by,
+                having=select.having,
+                distinct=select.distinct,
+            )
+            insert = ast.Insert(
+                table=output.table,
+                columns=output.column_names,
+                query=pinned,
+                on_conflict_do_nothing=on_conflict,
+            )
+            self.key_sql.append(render_statement(insert))
+        self._key_param_copies = len(sides)
+
+    # ------------------------------------------------------------------
+    # Production
+    # ------------------------------------------------------------------
+    def produce_bitmap_granules(
+        self, granules: Sequence[int], session: Session
+    ) -> int:
+        """Materialize the output rows for claimed bitmap granules inside
+        the session's open transaction.  Returns tuples produced."""
+        assert self.mapper is not None
+        ctx = session._context()
+        ctx.params = ()
+        executor = self.engine.db.executor
+        on_conflict = self.engine.conflict_mode is ConflictMode.ON_CONFLICT
+        produced = 0
+        batches: list[list[dict]] = [[] for _ in self.outputs_runtime]
+        for granule in granules:
+            for _tid, row in self.mapper.tuples_in(granule):
+                for combined in self._joined_rows(row):
+                    if self._static_fn is not None and not predicate_satisfied(
+                        self._static_fn(combined, ())
+                    ):
+                        continue
+                    for position, output in enumerate(self.outputs_runtime):
+                        values = {
+                            name: fn(combined, ())
+                            for name, fn in zip(output.column_names, output.fns)
+                        }
+                        batches[position].append(values)
+                    produced += 1
+        for output, batch in zip(self.outputs_runtime, batches):
+            if batch:
+                inserted = executor.insert_rows(
+                    output.table, batch, ctx, on_conflict_skip=on_conflict
+                )
+                if on_conflict and inserted < len(batch):
+                    self.engine.stats.add_duplicates(len(batch) - inserted)
+        return produced
+
+    def _joined_rows(self, row: tuple):
+        """Anchor row extended by its aux (PK-side) match, inner-join
+        semantics: rows without a match produce nothing but are still
+        considered migrated (section 3.6)."""
+        if self.plan.aux is None:
+            yield row
+            return
+        key = tuple(row[p] for p in self._aux_positions)
+        if self._aux_index is not None:
+            for tid in self._aux_index.lookup(key):
+                aux_row = self.aux_table.heap.read(tid)
+                if aux_row is not None:
+                    yield row + aux_row
+            return
+        for _tid, aux_row in self.aux_table.heap.scan():
+            if tuple(aux_row[p] for p in self._aux_lookup_positions) == key:
+                yield row + aux_row
+
+    def produce_keys(self, keys: Sequence[tuple], session: Session) -> int:
+        """Materialize output rows for claimed group keys by running the
+        pre-rendered INSERT..SELECT with the key bound as parameters."""
+        produced = 0
+        for key in keys:
+            params = tuple(key) * self._key_param_copies
+            for sql in self.key_sql:
+                result = session.execute(sql, params)
+                produced += result.rowcount
+        return produced
+
+    # ------------------------------------------------------------------
+    # Key enumeration (full scope / background)
+    # ------------------------------------------------------------------
+    def key_positions(self) -> list[int]:
+        plan = self.plan
+        columns = (
+            plan.group_columns
+            if plan.category is MigrationCategory.N_TO_ONE
+            else plan.join_key.anchor_columns  # type: ignore[union-attr]
+        )
+        schema = self.anchor_table.schema
+        return [schema.column_index(c) for c in columns]
+
+    def all_keys(self) -> set[tuple]:
+        positions = self.key_positions()
+        return {
+            tuple(row[p] for p in positions)
+            for _tid, row in self.anchor_table.heap.scan()
+        }
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def check_complete(self) -> bool:
+        if self.complete:
+            return True
+        if self.plan.category.uses_bitmap:
+            assert isinstance(self.tracker, MigrationBitmap)
+            if self.tracker.all_migrated:
+                with self._latch:
+                    self.complete = True
+        else:
+            if self.swept:
+                with self._latch:
+                    self.complete = True
+        return self.complete
+
+    def progress(self) -> dict[str, Any]:
+        info: dict[str, Any] = {
+            "unit": self.plan.unit_id,
+            "category": self.plan.category.value,
+            "complete": self.complete,
+            "migrated": self.tracker.migrated_count,
+        }
+        if isinstance(self.tracker, MigrationBitmap):
+            info["total"] = self.tracker.size
+        return info
+
+
+class LazyMigrationEngine:
+    """BullFrog's lazy, request-driven migration engine."""
+
+    def __init__(
+        self,
+        db: Database,
+        granule_size: int = 1,
+        tracker_partitions: int = 16,
+        conflict_mode: ConflictMode = ConflictMode.TRACKER,
+        background: BackgroundConfig | None = None,
+        skip_wait_timeout: float = 30.0,
+        big_flip: bool = True,
+        tracking_enabled: bool = True,
+        fkpk_join_mode: str = "fkit-bitmap",
+    ) -> None:
+        self.db = db
+        self.granule_size = granule_size
+        self.tracker_partitions = tracker_partitions
+        self.conflict_mode = conflict_mode
+        # tracking_enabled=False removes the claim/latch protocol and
+        # keeps only completion bookkeeping — the paper's section 4.4.1
+        # "no bitmap" variant, valid only when accesses are disjoint.
+        self.tracking_enabled = tracking_enabled
+        self.fkpk_join_mode = fkpk_join_mode
+        self.background_config = background or BackgroundConfig()
+        self.skip_wait_timeout = skip_wait_timeout
+        self.big_flip = big_flip
+        self.spec: MigrationSpec | None = None
+        self.units: list[UnitRuntime] = []
+        self.stats = MigrationStats()
+        self._background: BackgroundMigrator | None = None
+        self._complete_event = threading.Event()
+        self._outputs_to_units: dict[str, UnitRuntime] = {}
+
+    # ==================================================================
+    # Submission: the logical switch (section 2.1)
+    # ==================================================================
+    def submit(
+        self, migration_id: str, ddl: str, resume: bool = False
+    ) -> "MigrationHandle":
+        """Register the migration and perform the logical switch.
+
+        ``resume=True`` attaches to output tables/views that already
+        exist — the crash-recovery path (section 3.5): after REDO data
+        replay re-creates outputs with their pre-crash contents, the
+        migration is re-submitted with ``resume=True`` and the trackers
+        restored via :func:`repro.core.recovery.rebuild_trackers`.
+        """
+        if self.spec is not None:
+            raise MigrationStateError(
+                "a migration is already registered on this engine"
+            )
+        spec = parse_migration(
+            migration_id, ddl, self.db.catalog, self.fkpk_join_mode
+        )
+        session = self.db.connect()
+        session.internal = True
+
+        # 1. Create the output tables, empty.
+        for unit in spec.units:
+            for output in unit.outputs:
+                if resume and self.db.catalog.has_table(output.table):
+                    continue
+                schema_stmt = spec.explicit_schemas.get(output.table)
+                if schema_stmt is not None:
+                    schema = build_schema(schema_stmt)
+                    self.db.catalog.create_table(schema)
+                else:
+                    planned = self.db.planner.plan_select(output.select)
+                    name_to_type = dict(zip(planned.names, planned.types))
+                    columns = tuple(
+                        Column(name, name_to_type.get(name) or text_type())
+                        for name in output.column_names
+                    )
+                    self.db.catalog.create_table(
+                        TableSchema(name=output.table, columns=columns)
+                    )
+        # 2. Secondary indexes on outputs.
+        for index_stmt in spec.index_statements:
+            if resume and any(
+                index_stmt.name in t.indexes for t in self.db.catalog.tables()
+            ):
+                continue
+            self.db.catalog.create_index(
+                index_stmt.name,
+                index_stmt.table,
+                index_stmt.columns,
+                unique=index_stmt.unique,
+                ordered=True,
+            )
+        # 3. Internal views recording the mapping (the paper's
+        #    FLEWONINFO_VIEW): used by tooling/EXPLAIN; the predicate
+        #    transfer machinery works from the same SELECTs.
+        for unit in spec.units:
+            for output in unit.outputs:
+                view_name = f"{output.table}_bullfrog_view"
+                if resume and self.db.catalog.has_view(view_name):
+                    continue
+                self.db.catalog.create_view(
+                    view_name, output.select, internal=True
+                )
+
+        # 4. Build runtime state (trackers, compiled projections).
+        self.units = [UnitRuntime(self, unit) for unit in spec.units]
+        for runtime in self.units:
+            if isinstance(runtime.tracker, MigrationBitmap):
+                self.stats.granules_total = (
+                    self.stats.granules_total or 0
+                ) + runtime.tracker.size
+            for output in runtime.plan.output_tables:
+                self._outputs_to_units[output] = runtime
+        if self.conflict_mode is ConflictMode.ON_CONFLICT:
+            self._require_unique_outputs()
+
+        # 5. Big flip: retire the old tables; subsequent requests against
+        #    them are rejected (section 2.1).
+        if self.big_flip:
+            for table_name in spec.input_tables:
+                self.db.catalog.retire_table(table_name)
+        self.db.bump_epoch()
+
+        # 6. Intercept client statements from now on.
+        self.spec = spec
+        self.db.set_statement_interceptor(self._intercept)
+        self.stats.mark_started()
+
+        # 7. Background migration threads (section 2.2), after a delay.
+        if self.background_config.enabled:
+            self._background = BackgroundMigrator(self, self.background_config)
+            self._background.start()
+        return MigrationHandle(self)
+
+    def _require_unique_outputs(self) -> None:
+        for runtime in self.units:
+            for output in runtime.plan.outputs:
+                table = self.db.catalog.table(output.table)
+                if not table.schema.unique_column_sets():
+                    raise UnsupportedMigrationError(
+                        f"ON CONFLICT mode requires a unique constraint on "
+                        f"output table {output.table!r} (section 3.7)"
+                    )
+
+    # ==================================================================
+    # Interception (section 2.1) — migrate, then let the request run
+    # ==================================================================
+    def _intercept(
+        self,
+        session: Session,
+        stmt: ast.Statement,
+        params: Sequence[Any],
+        sql_text: str | None = None,
+    ) -> None:
+        if self._complete_event.is_set():
+            return
+        referenced = _referenced_tables(stmt)
+        fk_targets: set[str] = set()
+        if isinstance(stmt, ast.Insert) and self.db.catalog.has_table(stmt.table):
+            # An INSERT into a non-migrated table whose FK references an
+            # output table still forces parent migration (section 2.1).
+            for fk in self.db.catalog.table(stmt.table).schema.foreign_keys:
+                fk_targets.add(fk.ref_table)
+        for runtime in self.units:
+            if runtime.complete:
+                continue
+            outputs = set(runtime.plan.output_tables)
+            if not ((referenced | fk_targets) & outputs):
+                continue
+            scope = self._scope_for(runtime, stmt, params, sql_text)
+            if not scope.is_empty:
+                self.migrate_scope(runtime, scope)
+        self._check_completion()
+
+    def _scope_for(
+        self,
+        runtime: UnitRuntime,
+        stmt: ast.Statement,
+        params: Sequence[Any],
+        sql_text: str | None = None,
+    ) -> Scope:
+        if isinstance(stmt, ast.Insert):
+            table = self.db.catalog.table(stmt.table)
+            conjuncts = insert_conjuncts(table, stmt, params)
+            conjuncts += fk_parent_conjuncts(
+                table, stmt, params, set(self._outputs_to_units)
+            )
+            mine = [
+                (t, c) for t, c in conjuncts if t in runtime.plan.output_tables
+            ]
+            if not mine:
+                return Scope()  # plain INSERT: no prior migration needed
+            return runtime.transfer.scope_for_output_conjuncts(mine, params)
+        scope = runtime.transfer.scope_for_statement(
+            stmt, params, cache_key=sql_text
+        )
+        if isinstance(stmt, ast.Update):
+            table = self.db.catalog.table(stmt.table)
+            extra = update_unique_conjuncts(table, stmt, params)
+            mine = [(t, c) for t, c in extra if t in runtime.plan.output_tables]
+            if mine:
+                extra_scope = runtime.transfer.scope_for_output_conjuncts(
+                    mine, params
+                )
+                scope = _merge_scopes(scope, extra_scope)
+        return scope
+
+    # ==================================================================
+    # Algorithm 1: the per-transaction migration loop
+    # ==================================================================
+    def migrate_scope(
+        self,
+        runtime: UnitRuntime,
+        scope: Scope,
+        wait_for_skipped: bool = True,
+    ) -> None:
+        if runtime.complete or scope.is_empty:
+            return
+        if runtime.plan.category.uses_bitmap:
+            if scope.full:
+                assert isinstance(runtime.tracker, MigrationBitmap)
+                pending: list = list(
+                    runtime.tracker.iter_unmigrated()
+                )
+            else:
+                pending = sorted(scope.granules)
+            self._run_migration_loop(
+                runtime, pending, is_bitmap=True, wait=wait_for_skipped
+            )
+        else:
+            if scope.full:
+                pending = sorted(runtime.all_keys())
+            else:
+                pending = sorted(scope.keys)
+            self._run_migration_loop(
+                runtime, pending, is_bitmap=False, wait=wait_for_skipped
+            )
+        runtime.check_complete()
+
+    def _run_migration_loop(
+        self,
+        runtime: UnitRuntime,
+        pending: list,
+        is_bitmap: bool,
+        wait: bool,
+    ) -> None:
+        """Algorithm 1: claim → migrate in a separate transaction → mark
+        migrated → loop over SKIP until drained."""
+        if self.conflict_mode is ConflictMode.ON_CONFLICT or not self.tracking_enabled:
+            self._run_unclaimed(runtime, pending, is_bitmap)
+            return
+        tracker = runtime.tracker
+        deadline = time.monotonic() + self.skip_wait_timeout
+        wip_seen: set = set()
+        skip_seen: set = set()
+        while pending:
+            wip: list = []
+            skip: list = []
+            for granule in pending:
+                if is_bitmap:
+                    claim = tracker.try_begin(granule)  # Algorithm 2
+                else:
+                    claim = tracker.try_begin(granule, wip_seen, skip_seen)  # Alg. 3
+                if claim is Claim.MIGRATE:
+                    wip.append(granule)
+                    wip_seen.add(granule)
+                elif claim is Claim.SKIP:
+                    skip.append(granule)
+                    skip_seen.add(granule)
+            if wip:
+                self._migrate_wip(runtime, wip, is_bitmap)
+                wip_seen.difference_update(wip)
+            if not skip or not wait:
+                break
+            # Re-check skipped granules in a fresh iteration: the other
+            # worker either completes (DONE) or aborts (re-claimable).
+            self.stats.add_skip_wait(len(skip))
+            skip_seen.difference_update(skip)
+            pending = skip
+            if time.monotonic() > deadline:
+                raise MigrationError(
+                    f"timed out waiting for {len(skip)} granule(s) being "
+                    f"migrated by other workers (unit {runtime.plan.unit_id})"
+                )
+            time.sleep(0.0002)
+
+    def _migrate_wip(self, runtime: UnitRuntime, wip: list, is_bitmap: bool) -> None:
+        """One migration transaction for this worker's WIP list."""
+        tracker = runtime.tracker
+        session = self.db.connect(allow_retired=True)
+        session.internal = True
+        session.begin()
+        txn = session._txn
+        assert txn is not None
+        if is_bitmap:
+            txn.on_abort(lambda: tracker.reset(wip))
+        else:
+            txn.on_abort(lambda: tracker.mark_aborted(wip))
+        try:
+            if is_bitmap:
+                produced = runtime.produce_bitmap_granules(wip, session)
+            else:
+                produced = runtime.produce_keys(wip, session)
+            txn.record_migration(
+                runtime.plan.unit_id, runtime.plan.anchor, tuple(wip)
+            )
+            session.commit()
+        except TransactionAborted:
+            # The lock manager already aborted the txn (wait-die); the
+            # abort hook reset our claims — the caller may retry.
+            self.stats.add_abort()
+            raise
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            self.stats.add_abort()
+            raise
+        tracker.mark_migrated(wip)  # Algorithm 1 lines 8-9
+        self.stats.add(granules=len(wip), tuples=produced)
+
+    def _run_unclaimed(
+        self, runtime: UnitRuntime, pending: list, is_bitmap: bool
+    ) -> None:
+        """Claim-free migration paths:
+
+        * ON_CONFLICT mode (section 3.7): duplicates are detected by the
+          output tables' unique indexes at insert time;
+        * tracking-disabled mode (section 4.4.1): no duplicate
+          prevention at all — valid only for disjoint access patterns.
+        """
+        tracker = runtime.tracker
+        todo = [
+            g
+            for g in pending
+            if not (
+                tracker.is_migrated(g)
+                if is_bitmap
+                else runtime.tracker.is_migrated(g)  # type: ignore[union-attr]
+            )
+        ]
+        if not todo:
+            return
+        session = self.db.connect(allow_retired=True)
+        session.internal = True
+        session.begin()
+        try:
+            if is_bitmap:
+                produced = runtime.produce_bitmap_granules(todo, session)
+            else:
+                produced = runtime.produce_keys(todo, session)
+            session._txn.record_migration(
+                runtime.plan.unit_id, runtime.plan.anchor, tuple(todo)
+            )
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            self.stats.add_abort()
+            raise
+        # Completion bookkeeping only — there are no lock bits in this
+        # mode, so mark directly.
+        tracker.mark_migrated(todo)
+        self.stats.add(granules=len(todo), tuples=produced)
+
+    # ==================================================================
+    # Completion
+    # ==================================================================
+    def _check_completion(self) -> None:
+        if self._complete_event.is_set():
+            return
+        if all(runtime.check_complete() for runtime in self.units):
+            self.finalize()
+
+    def finalize(self) -> None:
+        if self._complete_event.is_set():
+            return
+        self.stats.mark_completed()
+        self._complete_event.set()
+        self.db.set_statement_interceptor(None)
+        if self._background is not None:
+            self._background.stop()
+
+    @property
+    def is_complete(self) -> bool:
+        return self._complete_event.is_set()
+
+    def await_completion(self, timeout: float | None = None) -> bool:
+        return self._complete_event.wait(timeout)
+
+    def shutdown(self) -> None:
+        """Stop background threads and detach the interceptor without
+        completing the migration (bench teardown / abandoning a run)."""
+        if self._background is not None:
+            self._background.stop()
+        if self.db._interceptor == self._intercept:
+            self.db.set_statement_interceptor(None)
+
+    def drop_old_schema(self) -> None:
+        """After completion the old tables can be deleted (section 2.2)."""
+        if not self.is_complete:
+            raise MigrationStateError("migration has not completed yet")
+        assert self.spec is not None
+        for table_name in self.spec.input_tables:
+            self.db.catalog.drop_table(table_name, if_exists=True)
+        self.db.bump_epoch()
+
+    def progress(self) -> dict[str, Any]:
+        return {
+            "migration": self.spec.migration_id if self.spec else None,
+            "complete": self.is_complete,
+            "granules_migrated": self.stats.granules_migrated,
+            "tuples_migrated": self.stats.tuples_migrated,
+            "skip_waits": self.stats.skip_waits,
+            "aborts": self.stats.migration_txn_aborts,
+            "duplicates": self.stats.duplicate_attempts,
+            "units": [runtime.progress() for runtime in self.units],
+        }
+
+
+class MigrationHandle:
+    """What :meth:`LazyMigrationEngine.submit` returns to the caller."""
+
+    def __init__(self, engine: LazyMigrationEngine) -> None:
+        self.engine = engine
+
+    @property
+    def is_complete(self) -> bool:
+        return self.engine.is_complete
+
+    def await_completion(self, timeout: float | None = None) -> bool:
+        return self.engine.await_completion(timeout)
+
+    def progress(self) -> dict[str, Any]:
+        return self.engine.progress()
+
+    @property
+    def stats(self) -> MigrationStats:
+        return self.engine.stats
+
+    def drop_old_schema(self) -> None:
+        self.engine.drop_old_schema()
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+
+
+def _referenced_tables(stmt: ast.Statement) -> set[str]:
+    tables: set[str] = set()
+    if isinstance(stmt, (ast.Insert, ast.Update, ast.Delete)):
+        tables.add(stmt.table)
+        if isinstance(stmt, ast.Insert) and stmt.query is not None:
+            tables |= _select_tables(stmt.query)
+    elif isinstance(stmt, ast.Select):
+        tables |= _select_tables(stmt)
+    return tables
+
+
+def _select_tables(select: ast.Select) -> set[str]:
+    tables: set[str] = set()
+
+    def walk_item(item: ast.FromItem) -> None:
+        if isinstance(item, ast.TableRef):
+            tables.add(item.name)
+        elif isinstance(item, ast.SubquerySource):
+            tables.update(_select_tables(item.query))
+        elif isinstance(item, ast.Join):
+            walk_item(item.left)
+            walk_item(item.right)
+
+    for item in select.from_items:
+        walk_item(item)
+    return tables
+
+
+def _merge_scopes(a: Scope, b: Scope) -> Scope:
+    if a.full or b.full:
+        return Scope(full=True)
+    return Scope(
+        granules=a.granules | b.granules,
+        keys=a.keys | b.keys,
+    )

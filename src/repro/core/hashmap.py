@@ -1,0 +1,131 @@
+"""The migration hash table (paper section 3.4, Algorithm 3).
+
+Used for n:1 and n:n migrations, where the unit of migration is a
+*group* of input tuples (a GROUP BY group, or all tuples sharing a join
+value).  Group keys are arbitrary hashable tuples, so a dense bitmap is
+impractical — states live in a hash table instead:
+
+* absent         — not started;
+* ``IN_PROGRESS`` — a worker is migrating the group;
+* ``MIGRATED``    — done;
+* ``ABORTED``     — a worker claimed the group and then aborted; the
+  group may be re-claimed (Algorithm 3 lines 7-9).
+
+The table is partitioned by key hash, one latch per partition (paper
+footnote 4: "the hash table is partitioned and each partition is
+protected by a separate latch ... Deadlock does not occur since two
+latches are never acquired simultaneously").
+"""
+
+from __future__ import annotations
+
+import threading
+from enum import Enum
+from typing import Hashable, Iterable
+
+from .bitmap import Claim
+
+
+class GroupState(Enum):
+    IN_PROGRESS = "in-progress"
+    MIGRATED = "migrated"
+    ABORTED = "abort"
+
+
+class MigrationHashMap:
+    """Partitioned group-state tracker for hashmap migrations."""
+
+    def __init__(self, partitions: int = 16) -> None:
+        self._partition_count = max(1, partitions)
+        self._partitions: list[dict[Hashable, GroupState]] = [
+            {} for _ in range(self._partition_count)
+        ]
+        self._latches = [threading.Lock() for _ in range(self._partition_count)]
+        self._migrated_count = 0
+        self._count_latch = threading.Lock()
+
+    def _slot(self, key: Hashable) -> int:
+        return hash(key) % self._partition_count
+
+    # ------------------------------------------------------------------
+    # Algorithm 3
+    # ------------------------------------------------------------------
+    def try_begin(
+        self,
+        key: Hashable,
+        wip: set[Hashable] | None = None,
+        skip: set[Hashable] | None = None,
+    ) -> Claim:
+        """Attempt to claim group ``key`` (Algorithm 3).
+
+        ``wip``/``skip`` are the worker-local lists: if the key is
+        already in this worker's WIP it must migrate this tuple too
+        (line 2); if in SKIP it stays skipped (line 3).
+        """
+        if wip is not None and key in wip:
+            return Claim.MIGRATE  # same worker, same group: migrate along
+        if skip is not None and key in skip:
+            return Claim.SKIP
+        slot = self._slot(key)
+        with self._latches[slot]:
+            partition = self._partitions[slot]
+            state = partition.get(key)
+            if state is GroupState.MIGRATED:
+                return Claim.DONE
+            if state is GroupState.IN_PROGRESS:
+                return Claim.SKIP  # lines 5-6
+            # Absent, or a prior worker aborted (lines 7-9 / 11-13):
+            # acquire by writing in-progress.
+            partition[key] = GroupState.IN_PROGRESS
+            return Claim.MIGRATE
+
+    def mark_migrated(self, keys: Iterable[Hashable]) -> None:
+        """Algorithm 1 line 9 for hashmap migrations."""
+        count = 0
+        for key in keys:
+            slot = self._slot(key)
+            with self._latches[slot]:
+                partition = self._partitions[slot]
+                if partition.get(key) is not GroupState.MIGRATED:
+                    partition[key] = GroupState.MIGRATED
+                    count += 1
+        if count:
+            with self._count_latch:
+                self._migrated_count += count
+
+    def mark_aborted(self, keys: Iterable[Hashable]) -> None:
+        """Abort handling (section 3.5): WIP groups flip to ``abort`` so
+        another worker may re-claim them."""
+        for key in keys:
+            slot = self._slot(key)
+            with self._latches[slot]:
+                partition = self._partitions[slot]
+                if partition.get(key) is GroupState.IN_PROGRESS:
+                    partition[key] = GroupState.ABORTED
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def state(self, key: Hashable) -> GroupState | None:
+        slot = self._slot(key)
+        with self._latches[slot]:
+            return self._partitions[slot].get(key)
+
+    def is_migrated(self, key: Hashable) -> bool:
+        return self.state(key) is GroupState.MIGRATED
+
+    @property
+    def migrated_count(self) -> int:
+        with self._count_latch:
+            return self._migrated_count
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self._partitions)
+
+    def snapshot(self) -> dict[Hashable, GroupState]:
+        """Copy of all entries (tests / recovery verification)."""
+        result: dict[Hashable, GroupState] = {}
+        for slot in range(self._partition_count):
+            with self._latches[slot]:
+                result.update(self._partitions[slot])
+        return result

@@ -1,0 +1,71 @@
+"""Migration progress statistics, consumed by the benchmark harness."""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MigrationStats:
+    """Counters for one migration (all strategies share this shape)."""
+
+    started_at: float | None = None
+    completed_at: float | None = None
+    background_started_at: float | None = None
+    granules_migrated: int = 0
+    granules_total: int | None = None  # None for hashmap units (unknown upfront)
+    tuples_migrated: int = 0
+    skip_waits: int = 0  # times a worker found a granule in-progress elsewhere
+    migration_txn_aborts: int = 0
+    duplicate_attempts: int = 0  # ON CONFLICT mode: rows skipped as duplicates
+    _latch: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def mark_started(self) -> None:
+        with self._latch:
+            if self.started_at is None:
+                self.started_at = time.monotonic()
+
+    def mark_completed(self) -> None:
+        with self._latch:
+            if self.completed_at is None:
+                self.completed_at = time.monotonic()
+
+    def mark_background_started(self) -> None:
+        with self._latch:
+            if self.background_started_at is None:
+                self.background_started_at = time.monotonic()
+
+    def add(self, granules: int = 0, tuples: int = 0) -> None:
+        with self._latch:
+            self.granules_migrated += granules
+            self.tuples_migrated += tuples
+
+    def add_skip_wait(self, count: int = 1) -> None:
+        with self._latch:
+            self.skip_waits += count
+
+    def add_abort(self) -> None:
+        with self._latch:
+            self.migration_txn_aborts += 1
+
+    def add_duplicates(self, count: int) -> None:
+        with self._latch:
+            self.duplicate_attempts += count
+
+    @property
+    def is_complete(self) -> bool:
+        return self.completed_at is not None
+
+    @property
+    def duration(self) -> float | None:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at
+
+    def progress_fraction(self) -> float | None:
+        with self._latch:
+            if self.granules_total:
+                return min(1.0, self.granules_migrated / self.granules_total)
+        return None

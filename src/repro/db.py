@@ -1,0 +1,590 @@
+"""Database facade: sessions, statement dispatch, DDL, plan caching.
+
+``Database`` wires the substrate together (catalog + transactions +
+planner + executor) and exposes the user-facing API::
+
+    db = Database()
+    session = db.connect()
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    session.execute("INSERT INTO t VALUES (?, ?)", [1, "hello"])
+    result = session.execute("SELECT v FROM t WHERE id = ?", [1])
+    result.rows  # [("hello",)]
+
+BullFrog integration points:
+
+* ``set_statement_interceptor`` — the lazy-migration engine registers a
+  callback invoked before every SELECT/INSERT/UPDATE/DELETE so it can
+  migrate relevant tuples first (paper section 2.1);
+* ``add_row_hook`` — the multi-step baseline registers trigger-style
+  dual-write hooks;
+* retired tables — after a big-flip migration, statements touching the
+  old schema raise :class:`~repro.errors.SchemaVersionError` unless the
+  session is migration-internal (``allow_retired``).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from .catalog import Catalog, Column, TableSchema
+from .catalog.constraints import Check, ForeignKey, PrimaryKey, Unique
+from .errors import (
+    CheckViolation,
+    DuplicateObjectError,
+    ExecutionError,
+    ReproError,
+    TransactionError,
+    UniqueViolation,
+)
+from .exec.executor import Executor
+from .exec.expressions import RowLayout, compile_expr, evaluate_constant, predicate_satisfied
+from .exec.plan import ExecutionContext
+from .exec.planner import PlannedQuery, Planner
+from .sql import ast_nodes as ast
+from .sql.parser import parse_statement
+from .storage.page import DEFAULT_PAGE_CAPACITY
+from .txn.locks import LockMode
+from .txn.locks import DeadlockPolicy
+from .txn.manager import Transaction, TransactionManager
+from .types import SqlType, TypeKind, text_type
+
+
+@dataclass
+class Result:
+    """Outcome of one statement."""
+
+    statement: str
+    rows: list[tuple] = field(default_factory=list)
+    columns: list[str] = field(default_factory=list)
+    rowcount: int = 0
+
+    def scalar(self) -> Any:
+        """First column of the first row (None if empty)."""
+        if not self.rows:
+            return None
+        return self.rows[0][0]
+
+    def dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+StatementInterceptor = Callable[
+    ["Session", ast.Statement, Sequence[Any], "str | None"], None
+]
+
+
+class Database:
+    """An embedded, multi-threaded relational database."""
+
+    def __init__(
+        self,
+        page_capacity: int = DEFAULT_PAGE_CAPACITY,
+        lock_timeout: float = 10.0,
+        deadlock_policy: DeadlockPolicy = DeadlockPolicy.DETECT,
+    ) -> None:
+        self.catalog = Catalog(default_page_capacity=page_capacity)
+        self.txns = TransactionManager(
+            lock_timeout=lock_timeout, deadlock_policy=deadlock_policy
+        )
+        self.planner = Planner(self.catalog)
+        self.executor = Executor(self.catalog, self.planner)
+        self._epoch = 0
+        self._parse_cache: dict[str, ast.Statement] = {}
+        self._plan_cache: dict[tuple, Any] = {}
+        self._cache_latch = threading.Lock()
+        self._interceptor: StatementInterceptor | None = None
+        self._row_hooks: dict[str, list] = {}
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def connect(self, allow_retired: bool = False) -> "Session":
+        return Session(self, allow_retired=allow_retired)
+
+    # ------------------------------------------------------------------
+    # BullFrog integration
+    # ------------------------------------------------------------------
+    def set_statement_interceptor(self, interceptor: StatementInterceptor | None) -> None:
+        self._interceptor = interceptor
+
+    def add_row_hook(self, table_name: str, hook) -> None:
+        self._row_hooks.setdefault(table_name, []).append(hook)
+
+    def remove_row_hooks(self, table_name: str) -> None:
+        self._row_hooks.pop(table_name, None)
+
+    # ------------------------------------------------------------------
+    # Caching
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def bump_epoch(self) -> None:
+        """Invalidate cached plans after any DDL."""
+        with self._cache_latch:
+            self._epoch += 1
+            self._plan_cache.clear()
+
+    def parse(self, sql: str) -> ast.Statement:
+        cached = self._parse_cache.get(sql)
+        if cached is not None:
+            return cached
+        stmt = parse_statement(sql)
+        with self._cache_latch:
+            if len(self._parse_cache) < 10_000:
+                self._parse_cache[sql] = stmt
+        return stmt
+
+    def cached_plan(self, key: tuple, builder: Callable[[], Any]) -> Any:
+        with self._cache_latch:
+            cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        built = builder()
+        with self._cache_latch:
+            if len(self._plan_cache) < 10_000:
+                self._plan_cache[key] = built
+        return built
+
+
+class Session:
+    """One client connection.  Autocommits unless BEGIN was executed."""
+
+    def __init__(self, db: Database, allow_retired: bool = False) -> None:
+        self.db = db
+        self.allow_retired = allow_retired
+        self._txn: Transaction | None = None
+        # When True the statement interceptor is skipped — used by the
+        # migration engines themselves to avoid recursion.
+        self.internal = False
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn is not None and self._txn.is_active
+
+    def begin(self) -> Transaction:
+        if self.in_transaction:
+            raise TransactionError("a transaction is already in progress")
+        self._txn = self.db.txns.begin()
+        return self._txn
+
+    def commit(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        assert self._txn is not None
+        self._txn.commit()
+        self._txn = None
+
+    def rollback(self) -> None:
+        if not self.in_transaction:
+            raise TransactionError("no transaction in progress")
+        assert self._txn is not None
+        self._txn.abort()
+        self._txn = None
+
+    def transaction(self) -> "_SessionTxn":
+        """Context manager: ``with session.transaction(): ...``"""
+        return _SessionTxn(self)
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        stmt = self.db.parse(sql)
+        return self.execute_statement(stmt, params, sql_text=sql)
+
+    def execute_statement(
+        self,
+        stmt: ast.Statement,
+        params: Sequence[Any] = (),
+        sql_text: str | None = None,
+    ) -> Result:
+        # Transaction control first: it changes session state.
+        if isinstance(stmt, ast.BeginTransaction):
+            self.begin()
+            return Result("BEGIN")
+        if isinstance(stmt, ast.CommitTransaction):
+            self.commit()
+            return Result("COMMIT")
+        if isinstance(stmt, ast.RollbackTransaction):
+            self.rollback()
+            return Result("ROLLBACK")
+
+        interceptor = self.db._interceptor
+        if (
+            interceptor is not None
+            and not self.internal
+            and isinstance(stmt, (ast.Select, ast.Insert, ast.Update, ast.Delete))
+        ):
+            interceptor(self, stmt, params, sql_text)
+
+        if self.in_transaction:
+            return self._dispatch(stmt, params, sql_text)
+        # Autocommit: wrap in a transaction.
+        txn = self.db.txns.begin()
+        self._txn = txn
+        try:
+            result = self._dispatch(stmt, params, sql_text)
+        except BaseException:
+            if txn.is_active:
+                txn.abort()
+            self._txn = None
+            raise
+        if txn.is_active:
+            txn.commit()
+        self._txn = None
+        return result
+
+    # ------------------------------------------------------------------
+    def _context(self) -> ExecutionContext:
+        return ExecutionContext(
+            catalog=self.db.catalog,
+            txn=self._txn,
+            allow_retired=self.allow_retired,
+            row_hooks=self.db._row_hooks,
+        )
+
+    def _dispatch(
+        self, stmt: ast.Statement, params: Sequence[Any], sql_text: str | None
+    ) -> Result:
+        ctx = self._context()
+        ctx.params = params
+        if isinstance(stmt, ast.Select):
+            if stmt.for_update:
+                prepared = None
+                if sql_text is not None:
+                    key = ("for-update", sql_text, self.db.epoch, self.allow_retired)
+                    prepared = self.db.cached_plan(
+                        key,
+                        lambda: self.db.executor.prepare_select_for_update(
+                            stmt, self.allow_retired
+                        ),
+                    )
+                rows, columns = self.db.executor.run_select_for_update(
+                    stmt, ctx, prepared
+                )
+                return Result(
+                    "SELECT", rows=rows, columns=columns, rowcount=len(rows)
+                )
+            if sql_text is not None:
+                key = ("select", sql_text, self.db.epoch, self.allow_retired)
+                planned: PlannedQuery = self.db.cached_plan(
+                    key, lambda: self.db.planner.plan_select(stmt, self.allow_retired)
+                )
+            else:
+                planned = self.db.planner.plan_select(stmt, self.allow_retired)
+            rows = self.db.executor.run_select(planned, ctx)
+            return Result("SELECT", rows=rows, columns=planned.names, rowcount=len(rows))
+        if isinstance(stmt, ast.Insert):
+            count = self.db.executor.run_insert(stmt, ctx)
+            return Result("INSERT", rowcount=count)
+        if isinstance(stmt, ast.Update):
+            prepared = None
+            if sql_text is not None:
+                key = ("update", sql_text, self.db.epoch, self.allow_retired)
+                prepared = self.db.cached_plan(
+                    key,
+                    lambda: self.db.executor.prepare_update(stmt, self.allow_retired),
+                )
+            count = self.db.executor.run_update(stmt, ctx, prepared)
+            return Result("UPDATE", rowcount=count)
+        if isinstance(stmt, ast.Delete):
+            prepared = None
+            if sql_text is not None:
+                key = ("delete", sql_text, self.db.epoch, self.allow_retired)
+                prepared = self.db.cached_plan(
+                    key,
+                    lambda: self.db.executor.prepare_delete(stmt, self.allow_retired),
+                )
+            count = self.db.executor.run_delete(stmt, ctx, prepared)
+            return Result("DELETE", rowcount=count)
+        if isinstance(stmt, ast.CreateTable):
+            return self._create_table(stmt, ctx)
+        if isinstance(stmt, ast.CreateView):
+            self.db.catalog.create_view(stmt.name, stmt.query, or_replace=stmt.or_replace)
+            self.db.bump_epoch()
+            return Result("CREATE VIEW")
+        if isinstance(stmt, ast.CreateIndex):
+            self.db.catalog.create_index(
+                stmt.name, stmt.table, stmt.columns, unique=stmt.unique, ordered=True
+            )
+            self.db.bump_epoch()
+            return Result("CREATE INDEX")
+        if isinstance(stmt, ast.DropTable):
+            self.db.catalog.drop_table(stmt.name, if_exists=stmt.if_exists)
+            self.db.bump_epoch()
+            return Result("DROP TABLE")
+        if isinstance(stmt, ast.DropView):
+            self.db.catalog.drop_view(stmt.name, if_exists=stmt.if_exists)
+            self.db.bump_epoch()
+            return Result("DROP VIEW")
+        if isinstance(stmt, ast.DropIndex):
+            self.db.catalog.drop_index(stmt.name, if_exists=stmt.if_exists)
+            self.db.bump_epoch()
+            return Result("DROP INDEX")
+        if isinstance(stmt, ast.AlterTable):
+            return self._alter_table(stmt, ctx)
+        raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create_table(self, stmt: ast.CreateTable, ctx: ExecutionContext) -> Result:
+        if stmt.as_select is not None:
+            return self._create_table_as(stmt, ctx)
+        schema = build_schema(stmt)
+        self.db.catalog.create_table(schema, if_not_exists=stmt.if_not_exists)
+        self.db.bump_epoch()
+        return Result("CREATE TABLE")
+
+    def _create_table_as(self, stmt: ast.CreateTable, ctx: ExecutionContext) -> Result:
+        planned = self.db.planner.plan_select(stmt.as_select, self.allow_retired)
+        columns = tuple(
+            Column(name, inferred or text_type())
+            for name, inferred in zip(planned.names, planned.types)
+        )
+        schema = TableSchema(name=stmt.name, columns=columns)
+        table = self.db.catalog.create_table(schema, if_not_exists=stmt.if_not_exists)
+        self.db.bump_epoch()
+        count = 0
+        for row in planned.node.rows(ctx):
+            coerced = tuple(
+                column.coerce(value) for column, value in zip(columns, row)
+            )
+            tid = table.physical_insert(coerced)
+            if ctx.txn is not None:
+                ctx.txn.record_insert(table, tid, coerced)
+            count += 1
+        return Result("CREATE TABLE AS", rowcount=count)
+
+    def _alter_table(self, stmt: ast.AlterTable, ctx: ExecutionContext) -> Result:
+        catalog = self.db.catalog
+        table = catalog.table(stmt.name)
+        if ctx.txn is not None:
+            ctx.txn.lock_table(stmt.name, LockMode.X)
+        action = stmt.action
+        kind = action[0]
+        if kind == "ADD COLUMN":
+            column_def: ast.ColumnDef = action[1]
+            if column_def.primary_key or column_def.unique:
+                raise ExecutionError(
+                    "ADD COLUMN with PRIMARY KEY/UNIQUE is not supported; "
+                    "add the constraint separately"
+                )
+            column = _column_from_def(column_def)
+            new_schema = table.schema.with_column(column)
+            default = column.default if column.has_default else None
+            _rewrite_rows(table, lambda row: row + (default,))
+            table.schema = new_schema
+            table.invalidate_caches()
+        elif kind == "DROP COLUMN":
+            column_name = action[1]
+            position = table.schema.column_index(column_name)
+            for index in list(table.indexes.values()):
+                if column_name in index.columns:
+                    raise ExecutionError(
+                        f"cannot drop column {column_name!r}: used by index "
+                        f"{index.name!r}"
+                    )
+            new_schema = table.schema.without_column(column_name)
+            _rewrite_rows(table, lambda row: row[:position] + row[position + 1 :])
+            table.schema = new_schema
+            table.invalidate_caches()
+        elif kind == "RENAME COLUMN":
+            table.schema = table.schema.with_renamed_column(action[1], action[2])
+            table.invalidate_caches()
+        elif kind == "RENAME TO":
+            catalog.rename_table(stmt.name, action[1])
+        elif kind == "ADD CONSTRAINT":
+            self._add_constraint(table, action[1], ctx)
+        elif kind == "DROP CONSTRAINT":
+            constraint_name = action[1]
+            table.schema = table.schema.without_constraint(constraint_name)
+            if constraint_name in table.indexes:
+                table.drop_index(constraint_name)
+            table._compiled_checks = None
+        else:
+            raise ExecutionError(f"unsupported ALTER TABLE action {kind!r}")
+        self.db.bump_epoch()
+        return Result("ALTER TABLE")
+
+    def _add_constraint(
+        self, table, constraint: ast.TableConstraint, ctx: ExecutionContext
+    ) -> None:
+        """Validates existing rows synchronously — the paper's section
+        2.4 choice: report constraint problems at ALTER time rather than
+        discover them lazily mid-migration."""
+        name = constraint.name or f"{table.schema.name}_{constraint.kind.lower().replace(' ', '_')}"
+        if constraint.kind in ("PRIMARY KEY", "UNIQUE"):
+            index_name = name if constraint.name else (
+                f"{table.schema.name}_pkey"
+                if constraint.kind == "PRIMARY KEY"
+                else f"{table.schema.name}_unique_{len(table.schema.uniques)}"
+            )
+            # Building the unique index validates existing rows.
+            table.add_index(index_name, constraint.columns, unique=True)
+            if constraint.kind == "PRIMARY KEY":
+                table.schema = table.schema.with_constraint(
+                    PrimaryKey(constraint.columns, name=index_name)
+                )
+            else:
+                table.schema = table.schema.with_constraint(
+                    Unique(constraint.columns, name=index_name)
+                )
+        elif constraint.kind == "CHECK":
+            check = Check(constraint.expr, name=name)
+            layout = RowLayout.for_table(table.schema.name, table.schema.column_names)
+            fn = compile_expr(constraint.expr, layout)
+            for _tid, row in table.heap.scan():
+                if fn(row, ()) is False:
+                    raise CheckViolation(
+                        f"existing row violates new check constraint {name!r}",
+                        constraint=name,
+                    )
+            table.schema = table.schema.with_constraint(check)
+            table._compiled_checks = None
+        elif constraint.kind == "FOREIGN KEY":
+            fk = ForeignKey(
+                constraint.columns,
+                constraint.ref_table,
+                constraint.ref_columns,
+                name=name,
+            )
+            table.schema = table.schema.with_constraint(fk)
+            for _tid, row in table.heap.scan():
+                self.db.executor._check_fk_parents(table, row, ctx)
+        else:
+            raise ExecutionError(f"unsupported constraint kind {constraint.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def explain(self, sql: str) -> str:
+        stmt = self.db.parse(sql)
+        if not isinstance(stmt, ast.Select):
+            raise ExecutionError("EXPLAIN supports SELECT statements only")
+        return self.db.planner.explain(stmt, self.allow_retired)
+
+
+class _SessionTxn:
+    def __init__(self, session: Session) -> None:
+        self.session = session
+
+    def __enter__(self) -> Session:
+        self.session.begin()
+        return self.session
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.session.in_transaction:
+                self.session.commit()
+        else:
+            if self.session.in_transaction:
+                self.session.rollback()
+        return False
+
+
+# ======================================================================
+# Schema construction from DDL AST
+# ======================================================================
+
+
+def build_schema(stmt: ast.CreateTable) -> TableSchema:
+    """Build a :class:`TableSchema` from a parsed CREATE TABLE."""
+    columns: list[Column] = []
+    pk_columns: list[str] = []
+    uniques: list[Unique] = []
+    checks: list[Check] = []
+    fks: list[ForeignKey] = []
+
+    for column_def in stmt.columns:
+        columns.append(_column_from_def(column_def))
+        if column_def.primary_key:
+            pk_columns.append(column_def.name)
+        if column_def.unique:
+            uniques.append(Unique((column_def.name,), name=f"{stmt.name}_{column_def.name}_key"))
+        if column_def.check is not None:
+            checks.append(Check(column_def.check, name=f"{stmt.name}_{column_def.name}_check"))
+        if column_def.references is not None:
+            ref_table, ref_cols = column_def.references
+            fks.append(
+                ForeignKey(
+                    (column_def.name,),
+                    ref_table,
+                    ref_cols,
+                    name=f"{stmt.name}_{column_def.name}_fkey",
+                )
+            )
+
+    primary_key: PrimaryKey | None = (
+        PrimaryKey(tuple(pk_columns)) if pk_columns else None
+    )
+    for constraint in stmt.constraints:
+        if constraint.kind == "PRIMARY KEY":
+            if primary_key is not None:
+                raise DuplicateObjectError(
+                    f"multiple primary keys for table {stmt.name!r}"
+                )
+            primary_key = PrimaryKey(constraint.columns)
+        elif constraint.kind == "UNIQUE":
+            uniques.append(
+                Unique(
+                    constraint.columns,
+                    name=constraint.name or f"{stmt.name}_unique_{len(uniques)}",
+                )
+            )
+        elif constraint.kind == "CHECK":
+            assert constraint.expr is not None
+            checks.append(
+                Check(
+                    constraint.expr,
+                    name=constraint.name or f"{stmt.name}_check_{len(checks)}",
+                )
+            )
+        elif constraint.kind == "FOREIGN KEY":
+            assert constraint.ref_table is not None
+            fks.append(
+                ForeignKey(
+                    constraint.columns,
+                    constraint.ref_table,
+                    constraint.ref_columns,
+                    name=constraint.name or f"{stmt.name}_fkey_{len(fks)}",
+                )
+            )
+    return TableSchema(
+        name=stmt.name,
+        columns=tuple(columns),
+        primary_key=primary_key,
+        uniques=tuple(uniques),
+        checks=tuple(checks),
+        foreign_keys=tuple(fks),
+    )
+
+
+def _column_from_def(column_def: ast.ColumnDef) -> Column:
+    default = None
+    has_default = False
+    if column_def.default is not None:
+        default = column_def.type.coerce(evaluate_constant(column_def.default))
+        has_default = True
+    return Column(
+        name=column_def.name,
+        type=column_def.type,
+        not_null=column_def.not_null,
+        default=default,
+        has_default=has_default,
+    )
+
+
+def _rewrite_rows(table, transform) -> None:
+    """Rewrite every live row in place (ALTER TABLE column changes).
+    Index entries keyed by untouched columns remain valid because TIDs
+    do not move; indexes over a dropped column are rejected earlier."""
+    for tid, row in table.heap.scan():
+        table.heap.update(tid, transform(row))

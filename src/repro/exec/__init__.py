@@ -1,0 +1,18 @@
+"""Query processing: expressions, plans, planner, operators, executor."""
+
+from .expressions import RowLayout, compile_expr, evaluate_constant, predicate_satisfied
+from .plan import ExecutionContext, PlanNode
+from .planner import PlannedQuery, Planner
+from .executor import Executor
+
+__all__ = [
+    "RowLayout",
+    "compile_expr",
+    "evaluate_constant",
+    "predicate_satisfied",
+    "ExecutionContext",
+    "PlanNode",
+    "PlannedQuery",
+    "Planner",
+    "Executor",
+]

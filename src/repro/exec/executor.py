@@ -1,0 +1,461 @@
+"""Statement execution: SELECT driving and constraint-checked DML.
+
+The executor owns the write path: table IX + tuple X locking, FK
+enforcement (both directions), undo/redo recording on the transaction.
+It is deliberately independent of the SQL front end — DML statements
+arrive as AST nodes already, and the BullFrog engine also calls
+``insert_rows`` directly when materializing migrated tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from ..errors import (
+    ExecutionError,
+    ForeignKeyViolation,
+    NotNullViolation,
+    UniqueViolation,
+)
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import: catalog depends on exec.expressions
+    from ..catalog.catalog import Table
+
+from ..catalog.constraints import ForeignKey
+from ..sql import ast_nodes as ast
+from ..storage.tid import Tid
+from ..txn.locks import LockMode
+from .expressions import RowLayout, compile_expr, predicate_satisfied
+from .plan import ExecutionContext, PlanNode
+from .planner import PlannedQuery, Planner
+
+Row = tuple[Any, ...]
+
+
+class PreparedScan:
+    """A cached DML scan + derived compile artifacts for one statement
+    shape.  Plans compile expressions once; executions bind parameters
+    per call (the Database caches these keyed by SQL text + epoch)."""
+
+    __slots__ = ("scan", "assignments", "item_fns", "item_names")
+
+    def __init__(self, scan, assignments=None, item_fns=None, item_names=None):
+        self.scan = scan
+        self.assignments = assignments
+        self.item_fns = item_fns
+        self.item_names = item_names
+
+
+class Executor:
+    def __init__(self, catalog, planner: Planner) -> None:
+        self.catalog = catalog
+        self.planner = planner
+
+    # ==================================================================
+    # SELECT
+    # ==================================================================
+    def run_select(self, planned: PlannedQuery, ctx: ExecutionContext) -> list[Row]:
+        return list(planned.node.rows(ctx))
+
+    def prepare_select_for_update(
+        self, stmt: ast.Select, allow_retired: bool
+    ) -> PreparedScan:
+        """Compile the scan + projection for ``SELECT ... FOR UPDATE``."""
+        if (
+            len(stmt.from_items) != 1
+            or not isinstance(stmt.from_items[0], ast.TableRef)
+            or stmt.group_by
+            or stmt.having is not None
+            or stmt.order_by
+            or stmt.distinct
+        ):
+            raise ExecutionError(
+                "FOR UPDATE supports plain single-table SELECT statements"
+            )
+        ref = stmt.from_items[0]
+        scan = self.planner.plan_dml_scan(
+            ref.name, ref.alias, stmt.where, allow_retired
+        )
+        layout = scan.layout
+        names: list[str] = []
+        fns = []
+        for index, item in enumerate(stmt.items):
+            if isinstance(item.expr, ast.Star):
+                for _binding, name in layout.columns:
+                    names.append(name)
+                    fns.append(
+                        compile_expr(ast.ColumnRef(name, ref.binding), layout)
+                    )
+                continue
+            names.append(item.alias or _item_default_name(item.expr, index))
+            fns.append(compile_expr(item.expr, layout))
+        return PreparedScan(scan, item_fns=fns, item_names=names)
+
+    def run_select_for_update(
+        self,
+        stmt: ast.Select,
+        ctx: ExecutionContext,
+        prepared: PreparedScan | None = None,
+    ) -> tuple[list[Row], list[str]]:
+        """``SELECT ... FOR UPDATE``: single-table reads that X-lock the
+        qualifying tuples (re-checked after the lock, like UPDATE), so a
+        concurrent writer cannot slip between read and write — TPC-C's
+        district ``d_next_o_id`` claim depends on this."""
+        if prepared is None:
+            prepared = self.prepare_select_for_update(stmt, ctx.allow_retired)
+        ref = stmt.from_items[0]
+        table = self.catalog.table_checked(ref.name, ctx.allow_retired)
+        scan = prepared.scan
+        fns = prepared.item_fns
+        names = prepared.item_names
+        ctx.lock_table(table.schema.name, LockMode.IX)
+        filter_fn = getattr(scan, "filter_fn", None)
+        rows: list[Row] = []
+        for tid, _row in scan.rows_with_tids(ctx):
+            if ctx.txn is not None:
+                ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            row = table.heap.read(tid)
+            if row is None:
+                continue
+            if filter_fn is not None and not predicate_satisfied(
+                filter_fn(row, ctx.params)
+            ):
+                continue
+            rows.append(tuple(fn(row, ctx.params) for fn in fns))
+        return rows, names
+
+    # ==================================================================
+    # INSERT
+    # ==================================================================
+    def run_insert(self, stmt: ast.Insert, ctx: ExecutionContext) -> int:
+        table = self.catalog.table_checked(stmt.table, ctx.allow_retired)
+        columns = stmt.columns or table.schema.column_names
+        unknown = [c for c in columns if not table.schema.has_column(c)]
+        if unknown:
+            raise ExecutionError(
+                f"table {stmt.table} has no column(s) {unknown!r}"
+            )
+        if stmt.query is not None:
+            planned = self.planner.plan_select(stmt.query, ctx.allow_retired)
+            if len(planned.names) != len(columns):
+                raise ExecutionError(
+                    f"INSERT target has {len(columns)} column(s) but the "
+                    f"query produces {len(planned.names)}"
+                )
+            source_rows: Iterable[Row] = planned.node.rows(ctx)
+        else:
+            empty = RowLayout()
+            compiled_rows = []
+            for row_exprs in stmt.rows:
+                if len(row_exprs) != len(columns):
+                    raise ExecutionError(
+                        f"INSERT row has {len(row_exprs)} value(s) for "
+                        f"{len(columns)} column(s)"
+                    )
+                compiled_rows.append(
+                    [compile_expr(expr, empty) for expr in row_exprs]
+                )
+            source_rows = (
+                tuple(fn((), ctx.params) for fn in row_fns)
+                for row_fns in compiled_rows
+            )
+        value_dicts = (dict(zip(columns, row)) for row in source_rows)
+        return self.insert_rows(
+            table, value_dicts, ctx, on_conflict_skip=stmt.on_conflict_do_nothing
+        )
+
+    def insert_rows(
+        self,
+        table: "Table",
+        value_dicts: Iterable[dict[str, Any]],
+        ctx: ExecutionContext,
+        on_conflict_skip: bool = False,
+    ) -> int:
+        """Shared insert path: coercion, NOT NULL, CHECK, UNIQUE (via
+        unique indexes), and FK-parent checks.  Returns rows inserted."""
+        ctx.lock_table(table.schema.name, LockMode.IX)
+        inserted = 0
+        for values in value_dicts:
+            row = table.schema.coerce_row(values)
+            self._check_fk_parents(table, row, ctx)
+            try:
+                tid = table.physical_insert(row)
+            except UniqueViolation:
+                if on_conflict_skip:
+                    continue
+                raise
+            if ctx.txn is not None:
+                ctx.txn.record_insert(table, tid, row)
+            ctx.fire_row_hooks(table.schema.name, "INSERT", tid, None, row)
+            inserted += 1
+        return inserted
+
+    # ==================================================================
+    # UPDATE
+    # ==================================================================
+    def prepare_update(self, stmt: ast.Update, allow_retired: bool) -> PreparedScan:
+        table = self.catalog.table_checked(stmt.table, allow_retired)
+        scan = self.planner.plan_dml_scan(
+            stmt.table, stmt.alias, stmt.where, allow_retired
+        )
+        layout = scan.layout
+        assignments = [
+            (table.schema.column_index(column), compile_expr(expr, layout))
+            for column, expr in stmt.assignments
+        ]
+        return PreparedScan(scan, assignments=assignments)
+
+    def run_update(
+        self,
+        stmt: ast.Update,
+        ctx: ExecutionContext,
+        prepared: PreparedScan | None = None,
+    ) -> int:
+        if prepared is None:
+            prepared = self.prepare_update(stmt, ctx.allow_retired)
+        table = self.catalog.table_checked(stmt.table, ctx.allow_retired)
+        scan = prepared.scan
+        assignments = prepared.assignments
+        ctx.lock_table(table.schema.name, LockMode.IX)
+        filter_fn = getattr(scan, "filter_fn", None)
+        updated = 0
+        for tid, _row in scan.rows_with_tids(ctx):
+            if ctx.txn is not None:
+                ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            # Re-read after locking: the row may have changed (or gone)
+            # while we waited for the X lock.
+            row = table.heap.read(tid)
+            if row is None:
+                continue
+            if filter_fn is not None and not predicate_satisfied(
+                filter_fn(row, ctx.params)
+            ):
+                continue
+            new_row = list(row)
+            for position, fn in assignments:
+                new_row[position] = table.schema.columns[position].coerce(
+                    fn(row, ctx.params)
+                )
+            self._check_not_null(table, new_row)
+            new_tuple = tuple(new_row)
+            changed_positions = {
+                position for position, _fn in assignments
+                if new_tuple[position] != row[position]
+            }
+            if changed_positions:
+                self._check_fk_parents(
+                    table, new_tuple, ctx, only_positions=changed_positions
+                )
+                self._check_fk_children_on_change(
+                    table, row, new_tuple, changed_positions, ctx
+                )
+            old_row = table.physical_update(tid, new_tuple)
+            if ctx.txn is not None:
+                ctx.txn.record_update(table, tid, old_row, new_tuple)
+            ctx.fire_row_hooks(table.schema.name, "UPDATE", tid, old_row, new_tuple)
+            updated += 1
+        return updated
+
+    # ==================================================================
+    # DELETE
+    # ==================================================================
+    def prepare_delete(self, stmt: ast.Delete, allow_retired: bool) -> PreparedScan:
+        scan = self.planner.plan_dml_scan(
+            stmt.table, stmt.alias, stmt.where, allow_retired
+        )
+        return PreparedScan(scan)
+
+    def run_delete(
+        self,
+        stmt: ast.Delete,
+        ctx: ExecutionContext,
+        prepared: PreparedScan | None = None,
+    ) -> int:
+        if prepared is None:
+            prepared = self.prepare_delete(stmt, ctx.allow_retired)
+        table = self.catalog.table_checked(stmt.table, ctx.allow_retired)
+        scan = prepared.scan
+        ctx.lock_table(table.schema.name, LockMode.IX)
+        filter_fn = getattr(scan, "filter_fn", None)
+        deleted = 0
+        for tid, _row in scan.rows_with_tids(ctx):
+            if ctx.txn is not None:
+                ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            row = table.heap.read(tid)
+            if row is None:
+                continue
+            if filter_fn is not None and not predicate_satisfied(
+                filter_fn(row, ctx.params)
+            ):
+                continue
+            self._check_no_fk_children(table, row, ctx)
+            old_row = table.physical_delete(tid)
+            if ctx.txn is not None:
+                ctx.txn.record_delete(table, tid, old_row)
+            ctx.fire_row_hooks(table.schema.name, "DELETE", tid, old_row, None)
+            deleted += 1
+        return deleted
+
+    # ==================================================================
+    # Constraint helpers
+    # ==================================================================
+    def _check_not_null(self, table: "Table", row: Sequence[Any]) -> None:
+        pk_columns = (
+            set(table.schema.primary_key.columns)
+            if table.schema.primary_key
+            else set()
+        )
+        for position, column in enumerate(table.schema.columns):
+            if row[position] is None and (column.not_null or column.name in pk_columns):
+                raise NotNullViolation(
+                    f"null value in column {column.name!r} of table "
+                    f"{table.schema.name} violates not-null constraint",
+                    constraint=f"{table.schema.name}_{column.name}_not_null",
+                )
+
+    def _check_fk_parents(
+        self,
+        table: "Table",
+        row: Row,
+        ctx: ExecutionContext,
+        only_positions: set[int] | None = None,
+    ) -> None:
+        """Every FK of ``table``: the referenced parent row must exist.
+        SQL semantics: a FK with any NULL component passes."""
+        for fk in table.schema.foreign_keys:
+            positions = [table.schema.column_index(c) for c in fk.columns]
+            if only_positions is not None and not (
+                set(positions) & only_positions
+            ):
+                continue
+            key = tuple(row[p] for p in positions)
+            if any(part is None for part in key):
+                continue
+            if not self._parent_exists(fk, key, ctx):
+                raise ForeignKeyViolation(
+                    f"insert or update on table {table.schema.name!r} "
+                    f"violates foreign key constraint to {fk.ref_table!r} "
+                    f"(key {key!r} is not present)",
+                    constraint=fk.name or f"{table.schema.name}_fk_{fk.ref_table}",
+                )
+
+    def _parent_exists(self, fk: ForeignKey, key: tuple, ctx: ExecutionContext) -> bool:
+        parent = self.catalog.table_checked(fk.ref_table, allow_retired=True)
+        ref_columns = fk.ref_columns
+        if not ref_columns:
+            if parent.schema.primary_key is None:
+                raise ExecutionError(
+                    f"foreign key references table {fk.ref_table!r} which "
+                    "has no primary key"
+                )
+            ref_columns = parent.schema.primary_key.columns
+        ctx.lock_table(parent.schema.name, LockMode.IS)
+        index = parent.find_index(ref_columns)
+        if index is not None:
+            ordered_key = _reorder_key(fk, ref_columns, index.columns, key)
+            return index.contains(ordered_key)
+        positions = [parent.schema.column_index(c) for c in ref_columns]
+        for _tid, row in parent.heap.scan():
+            if tuple(row[p] for p in positions) == key:
+                return True
+        return False
+
+    def _referencing_fks(self, table_name: str) -> list[tuple[Table, ForeignKey]]:
+        refs: list[tuple[Table, ForeignKey]] = []
+        for child in self.catalog.tables():
+            for fk in child.schema.foreign_keys:
+                if fk.ref_table == table_name:
+                    refs.append((child, fk))
+        return refs
+
+    def _check_no_fk_children(self, table: "Table", row: Row, ctx: ExecutionContext) -> None:
+        """RESTRICT semantics on delete: no child row may reference the
+        row being deleted."""
+        for child, fk in self._referencing_fks(table.schema.name):
+            ref_columns = fk.ref_columns or (
+                table.schema.primary_key.columns if table.schema.primary_key else ()
+            )
+            if not ref_columns:
+                continue
+            parent_key = tuple(
+                row[table.schema.column_index(c)] for c in ref_columns
+            )
+            if any(part is None for part in parent_key):
+                continue
+            if self._child_exists(child, fk, ref_columns, parent_key, ctx):
+                raise ForeignKeyViolation(
+                    f"update or delete on table {table.schema.name!r} "
+                    f"violates foreign key constraint on {child.schema.name!r}",
+                    constraint=fk.name or f"{child.schema.name}_fk_{table.schema.name}",
+                )
+
+    def _check_fk_children_on_change(
+        self,
+        table: "Table",
+        old_row: Row,
+        new_row: Row,
+        changed_positions: set[int],
+        ctx: ExecutionContext,
+    ) -> None:
+        """If an UPDATE changes referenced key columns, enforce RESTRICT."""
+        for child, fk in self._referencing_fks(table.schema.name):
+            ref_columns = fk.ref_columns or (
+                table.schema.primary_key.columns if table.schema.primary_key else ()
+            )
+            positions = [table.schema.column_index(c) for c in ref_columns]
+            if not (set(positions) & changed_positions):
+                continue
+            parent_key = tuple(old_row[p] for p in positions)
+            if any(part is None for part in parent_key):
+                continue
+            if self._child_exists(child, fk, ref_columns, parent_key, ctx):
+                raise ForeignKeyViolation(
+                    f"update on table {table.schema.name!r} would orphan "
+                    f"rows of {child.schema.name!r}",
+                    constraint=fk.name or f"{child.schema.name}_fk_{table.schema.name}",
+                )
+
+    def _child_exists(
+        self,
+        child: "Table",
+        fk: ForeignKey,
+        ref_columns: tuple[str, ...],
+        parent_key: tuple,
+        ctx: ExecutionContext,
+    ) -> bool:
+        ctx.lock_table(child.schema.name, LockMode.IS)
+        index = child.find_index(fk.columns)
+        if index is not None:
+            # Align parent key order with the child's FK column order.
+            by_ref = dict(zip(ref_columns, parent_key))
+            ordered = tuple(
+                by_ref[ref_columns[fk.columns.index(c)]] for c in index.columns
+            )
+            return index.contains(ordered)
+        positions = [child.schema.column_index(c) for c in fk.columns]
+        for _tid, row in child.heap.scan():
+            if tuple(row[p] for p in positions) == parent_key:
+                return True
+        return False
+
+
+def _reorder_key(
+    fk: ForeignKey,
+    ref_columns: tuple[str, ...],
+    index_columns: tuple[str, ...],
+    key: tuple,
+) -> tuple:
+    """FK key values arrive in ``fk.columns`` order mapped onto
+    ``ref_columns``; the index may declare its columns in a different
+    order."""
+    by_column = dict(zip(ref_columns, key))
+    return tuple(by_column[c] for c in index_columns)
+
+
+def _item_default_name(expr: ast.Expr, index: int) -> str:
+    if isinstance(expr, ast.ColumnRef):
+        return expr.name
+    if isinstance(expr, ast.FunctionCall):
+        return expr.name.lower()
+    return f"column{index + 1}"

@@ -1,0 +1,165 @@
+"""Aggregate accumulators for :class:`repro.exec.plan.AggregateNode`.
+
+Each accumulator consumes input rows via ``add(row, params)`` and
+produces its SQL result via ``result()``.  NULL inputs are ignored by
+every aggregate except COUNT(*) (SQL semantics); SUM/MIN/MAX over an
+empty or all-NULL group yield NULL, COUNT yields 0.
+"""
+
+from __future__ import annotations
+
+from decimal import Decimal
+from typing import Any, Callable, Sequence
+
+from ..errors import ExecutionError
+from .expressions import CompiledExpr, compare_values
+
+Row = tuple[Any, ...]
+
+
+class CountStarAccumulator:
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def add(self, row: Row, params: Sequence[Any]) -> None:
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class CountAccumulator:
+    __slots__ = ("arg", "count", "distinct", "seen")
+
+    def __init__(self, arg: CompiledExpr, distinct: bool) -> None:
+        self.arg = arg
+        self.count = 0
+        self.distinct = distinct
+        self.seen: set = set()
+
+    def add(self, row: Row, params: Sequence[Any]) -> None:
+        value = self.arg(row, params)
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        self.count += 1
+
+    def result(self) -> int:
+        return self.count
+
+
+class SumAccumulator:
+    __slots__ = ("arg", "total", "distinct", "seen")
+
+    def __init__(self, arg: CompiledExpr, distinct: bool) -> None:
+        self.arg = arg
+        self.total: Any = None
+        self.distinct = distinct
+        self.seen: set = set()
+
+    def add(self, row: Row, params: Sequence[Any]) -> None:
+        value = self.arg(row, params)
+        if value is None:
+            return
+        if self.distinct:
+            if value in self.seen:
+                return
+            self.seen.add(value)
+        if self.total is None:
+            self.total = value
+        else:
+            left, right = self.total, value
+            if isinstance(left, Decimal) and isinstance(right, float):
+                right = Decimal(str(right))
+            elif isinstance(left, float) and isinstance(right, Decimal):
+                left = Decimal(str(left))
+            self.total = left + right
+
+    def result(self) -> Any:
+        return self.total
+
+
+class AvgAccumulator:
+    __slots__ = ("arg", "total", "count")
+
+    def __init__(self, arg: CompiledExpr, distinct: bool) -> None:
+        if distinct:
+            raise ExecutionError("AVG(DISTINCT ...) is not supported")
+        self.arg = arg
+        self.total: Any = None
+        self.count = 0
+
+    def add(self, row: Row, params: Sequence[Any]) -> None:
+        value = self.arg(row, params)
+        if value is None:
+            return
+        self.count += 1
+        if self.total is None:
+            self.total = value
+            return
+        left, right = self.total, value
+        if isinstance(left, Decimal) and isinstance(right, float):
+            right = Decimal(str(right))
+        elif isinstance(left, float) and isinstance(right, Decimal):
+            left = Decimal(str(left))
+        self.total = left + right
+
+    def result(self) -> Any:
+        if self.count == 0:
+            return None
+        if isinstance(self.total, Decimal):
+            return self.total / Decimal(self.count)
+        return self.total / self.count
+
+
+class MinMaxAccumulator:
+    __slots__ = ("arg", "best", "want_max")
+
+    def __init__(self, arg: CompiledExpr, want_max: bool) -> None:
+        self.arg = arg
+        self.best: Any = None
+        self.want_max = want_max
+
+    def add(self, row: Row, params: Sequence[Any]) -> None:
+        value = self.arg(row, params)
+        if value is None:
+            return
+        if self.best is None:
+            self.best = value
+            return
+        cmp = compare_values(value, self.best)
+        if cmp is None:
+            return
+        if (cmp > 0) == self.want_max and cmp != 0:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+def make_aggregate_factory(
+    name: str, arg: CompiledExpr | None, distinct: bool, is_star: bool
+) -> Callable[[], Any]:
+    """Build a zero-arg factory producing a fresh accumulator per group."""
+    upper = name.upper()
+    if upper == "COUNT":
+        if is_star:
+            return CountStarAccumulator
+        assert arg is not None
+        return lambda: CountAccumulator(arg, distinct)
+    if arg is None:
+        raise ExecutionError(f"aggregate {upper} requires an argument")
+    if upper == "SUM":
+        return lambda: SumAccumulator(arg, distinct)
+    if upper == "AVG":
+        return lambda: AvgAccumulator(arg, distinct)
+    if upper == "MIN":
+        return lambda: MinMaxAccumulator(arg, want_max=False)
+    if upper == "MAX":
+        return lambda: MinMaxAccumulator(arg, want_max=True)
+    raise ExecutionError(f"unknown aggregate {upper}")

@@ -1,0 +1,514 @@
+"""Physical plan nodes.
+
+Plan nodes are built by :mod:`repro.exec.planner` with all expressions
+pre-compiled; ``rows(ctx)`` streams result tuples.  Nodes carry a
+:class:`~repro.exec.expressions.RowLayout` describing their output and a
+parallel list of inferred column types (used by CREATE TABLE AS
+SELECT).
+
+Locking policy (documented in DESIGN.md): scans take a table-level IS
+lock — enough to make eager migration's exclusive table lock block all
+access, which is the downtime behaviour the paper measures — while
+tuple-level X locks are taken by DML in the executor.  Readers do not
+take tuple locks (read-committed-style), standing in for PostgreSQL's
+MVCC snapshot reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # avoid a circular import: catalog depends on exec.expressions
+    from ..catalog.catalog import Table
+
+from ..storage.index import Index
+from ..storage.tid import Tid
+from ..txn.locks import LockMode
+from ..txn.manager import Transaction
+from ..types import SqlType
+from .expressions import CompiledExpr, RowLayout, compare_values, predicate_satisfied
+
+Row = tuple[Any, ...]
+
+
+@dataclass
+class ExecutionContext:
+    """Everything an operator needs at runtime."""
+
+    catalog: Any  # repro.catalog.Catalog (Any avoids a cycle in type hints)
+    txn: Transaction | None
+    params: Sequence[Any] = ()
+    allow_retired: bool = False  # migration-internal txns may read old schema
+    lock_tables: bool = True
+    # Row-change hooks: table name -> [fn(ctx, op, tid, old_row, new_row)].
+    # The multi-step migration baseline registers trigger-style dual-write
+    # hooks here; BullFrog itself does not use them.
+    row_hooks: dict[str, list] = field(default_factory=dict)
+
+    def lock_table(self, name: str, mode: LockMode) -> None:
+        if self.txn is not None and self.lock_tables:
+            self.txn.lock_table(name, mode)
+
+    def fire_row_hooks(
+        self, table_name: str, op: str, tid: Tid, old_row, new_row
+    ) -> None:
+        for hook in self.row_hooks.get(table_name, ()):
+            hook(self, op, tid, old_row, new_row)
+
+
+class PlanNode:
+    """Base class for plan nodes."""
+
+    layout: RowLayout
+    types: list[SqlType | None]
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def explain(self, indent: int = 0) -> list[str]:
+        """EXPLAIN-style description lines (used by tests and tooling)."""
+        raise NotImplementedError
+
+
+class SeqScanNode(PlanNode):
+    """Full scan of a base table with an optional residual filter."""
+
+    def __init__(
+        self,
+        table: "Table",
+        binding: str,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        filter_fn: CompiledExpr | None,
+        filter_text: str = "",
+    ) -> None:
+        self.table = table
+        self.binding = binding
+        self.layout = layout
+        self.types = types
+        self.filter_fn = filter_fn
+        self.filter_text = filter_text
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        ctx.lock_table(self.table.schema.name, LockMode.IS)
+        filter_fn = self.filter_fn
+        params = ctx.params
+        if filter_fn is None:
+            for _tid, row in self.table.heap.scan():
+                yield row
+        else:
+            for _tid, row in self.table.heap.scan():
+                if predicate_satisfied(filter_fn(row, params)):
+                    yield row
+
+    def rows_with_tids(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
+        """DML variant: yields (tid, row)."""
+        ctx.lock_table(self.table.schema.name, LockMode.IS)
+        filter_fn = self.filter_fn
+        params = ctx.params
+        for tid, row in self.table.heap.scan():
+            if filter_fn is None or predicate_satisfied(filter_fn(row, params)):
+                yield tid, row
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}Seq Scan on {self.table.schema.name} {self.binding}"]
+        if self.filter_text:
+            lines.append(f"{pad}  Filter: {self.filter_text}")
+        return lines
+
+
+class IndexScanNode(PlanNode):
+    """Equality lookup through an index, plus residual filter."""
+
+    def __init__(
+        self,
+        table: "Table",
+        binding: str,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        index: Index,
+        key_fns: list[CompiledExpr],
+        filter_fn: CompiledExpr | None,
+        index_cond_text: str = "",
+        filter_text: str = "",
+    ) -> None:
+        self.table = table
+        self.binding = binding
+        self.layout = layout
+        self.types = types
+        self.index = index
+        self.key_fns = key_fns
+        self.filter_fn = filter_fn
+        self.index_cond_text = index_cond_text
+        self.filter_text = filter_text
+
+    def _matches(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
+        ctx.lock_table(self.table.schema.name, LockMode.IS)
+        key = tuple(fn((), ctx.params) for fn in self.key_fns)
+        filter_fn = self.filter_fn
+        if len(key) < len(self.index.columns):
+            # Leading-prefix lookup on an ordered index.
+            tids = [tid for _key, tid in self.index.prefix_scan(key)]
+        else:
+            tids = self.index.lookup(key)
+        for tid in tids:
+            row = self.table.heap.read(tid)
+            if row is None:
+                continue  # tombstoned between index read and heap read
+            if filter_fn is None or predicate_satisfied(filter_fn(row, ctx.params)):
+                yield tid, row
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for _tid, row in self._matches(ctx):
+            yield row
+
+    def rows_with_tids(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
+        yield from self._matches(ctx)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [
+            f"{pad}Index Scan using {self.index.name} on "
+            f"{self.table.schema.name} {self.binding}"
+        ]
+        if self.index_cond_text:
+            lines.append(f"{pad}  Index Cond: {self.index_cond_text}")
+        if self.filter_text:
+            lines.append(f"{pad}  Filter: {self.filter_text}")
+        return lines
+
+
+class DerivedNode(PlanNode):
+    """A subquery in FROM: re-binds the inner plan's output columns
+    under the derived table's alias."""
+
+    def __init__(
+        self,
+        inner: PlanNode,
+        binding: str,
+        layout: RowLayout,
+        types: list[SqlType | None],
+    ) -> None:
+        self.inner = inner
+        self.binding = binding
+        self.layout = layout
+        self.types = types
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return self.inner.rows(ctx)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}Subquery Scan {self.binding}"] + self.inner.explain(indent + 1)
+
+
+class NestedLoopJoinNode(PlanNode):
+    """Nested-loop join (inner or left outer) with optional condition."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        condition: CompiledExpr | None,
+        kind: str = "INNER",
+        condition_text: str = "",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.layout = layout
+        self.types = types
+        self.condition = condition
+        self.kind = kind
+        self.condition_text = condition_text
+        self._right_width = len(right.layout)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        right_rows = list(self.right.rows(ctx))
+        condition = self.condition
+        null_pad = (None,) * self._right_width
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if condition is None or predicate_satisfied(condition(combined, ctx.params)):
+                    matched = True
+                    yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + null_pad
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        label = "Nested Loop" if self.kind == "INNER" else f"Nested Loop {self.kind} Join"
+        lines = [f"{pad}{label}"]
+        if self.condition_text:
+            lines.append(f"{pad}  Join Filter: {self.condition_text}")
+        lines += self.left.explain(indent + 1)
+        lines += self.right.explain(indent + 1)
+        return lines
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join: builds a hash table on the right input."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        left_key_fns: list[CompiledExpr],
+        right_key_fns: list[CompiledExpr],
+        residual: CompiledExpr | None,
+        kind: str = "INNER",
+        condition_text: str = "",
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.layout = layout
+        self.types = types
+        self.left_key_fns = left_key_fns
+        self.right_key_fns = right_key_fns
+        self.residual = residual
+        self.kind = kind
+        self.condition_text = condition_text
+        self._right_width = len(right.layout)
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        build: dict[tuple, list[Row]] = {}
+        for right_row in self.right.rows(ctx):
+            key = tuple(fn(right_row, params) for fn in self.right_key_fns)
+            if any(part is None for part in key):
+                continue  # NULL never equi-joins
+            build.setdefault(key, []).append(right_row)
+        residual = self.residual
+        null_pad = (None,) * self._right_width
+        for left_row in self.left.rows(ctx):
+            key = tuple(fn(left_row, params) for fn in self.left_key_fns)
+            matched = False
+            if not any(part is None for part in key):
+                for right_row in build.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or predicate_satisfied(residual(combined, params)):
+                        matched = True
+                        yield combined
+            if self.kind == "LEFT" and not matched:
+                yield left_row + null_pad
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        label = "Hash Join" if self.kind == "INNER" else f"Hash {self.kind} Join"
+        lines = [f"{pad}{label}"]
+        if self.condition_text:
+            lines.append(f"{pad}  Hash Cond: {self.condition_text}")
+        lines += self.left.explain(indent + 1)
+        lines += self.right.explain(indent + 1)
+        return lines
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, filter_fn: CompiledExpr, filter_text: str = "") -> None:
+        self.child = child
+        self.layout = child.layout
+        self.types = child.types
+        self.filter_fn = filter_fn
+        self.filter_text = filter_text
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        filter_fn = self.filter_fn
+        params = ctx.params
+        for row in self.child.rows(ctx):
+            if predicate_satisfied(filter_fn(row, params)):
+                yield row
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        lines = [f"{pad}Filter: {self.filter_text}"]
+        return lines + self.child.explain(indent + 1)
+
+
+class ProjectNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        exprs: list[CompiledExpr],
+        layout: RowLayout,
+        types: list[SqlType | None],
+        names: list[str],
+    ) -> None:
+        self.child = child
+        self.exprs = exprs
+        self.layout = layout
+        self.types = types
+        self.names = names
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        exprs = self.exprs
+        params = ctx.params
+        for row in self.child.rows(ctx):
+            yield tuple(expr(row, params) for expr in exprs)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}Project [{', '.join(self.names)}]"] + self.child.explain(indent + 1)
+
+
+class AggregateNode(PlanNode):
+    """Hash aggregation.
+
+    ``group_fns`` compute the grouping key from an input row;
+    ``agg_factories`` create fresh accumulators per group (see
+    :mod:`repro.exec.operators`); ``output_fns`` compute the final
+    select items from the synthetic group row
+    ``group_key + tuple(agg_results)``; ``having_fn`` filters groups.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_fns: list[CompiledExpr],
+        agg_factories: list[Callable[[], Any]],
+        output_fns: list[CompiledExpr],
+        having_fn: CompiledExpr | None,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        names: list[str],
+        implicit_single_group: bool = False,
+    ) -> None:
+        self.child = child
+        self.group_fns = group_fns
+        self.agg_factories = agg_factories
+        self.output_fns = output_fns
+        self.having_fn = having_fn
+        self.layout = layout
+        self.types = types
+        self.names = names
+        self.implicit_single_group = implicit_single_group
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        groups: dict[tuple, list[Any]] = {}
+        for row in self.child.rows(ctx):
+            key = tuple(fn(row, params) for fn in self.group_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = [factory() for factory in self.agg_factories]
+                groups[key] = accumulators
+            for accumulator in accumulators:
+                accumulator.add(row, params)
+        if not groups and self.implicit_single_group:
+            groups[()] = [factory() for factory in self.agg_factories]
+        for key, accumulators in groups.items():
+            group_row = key + tuple(acc.result() for acc in accumulators)
+            if self.having_fn is not None and not predicate_satisfied(
+                self.having_fn(group_row, params)
+            ):
+                continue
+            yield tuple(fn(group_row, params) for fn in self.output_fns)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        pad = "  " * indent
+        return [f"{pad}HashAggregate"] + self.child.explain(indent + 1)
+
+
+class DistinctNode(PlanNode):
+    def __init__(self, child: PlanNode) -> None:
+        self.child = child
+        self.layout = child.layout
+        self.types = child.types
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        seen: set = set()
+        for row in self.child.rows(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def explain(self, indent: int = 0) -> list[str]:
+        return ["  " * indent + "Unique"] + self.child.explain(indent + 1)
+
+
+class SortNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        key_fns: list[CompiledExpr],
+        descending: list[bool],
+    ) -> None:
+        self.child = child
+        self.layout = child.layout
+        self.types = child.types
+        self.key_fns = key_fns
+        self.descending = descending
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        params = ctx.params
+        material = list(self.child.rows(ctx))
+        # Stable multi-key sort: apply keys right-to-left.
+        for key_fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            material.sort(key=lambda row: _OrderKey(key_fn(row, params)), reverse=desc)
+        return iter(material)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        return ["  " * indent + "Sort"] + self.child.explain(indent + 1)
+
+
+class _OrderKey:
+    """NULLs-last ascending total order wrapper for sorting."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any) -> None:
+        self.value = value
+
+    def __lt__(self, other: "_OrderKey") -> bool:
+        cmp = compare_values(self.value, other.value)
+        if cmp is None:
+            if self.value is None and other.value is None:
+                return False
+            return other.value is None  # non-NULL < NULL
+        return cmp < 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _OrderKey):
+            return NotImplemented
+        if self.value is None or other.value is None:
+            return self.value is None and other.value is None
+        return compare_values(self.value, other.value) == 0
+
+
+class LimitNode(PlanNode):
+    def __init__(
+        self,
+        child: PlanNode,
+        limit_fn: CompiledExpr | None,
+        offset_fn: CompiledExpr | None,
+    ) -> None:
+        self.child = child
+        self.layout = child.layout
+        self.types = child.types
+        self.limit_fn = limit_fn
+        self.offset_fn = offset_fn
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        limit = self.limit_fn((), ctx.params) if self.limit_fn is not None else None
+        offset = self.offset_fn((), ctx.params) if self.offset_fn is not None else 0
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(ctx):
+            if skipped < (offset or 0):
+                skipped += 1
+                continue
+            if limit is not None and produced >= limit:
+                return
+            produced += 1
+            yield row
+
+    def explain(self, indent: int = 0) -> list[str]:
+        return ["  " * indent + "Limit"] + self.child.explain(indent + 1)

@@ -1,0 +1,143 @@
+"""A minimal interactive SQL shell: ``python -m repro``.
+
+Useful for poking at the engine and demoing migrations by hand:
+
+.. code-block:: text
+
+    $ python -m repro
+    repro> CREATE TABLE t (id INT PRIMARY KEY, v TEXT);
+    CREATE TABLE
+    repro> INSERT INTO t VALUES (1, 'hello');
+    INSERT 1
+    repro> SELECT * FROM t;
+     id | v
+    ----+------
+     1  | hello
+    (1 row)
+
+Meta-commands: ``\\dt`` lists tables, ``\\d <table>`` describes one,
+``\\explain <select>`` shows the plan, ``\\migrate <id> <ddl>`` submits
+a lazy migration, ``\\progress`` shows migration progress, ``\\q`` quits.
+"""
+
+from __future__ import annotations
+
+import sys
+
+from .core import BackgroundConfig, MigrationController, Strategy
+from .db import Database, Result
+from .errors import ReproError
+
+
+def format_result(result: Result) -> str:
+    if result.statement != "SELECT":
+        if result.rowcount:
+            return f"{result.statement} {result.rowcount}"
+        return result.statement
+    if not result.columns:
+        return "(no columns)"
+    widths = [
+        max(len(str(column)), *(len(str(row[i])) for row in result.rows))
+        if result.rows
+        else len(str(column))
+        for i, column in enumerate(result.columns)
+    ]
+    lines = [
+        " | ".join(str(c).ljust(w) for c, w in zip(result.columns, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in result.rows:
+        lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    plural = "row" if len(result.rows) == 1 else "rows"
+    lines.append(f"({len(result.rows)} {plural})")
+    return "\n".join(lines)
+
+
+class Shell:
+    def __init__(self) -> None:
+        self.db = Database()
+        self.session = self.db.connect()
+        self.controller = MigrationController(self.db)
+
+    def handle_meta(self, line: str) -> str | None:
+        parts = line.split(None, 2)
+        command = parts[0]
+        if command == "\\q":
+            raise EOFError
+        if command == "\\dt":
+            tables = [
+                f"  {t.schema.name}{' (retired)' if t.retired else ''}"
+                f"  [{len(t)} rows]"
+                for t in self.db.catalog.tables()
+            ]
+            return "\n".join(tables) or "(no tables)"
+        if command == "\\d" and len(parts) > 1:
+            table = self.db.catalog.table(parts[1])
+            lines = [
+                f"  {c.name}  {c.type.render()}"
+                + ("  NOT NULL" if c.not_null else "")
+                for c in table.schema.columns
+            ]
+            if table.schema.primary_key:
+                lines.append(
+                    f"  PRIMARY KEY ({', '.join(table.schema.primary_key.columns)})"
+                )
+            for name in table.indexes:
+                lines.append(f"  INDEX {name}")
+            return "\n".join(lines)
+        if command == "\\explain" and len(parts) > 1:
+            return self.session.explain(line.split(None, 1)[1])
+        if command == "\\migrate" and len(parts) > 2:
+            handle = self.controller.submit(
+                parts[1],
+                parts[2],
+                strategy=Strategy.LAZY,
+                background=BackgroundConfig(delay=2.0),
+            )
+            return f"migration {parts[1]!r} submitted (new schema live)"
+        if command == "\\progress":
+            if self.controller.active is None:
+                return "(no migration submitted)"
+            return str(self.controller.active.progress())
+        return f"unknown meta-command {command!r}"
+
+    def run(self) -> int:
+        print("repro shell — BullFrog reproduction.  \\q to quit.")
+        buffer = ""
+        while True:
+            prompt = "repro> " if not buffer else "  ...> "
+            try:
+                line = input(prompt)
+            except EOFError:
+                print()
+                return 0
+            if not buffer and line.strip().startswith("\\"):
+                try:
+                    output = self.handle_meta(line.strip())
+                except EOFError:
+                    return 0
+                except ReproError as exc:
+                    output = f"error: {exc}"
+                if output:
+                    print(output)
+                continue
+            buffer += line + "\n"
+            if not line.rstrip().endswith(";"):
+                if line.strip():
+                    continue
+            statement = buffer.strip().rstrip(";")
+            buffer = ""
+            if not statement:
+                continue
+            try:
+                print(format_result(self.session.execute(statement)))
+            except ReproError as exc:
+                print(f"error: {exc}")
+
+
+def main() -> int:
+    return Shell().run()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""SQL front end: tokenizer, AST, parser, and renderer."""
+
+from .tokens import Token, TokenType, tokenize
+from .parser import parse_expression, parse_script, parse_statement
+from .render import render_expr, render_select, render_statement
+
+__all__ = [
+    "Token",
+    "TokenType",
+    "tokenize",
+    "parse_expression",
+    "parse_script",
+    "parse_statement",
+    "render_expr",
+    "render_select",
+    "render_statement",
+]

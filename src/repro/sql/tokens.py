@@ -1,0 +1,177 @@
+"""SQL tokenizer.
+
+Produces a flat list of :class:`Token` objects for the recursive-descent
+parser in :mod:`repro.sql.parser`.  Keywords are case-insensitive;
+identifiers are normalized to lower case (PostgreSQL behaviour) unless
+double-quoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import TokenizeError
+
+
+class TokenType(Enum):
+    KEYWORD = "KEYWORD"
+    IDENT = "IDENT"
+    NUMBER = "NUMBER"
+    STRING = "STRING"
+    OPERATOR = "OPERATOR"
+    PUNCT = "PUNCT"
+    PARAM = "PARAM"  # a '?' placeholder
+    EOF = "EOF"
+
+
+KEYWORDS = frozenset(
+    """
+    SELECT FROM WHERE GROUP BY HAVING ORDER LIMIT OFFSET AS ON USING
+    JOIN INNER LEFT RIGHT FULL OUTER CROSS
+    AND OR NOT IN IS NULL BETWEEN LIKE EXISTS
+    CREATE TABLE VIEW INDEX UNIQUE PRIMARY KEY FOREIGN REFERENCES CHECK
+    DEFAULT CONSTRAINT
+    INSERT INTO VALUES UPDATE SET DELETE
+    DROP ALTER ADD COLUMN RENAME TO IF
+    BEGIN COMMIT ROLLBACK ABORT TRANSACTION
+    DISTINCT ALL ASC DESC
+    CASE WHEN THEN ELSE END
+    FOR
+    TRUE FALSE
+    CAST EXTRACT
+    CONFLICT DO NOTHING
+    ASC DESC
+    COUNT SUM AVG MIN MAX
+    """.split()
+)
+
+# Multi-character operators must be listed longest-first.
+_OPERATORS = ("<>", "!=", ">=", "<=", "||", "=", "<", ">", "+", "-", "*", "/", "%")
+_PUNCT = ("(", ")", ",", ";", ".")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``value`` holds the normalized text: upper case for keywords, lower
+    case for unquoted identifiers, the literal value for numbers/strings.
+    """
+
+    type: TokenType
+    value: str
+    position: int
+
+    def matches(self, token_type: TokenType, value: str | None = None) -> bool:
+        if self.type is not token_type:
+            return False
+        return value is None or self.value == value
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize ``sql`` into a list of tokens terminated by an EOF token."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        # -- whitespace ------------------------------------------------
+        if ch.isspace():
+            i += 1
+            continue
+        # -- line comments ---------------------------------------------
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        # -- block comments ----------------------------------------------
+        if sql.startswith("/*", i):
+            end = sql.find("*/", i + 2)
+            if end == -1:
+                raise TokenizeError("unterminated block comment", i)
+            i = end + 2
+            continue
+        # -- string literals ---------------------------------------------
+        if ch == "'":
+            value, i = _read_string(sql, i)
+            tokens.append(Token(TokenType.STRING, value, i))
+            continue
+        # -- quoted identifiers -------------------------------------------
+        if ch == '"':
+            end = sql.find('"', i + 1)
+            if end == -1:
+                raise TokenizeError("unterminated quoted identifier", i)
+            tokens.append(Token(TokenType.IDENT, sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        # -- numbers -------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and sql[i + 1].isdigit()):
+            start = i
+            while i < n and (sql[i].isdigit() or sql[i] == "."):
+                i += 1
+            if i < n and sql[i] in "eE":
+                j = i + 1
+                if j < n and sql[j] in "+-":
+                    j += 1
+                if j < n and sql[j].isdigit():
+                    i = j
+                    while i < n and sql[i].isdigit():
+                        i += 1
+            text = sql[start:i]
+            if text.count(".") > 1:
+                raise TokenizeError(f"malformed number {text!r}", start)
+            tokens.append(Token(TokenType.NUMBER, text, start))
+            continue
+        # -- parameters -------------------------------------------------
+        if ch == "?":
+            tokens.append(Token(TokenType.PARAM, "?", i))
+            i += 1
+            continue
+        # -- identifiers / keywords --------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (sql[i].isalnum() or sql[i] == "_"):
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(TokenType.KEYWORD, upper, start))
+            else:
+                tokens.append(Token(TokenType.IDENT, word.lower(), start))
+            continue
+        # -- operators ----------------------------------------------------
+        for op in _OPERATORS:
+            if sql.startswith(op, i):
+                tokens.append(Token(TokenType.OPERATOR, op, i))
+                i += len(op)
+                break
+        else:
+            if ch in _PUNCT:
+                tokens.append(Token(TokenType.PUNCT, ch, i))
+                i += 1
+            else:
+                raise TokenizeError(f"unexpected character {ch!r}", i)
+    tokens.append(Token(TokenType.EOF, "", n))
+    return tokens
+
+
+def _read_string(sql: str, start: int) -> tuple[str, int]:
+    """Read a single-quoted string literal starting at ``start``.
+
+    Doubled quotes ('') escape a quote, per the SQL standard.
+    """
+    parts: list[str] = []
+    i = start + 1
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'":
+            if i + 1 < n and sql[i + 1] == "'":
+                parts.append("'")
+                i += 2
+                continue
+            return "".join(parts), i + 1
+        parts.append(ch)
+        i += 1
+    raise TokenizeError("unterminated string literal", start)

@@ -1,0 +1,16 @@
+"""Physical storage: TIDs, slotted pages, heap tables, and indexes."""
+
+from .tid import Tid
+from .page import DEFAULT_PAGE_CAPACITY, Page
+from .heap import HeapTable
+from .index import HashIndex, Index, OrderedIndex
+
+__all__ = [
+    "Tid",
+    "Page",
+    "DEFAULT_PAGE_CAPACITY",
+    "HeapTable",
+    "HashIndex",
+    "OrderedIndex",
+    "Index",
+]

@@ -1,0 +1,149 @@
+"""Heap tables: append-only pages of tuples addressed by TIDs.
+
+The heap is purely physical — it knows nothing about schemas or
+constraints.  Thread safety: a single re-entrant latch protects the page
+directory; logical isolation between transactions is the lock manager's
+job (``repro.txn``), exactly as in a real engine where short page
+latches and long transaction locks are separate mechanisms.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Iterator
+
+from .page import DEFAULT_PAGE_CAPACITY, Page, Row
+from .tid import Tid
+
+
+class HeapTable:
+    """A heap of slotted pages.
+
+    TIDs are stable: deletes tombstone, they never compact.  This is what
+    lets the BullFrog bitmap address tuples by dense ordinal.
+    """
+
+    def __init__(self, name: str, page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.name = name
+        self.page_capacity = page_capacity
+        self._pages: list[Page] = []
+        self._latch = threading.RLock()
+        self._live_count = 0
+
+    # ------------------------------------------------------------------
+    # Size / addressing
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live_count
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    @property
+    def max_ordinal(self) -> int:
+        """One past the largest ordinal ever allocated (bitmap sizing)."""
+        with self._latch:
+            if not self._pages:
+                return 0
+            last = self._pages[-1]
+            return last.number * self.page_capacity + len(last)
+
+    def ordinal(self, tid: Tid) -> int:
+        return tid.ordinal(self.page_capacity)
+
+    def tid_from_ordinal(self, ordinal: int) -> Tid:
+        return Tid.from_ordinal(ordinal, self.page_capacity)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Row) -> Tid:
+        """Append a tuple; returns its TID."""
+        with self._latch:
+            if not self._pages or self._pages[-1].is_full:
+                self._pages.append(Page(len(self._pages), self.page_capacity))
+            page = self._pages[-1]
+            slot = page.append(row)
+            self._live_count += 1
+            return Tid(page.number, slot)
+
+    def read(self, tid: Tid) -> Row | None:
+        """Return the tuple at ``tid`` (None if tombstoned).  Raises
+        IndexError for an address that was never allocated."""
+        with self._latch:
+            return self._pages[tid.page].read(tid.slot)
+
+    def update(self, tid: Tid, row: Row) -> Row:
+        """Overwrite the tuple at ``tid``; returns the previous row."""
+        with self._latch:
+            page = self._pages[tid.page]
+            old = page.read(tid.slot)
+            if old is None:
+                raise RuntimeError(f"tuple {tid} of {self.name} is deleted")
+            page.write(tid.slot, row)
+            return old
+
+    def delete(self, tid: Tid) -> Row:
+        """Tombstone the tuple at ``tid``; returns the old row."""
+        with self._latch:
+            old = self._pages[tid.page].delete(tid.slot)
+            self._live_count -= 1
+            return old
+
+    def restore(self, tid: Tid, row: Row) -> None:
+        """Undo a delete (abort path)."""
+        with self._latch:
+            self._pages[tid.page].restore(tid.slot, row)
+            self._live_count += 1
+
+    def insert_at(self, tid: Tid, row: Row) -> None:
+        """REDO replay: place ``row`` at exactly ``tid``, materializing
+        any pages/slots in between as tombstones, so recovered TIDs
+        match the pre-crash ones (UPDATE/DELETE records address them)."""
+        with self._latch:
+            while len(self._pages) <= tid.page:
+                self._pages.append(Page(len(self._pages), self.page_capacity))
+            # Earlier pages skipped by this insert are full by definition.
+            for page in self._pages[: tid.page]:
+                page.pad_to_capacity()
+            self._pages[tid.page].place(tid.slot, row)
+            self._live_count += 1
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def scan(self) -> Iterator[tuple[Tid, Row]]:
+        """Yield (tid, row) for all live tuples.
+
+        Takes a snapshot of the page list under the latch, then walks it
+        latch-free; pages themselves are only appended to, and slot
+        mutation is atomic at Python level (single list-item store), so a
+        scan always sees a consistent slot value — transaction-level
+        consistency comes from the lock manager.
+        """
+        with self._latch:
+            pages = list(self._pages)
+        for page in pages:
+            for slot, row in page.iter_live():
+                yield Tid(page.number, slot), row
+
+    def scan_range(self, start_ordinal: int, end_ordinal: int) -> Iterator[tuple[Tid, Row]]:
+        """Yield live tuples whose ordinal is in [start, end).  Used by
+        background migration threads to walk the table in chunks."""
+        with self._latch:
+            pages = list(self._pages)
+        first_page = start_ordinal // self.page_capacity
+        last_page = (max(end_ordinal - 1, 0)) // self.page_capacity
+        for page in pages[first_page : last_page + 1]:
+            base = page.number * self.page_capacity
+            for slot, row in page.iter_live():
+                ordinal = base + slot
+                if start_ordinal <= ordinal < end_ordinal:
+                    yield Tid(page.number, slot), row
+
+    def clear(self) -> None:
+        """Drop all pages (table truncation / drop)."""
+        with self._latch:
+            self._pages.clear()
+            self._live_count = 0

@@ -1,0 +1,221 @@
+"""Secondary indexes: hash (equality) and ordered (range).
+
+Indexes map key tuples to sets of TIDs.  Uniqueness is enforced at
+insert time for unique indexes; SQL semantics exempt keys containing
+NULL.  A single latch per index keeps structural operations atomic;
+transaction isolation is layered above by the lock manager.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Any, Iterator
+
+from ..errors import UniqueViolation
+from .tid import Tid
+
+Key = tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index: dict of key -> set of TIDs."""
+
+    def __init__(self, name: str, table: str, columns: tuple[str, ...], unique: bool = False) -> None:
+        self.name = name
+        self.table = table
+        self.columns = columns
+        self.unique = unique
+        self._entries: dict[Key, set[Tid]] = {}
+        self._latch = threading.RLock()
+
+    def __len__(self) -> int:
+        with self._latch:
+            return sum(len(tids) for tids in self._entries.values())
+
+    @staticmethod
+    def _has_null(key: Key) -> bool:
+        return any(part is None for part in key)
+
+    def insert(self, key: Key, tid: Tid) -> None:
+        with self._latch:
+            existing = self._entries.get(key)
+            if self.unique and not self._has_null(key) and existing:
+                raise UniqueViolation(
+                    f"duplicate key {key!r} violates unique index {self.name}",
+                    constraint=self.name,
+                )
+            if existing is None:
+                self._entries[key] = {tid}
+            else:
+                existing.add(tid)
+
+    def delete(self, key: Key, tid: Tid) -> None:
+        with self._latch:
+            tids = self._entries.get(key)
+            if tids is None:
+                return
+            tids.discard(tid)
+            if not tids:
+                del self._entries[key]
+
+    def lookup(self, key: Key) -> list[Tid]:
+        with self._latch:
+            return list(self._entries.get(key, ()))
+
+    def contains(self, key: Key) -> bool:
+        with self._latch:
+            return bool(self._entries.get(key))
+
+    def keys(self) -> list[Key]:
+        with self._latch:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._latch:
+            self._entries.clear()
+
+
+class _SortKey:
+    """Total-order wrapper so heterogeneous/NULL keys sort deterministically.
+
+    NULLs sort last (PostgreSQL default for ASC).  Values of different
+    types compare by type name first — the engine never relies on
+    cross-type ordering, this only keeps bisect from raising.
+    """
+
+    __slots__ = ("key",)
+
+    def __init__(self, key: Key) -> None:
+        self.key = tuple(
+            (1, type(part).__name__, None) if part is None else (0, type(part).__name__, part)
+            for part in key
+        )
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        return self.key < other.key
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _SortKey) and self.key == other.key
+
+
+class OrderedIndex:
+    """Range index over sorted (key, tid) pairs using bisect.
+
+    Supports ``lookup`` (equality) and ``range_scan`` with optional
+    inclusive/exclusive bounds, ascending order.
+    """
+
+    def __init__(self, name: str, table: str, columns: tuple[str, ...], unique: bool = False) -> None:
+        self.name = name
+        self.table = table
+        self.columns = columns
+        self.unique = unique
+        self._sort_keys: list[_SortKey] = []
+        self._pairs: list[tuple[Key, Tid]] = []
+        self._latch = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def insert(self, key: Key, tid: Tid) -> None:
+        sort_key = _SortKey(key)
+        with self._latch:
+            position = bisect.bisect_left(self._sort_keys, sort_key)
+            if self.unique and not any(part is None for part in key):
+                if position < len(self._pairs) and self._pairs[position][0] == key:
+                    raise UniqueViolation(
+                        f"duplicate key {key!r} violates unique index {self.name}",
+                        constraint=self.name,
+                    )
+            self._sort_keys.insert(position, sort_key)
+            self._pairs.insert(position, (key, tid))
+
+    def delete(self, key: Key, tid: Tid) -> None:
+        sort_key = _SortKey(key)
+        with self._latch:
+            position = bisect.bisect_left(self._sort_keys, sort_key)
+            while position < len(self._pairs) and self._pairs[position][0] == key:
+                if self._pairs[position][1] == tid:
+                    del self._sort_keys[position]
+                    del self._pairs[position]
+                    return
+                position += 1
+
+    def lookup(self, key: Key) -> list[Tid]:
+        sort_key = _SortKey(key)
+        with self._latch:
+            position = bisect.bisect_left(self._sort_keys, sort_key)
+            result: list[Tid] = []
+            while position < len(self._pairs) and self._pairs[position][0] == key:
+                result.append(self._pairs[position][1])
+                position += 1
+            return result
+
+    def contains(self, key: Key) -> bool:
+        return bool(self.lookup(key))
+
+    def range_scan(
+        self,
+        low: Key | None = None,
+        high: Key | None = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[tuple[Key, Tid]]:
+        """Yield (key, tid) pairs with low <= key <= high (bounds optional).
+
+        Snapshot-copies the matching span under the latch so callers can
+        iterate without holding it.
+        """
+        with self._latch:
+            if low is None:
+                start = 0
+            else:
+                sk = _SortKey(low)
+                start = (
+                    bisect.bisect_left(self._sort_keys, sk)
+                    if low_inclusive
+                    else bisect.bisect_right(self._sort_keys, sk)
+                )
+            if high is None:
+                stop = len(self._pairs)
+            else:
+                sk = _SortKey(high)
+                stop = (
+                    bisect.bisect_right(self._sort_keys, sk)
+                    if high_inclusive
+                    else bisect.bisect_left(self._sort_keys, sk)
+                )
+            span = list(self._pairs[start:stop])
+        yield from span
+
+    def prefix_scan(self, prefix: Key) -> Iterator[tuple[Key, Tid]]:
+        """Yield (key, tid) for every entry whose key starts with
+        ``prefix`` (a leading subset of the index columns)."""
+        if not prefix:
+            with self._latch:
+                span = list(self._pairs)
+            yield from span
+            return
+        width = len(prefix)
+        low = _SortKey(prefix)
+        with self._latch:
+            start = bisect.bisect_left(self._sort_keys, low)
+            stop = start
+            n = len(self._pairs)
+            while stop < n and self._pairs[stop][0][:width] == prefix:
+                stop += 1
+            span = list(self._pairs[start:stop])
+        yield from span
+
+    def keys(self) -> list[Key]:
+        with self._latch:
+            return [key for key, _tid in self._pairs]
+
+    def clear(self) -> None:
+        with self._latch:
+            self._sort_keys.clear()
+            self._pairs.clear()
+
+
+Index = HashIndex | OrderedIndex

@@ -1,0 +1,107 @@
+"""Slotted heap pages.
+
+A page holds up to ``capacity`` tuples.  Deleted tuples leave a
+tombstone (``None``) so slot numbers — and therefore TIDs — remain
+stable for the lifetime of the table, which the BullFrog bitmap relies
+on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+Row = tuple[Any, ...]
+
+DEFAULT_PAGE_CAPACITY = 256
+
+
+class Page:
+    """One slotted page of a heap table."""
+
+    __slots__ = ("number", "capacity", "_slots")
+
+    def __init__(self, number: int, capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
+        self.number = number
+        self.capacity = capacity
+        self._slots: list[Row | None] = []
+
+    def __len__(self) -> int:
+        return len(self._slots)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._slots) >= self.capacity
+
+    @property
+    def live_count(self) -> int:
+        return sum(1 for row in self._slots if row is not None)
+
+    def append(self, row: Row) -> int:
+        """Append a tuple; returns the slot number.  Caller must check
+        :attr:`is_full` first (the heap does)."""
+        if self.is_full:
+            raise RuntimeError(f"page {self.number} is full")
+        self._slots.append(row)
+        return len(self._slots) - 1
+
+    def read(self, slot: int) -> Row | None:
+        """Return the tuple at ``slot`` or ``None`` for a tombstone.
+        Raises IndexError for a slot that never existed."""
+        return self._slots[slot]
+
+    def write(self, slot: int, row: Row) -> None:
+        """Overwrite the tuple at ``slot`` (in-place update)."""
+        if self._slots[slot] is None:
+            raise RuntimeError(
+                f"cannot update deleted tuple at page {self.number} slot {slot}"
+            )
+        self._slots[slot] = row
+
+    def delete(self, slot: int) -> Row:
+        """Tombstone the tuple at ``slot``; returns the old row."""
+        old = self._slots[slot]
+        if old is None:
+            raise RuntimeError(
+                f"tuple at page {self.number} slot {slot} is already deleted"
+            )
+        self._slots[slot] = None
+        return old
+
+    def restore(self, slot: int, row: Row) -> None:
+        """Undo a delete: put ``row`` back in a tombstoned ``slot``."""
+        if self._slots[slot] is not None:
+            raise RuntimeError(
+                f"slot {slot} of page {self.number} is not a tombstone"
+            )
+        self._slots[slot] = row
+
+    def truncate_to(self, length: int) -> None:
+        """Drop trailing slots (used only when undoing an insert that was
+        the last slot appended)."""
+        del self._slots[length:]
+
+    def pad_to_capacity(self) -> None:
+        """REDO replay: fill the remaining slots with tombstones (rows
+        that did not survive to the log's committed state)."""
+        while len(self._slots) < self.capacity:
+            self._slots.append(None)
+
+    def place(self, slot: int, row: Row) -> None:
+        """REDO replay: put ``row`` at ``slot``, materializing any
+        intervening slots as tombstones (they belonged to transactions
+        whose inserts did not survive — aborted or later-deleted)."""
+        if slot >= self.capacity:
+            raise RuntimeError(f"slot {slot} beyond page capacity {self.capacity}")
+        while len(self._slots) <= slot:
+            self._slots.append(None)
+        if self._slots[slot] is not None:
+            raise RuntimeError(
+                f"slot {slot} of page {self.number} is already occupied"
+            )
+        self._slots[slot] = row
+
+    def iter_live(self) -> Iterator[tuple[int, Row]]:
+        """Yield (slot, row) for every live tuple."""
+        for slot, row in enumerate(self._slots):
+            if row is not None:
+                yield slot, row

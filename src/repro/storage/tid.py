@@ -1,0 +1,32 @@
+"""Tuple identifiers.
+
+A :class:`Tid` names a physical slot in a heap table, mirroring
+PostgreSQL's ctid ``(page, slot)`` pairs.  The BullFrog bitmap keys
+granules by the dense ordinal produced by :meth:`Tid.ordinal`, exactly
+as the paper maps PostgreSQL TIDs to bit positions (section 4:
+"Our bitmap data structures use PostgreSQL's existing TIDs for mapping
+tuples to bits in the bitmap").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Tid:
+    """Physical address of a tuple: (page number, slot within page)."""
+
+    page: int
+    slot: int
+
+    def ordinal(self, page_capacity: int) -> int:
+        """Dense 0-based ordinal of this tuple within its table."""
+        return self.page * page_capacity + self.slot
+
+    @staticmethod
+    def from_ordinal(ordinal: int, page_capacity: int) -> "Tid":
+        return Tid(ordinal // page_capacity, ordinal % page_capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"({self.page},{self.slot})"

@@ -1,0 +1,28 @@
+"""TPC-C workload extended with schema migrations (paper section 4)."""
+
+from .schema import ScaleConfig, create_schema
+from .loader import load_tpcc, customer_last_name, NURand
+from .transactions import SchemaVariant, TpccClient, TRANSACTION_MIX
+from .migrations import (
+    SCENARIOS,
+    aggregate_migration_ddl,
+    join_migration_ddl,
+    orders_fk_ddl,
+    split_migration_ddl,
+)
+
+__all__ = [
+    "ScaleConfig",
+    "create_schema",
+    "load_tpcc",
+    "customer_last_name",
+    "NURand",
+    "SchemaVariant",
+    "TpccClient",
+    "TRANSACTION_MIX",
+    "SCENARIOS",
+    "aggregate_migration_ddl",
+    "join_migration_ddl",
+    "orders_fk_ddl",
+    "split_migration_ddl",
+]

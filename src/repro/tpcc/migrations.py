@@ -1,0 +1,194 @@
+"""The paper's three TPC-C schema-migration scenarios (sections 4.1-4.3).
+
+Each function returns the migration DDL script; the classifier turns
+them into, respectively, a 1:n bitmap unit, an n:1 hashmap unit, and an
+n:n hashmap unit — exactly the three tracking regimes the paper
+evaluates.
+"""
+
+from __future__ import annotations
+
+from .transactions import SchemaVariant
+
+# ----------------------------------------------------------------------
+# Section 4.1 — table split: CUSTOMER -> CUSTOMER_PRIVATE + CUSTOMER_PUBLIC
+# (1:n with respect to customer; bitmap tracking)
+# ----------------------------------------------------------------------
+
+_PRIVATE_COLUMNS = (
+    "c_w_id", "c_d_id", "c_id", "c_credit", "c_credit_lim", "c_discount",
+    "c_balance", "c_ytd_payment", "c_payment_cnt", "c_delivery_cnt",
+)
+_PUBLIC_COLUMNS = (
+    "c_w_id", "c_d_id", "c_id", "c_first", "c_middle", "c_last",
+    "c_street_1", "c_city", "c_state", "c_zip", "c_phone", "c_since",
+    "c_data",
+)
+
+
+def split_migration_ddl(fk_variant: str = "none") -> str:
+    """The customer split.  ``fk_variant`` reproduces figure 12's
+    constraint ladder on the new schema:
+
+    * ``"none"``     — primary keys only (the pink line);
+    * ``"district"`` — plus FOREIGN KEY to district (the green line);
+    * ``"district_orders"`` — declared the same here; the orders-side FK
+      is added by :func:`orders_fk_ddl` after submission (the black
+      line), because it lives on the ORDERS table.
+    """
+    if fk_variant not in ("none", "district", "district_orders"):
+        raise ValueError(f"unknown fk_variant {fk_variant!r}")
+    district_fk = (
+        ",\n    FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id)"
+        if fk_variant in ("district", "district_orders")
+        else ""
+    )
+    private_cols = ", ".join(_PRIVATE_COLUMNS)
+    public_cols = ", ".join(_PUBLIC_COLUMNS)
+    return f"""
+CREATE TABLE customer_private (
+    c_w_id INT,
+    c_d_id INT,
+    c_id INT,
+    c_credit CHAR(2),
+    c_credit_lim DECIMAL(12, 2),
+    c_discount DECIMAL(4, 4),
+    c_balance DECIMAL(12, 2),
+    c_ytd_payment DECIMAL(12, 2),
+    c_payment_cnt INT,
+    c_delivery_cnt INT,
+    PRIMARY KEY (c_w_id, c_d_id, c_id){district_fk}
+);
+INSERT INTO customer_private ({private_cols})
+    SELECT {private_cols} FROM customer;
+CREATE TABLE customer_public (
+    c_w_id INT,
+    c_d_id INT,
+    c_id INT,
+    c_first VARCHAR(16),
+    c_middle CHAR(2),
+    c_last VARCHAR(16),
+    c_street_1 VARCHAR(20),
+    c_city VARCHAR(20),
+    c_state CHAR(2),
+    c_zip CHAR(9),
+    c_phone CHAR(16),
+    c_since TIMESTAMP,
+    c_data VARCHAR(250),
+    PRIMARY KEY (c_w_id, c_d_id, c_id)
+);
+INSERT INTO customer_public ({public_cols})
+    SELECT {public_cols} FROM customer;
+CREATE INDEX customer_public_name_idx
+    ON customer_public (c_w_id, c_d_id, c_last);
+"""
+
+
+def orders_fk_ddl() -> str:
+    """Figure 12's third constraint: ORDERS must reference the new
+    customer table, so every NewOrder insert first migrates its parent
+    customer row (constraint-driven scope expansion, section 2.1)."""
+    return (
+        "ALTER TABLE orders ADD CONSTRAINT orders_customer_fk "
+        "FOREIGN KEY (o_w_id, o_d_id, o_c_id) "
+        "REFERENCES customer_private (c_w_id, c_d_id, c_id)"
+    )
+
+
+# ----------------------------------------------------------------------
+# Section 4.2 — aggregate migration: per-order totals (n:1; hashmap)
+# ----------------------------------------------------------------------
+
+
+def aggregate_migration_ddl() -> str:
+    """Materialize the Delivery transaction's implicit aggregate
+    (SUM(OL_AMOUNT) per order) as an application-maintained table.
+    ORDER_LINE remains active: 'all future transactions update both the
+    original and aggregated version of this table' — submit with
+    ``big_flip=False``."""
+    return """
+CREATE TABLE order_totals (
+    ol_w_id INT,
+    ol_d_id INT,
+    ol_o_id INT,
+    ol_total DECIMAL(12, 2),
+    PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id)
+);
+INSERT INTO order_totals (ol_w_id, ol_d_id, ol_o_id, ol_total)
+    SELECT ol_w_id, ol_d_id, ol_o_id, SUM(ol_amount)
+    FROM order_line
+    GROUP BY ol_w_id, ol_d_id, ol_o_id;
+"""
+
+
+# ----------------------------------------------------------------------
+# Section 4.3 — join migration: ORDER_LINE x STOCK denormalized (n:n)
+# ----------------------------------------------------------------------
+
+
+def join_migration_ddl() -> str:
+    """Denormalize order_line and stock into ``orderline_stock`` to
+    accelerate StockLevel.  A many-to-many join on the item id — the
+    hashmap n:n case, keyed by the join value (section 3.6)."""
+    return """
+CREATE TABLE orderline_stock (
+    ol_w_id INT,
+    ol_d_id INT,
+    ol_o_id INT,
+    ol_number INT,
+    ol_i_id INT,
+    ol_supply_w_id INT,
+    ol_delivery_d TIMESTAMP,
+    ol_quantity INT,
+    ol_amount DECIMAL(6, 2),
+    ol_dist_info CHAR(24),
+    s_w_id INT,
+    s_i_id INT,
+    s_quantity INT,
+    s_dist_01 CHAR(24),
+    s_ytd INT,
+    s_order_cnt INT,
+    s_data VARCHAR(50),
+    PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number, s_w_id)
+);
+INSERT INTO orderline_stock (
+    ol_w_id, ol_d_id, ol_o_id, ol_number, ol_i_id, ol_supply_w_id,
+    ol_delivery_d, ol_quantity, ol_amount, ol_dist_info,
+    s_w_id, s_i_id, s_quantity, s_dist_01, s_ytd, s_order_cnt, s_data)
+    SELECT ol.ol_w_id, ol.ol_d_id, ol.ol_o_id, ol.ol_number, ol.ol_i_id,
+           ol.ol_supply_w_id, ol.ol_delivery_d, ol.ol_quantity,
+           ol.ol_amount, ol.ol_dist_info,
+           s.s_w_id, s.s_i_id, s.s_quantity, s.s_dist_01, s.s_ytd,
+           s.s_order_cnt, s.s_data
+    FROM order_line ol, stock s
+    WHERE s.s_i_id = ol.ol_i_id;
+CREATE INDEX ols_order_idx ON orderline_stock (ol_w_id, ol_d_id, ol_o_id);
+CREATE INDEX ols_stock_idx ON orderline_stock (s_w_id, s_i_id);
+"""
+
+
+# ----------------------------------------------------------------------
+# Scenario registry used by the bench harness
+# ----------------------------------------------------------------------
+
+
+SCENARIOS: dict[str, dict] = {
+    "split": {
+        "ddl": split_migration_ddl(),
+        "variant": SchemaVariant.SPLIT,
+        "big_flip": True,
+        "description": "customer table split (1:n, bitmap) — section 4.1",
+    },
+    "aggregate": {
+        "ddl": aggregate_migration_ddl(),
+        "variant": SchemaVariant.AGGREGATE,
+        "big_flip": False,
+        "description": "per-order totals (n:1, hashmap) — section 4.2",
+    },
+    "join": {
+        "ddl": join_migration_ddl(),
+        "variant": SchemaVariant.JOIN,
+        "big_flip": True,
+        "description": "order_line x stock denormalization (n:n, hashmap) — section 4.3",
+    },
+}

@@ -1,0 +1,240 @@
+"""TPC-C schema: the nine tables, their indexes, and scale parameters.
+
+Column sets follow the TPC-C specification (v5.11), lightly abbreviated
+where a column never matters to any transaction or migration
+(e.g. street address lines are kept, phone/credit-limit columns are
+kept, but zip/state stay CHAR sizes).  The paper's experiments use 50
+warehouses (1.5M customer rows); :class:`ScaleConfig` lets the
+reproduction run the same schema at laptop scale while keeping every
+ratio (10 districts/warehouse, 3 000 customers/district, ~10 lines per
+order) configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..db import Session
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """Workload scale.  Defaults follow the TPC-C ratios scaled down by
+    10x on customers/orders and 100x on items so a pure-Python engine
+    loads in seconds; ``full_spec`` restores the paper's constants."""
+
+    warehouses: int = 1
+    districts_per_warehouse: int = 10
+    customers_per_district: int = 300
+    items: int = 1000
+    initial_orders_per_district: int = 300
+    min_lines_per_order: int = 5
+    max_lines_per_order: int = 15
+    seed: int = 20210620  # SIGMOD'21 began 2021-06-20
+
+    @staticmethod
+    def small() -> "ScaleConfig":
+        """Fast test scale: loads in well under a second."""
+        return ScaleConfig(
+            warehouses=1,
+            districts_per_warehouse=2,
+            customers_per_district=30,
+            items=50,
+            initial_orders_per_district=30,
+        )
+
+    @staticmethod
+    def full_spec(warehouses: int = 50) -> "ScaleConfig":
+        return ScaleConfig(
+            warehouses=warehouses,
+            districts_per_warehouse=10,
+            customers_per_district=3000,
+            items=100_000,
+            initial_orders_per_district=3000,
+        )
+
+    @property
+    def total_customers(self) -> int:
+        return (
+            self.warehouses
+            * self.districts_per_warehouse
+            * self.customers_per_district
+        )
+
+
+TABLES: dict[str, str] = {
+    "warehouse": """
+        CREATE TABLE warehouse (
+            w_id INT PRIMARY KEY,
+            w_name VARCHAR(10),
+            w_street_1 VARCHAR(20),
+            w_city VARCHAR(20),
+            w_state CHAR(2),
+            w_zip CHAR(9),
+            w_tax DECIMAL(4, 4),
+            w_ytd DECIMAL(12, 2)
+        )
+    """,
+    "district": """
+        CREATE TABLE district (
+            d_w_id INT,
+            d_id INT,
+            d_name VARCHAR(10),
+            d_street_1 VARCHAR(20),
+            d_city VARCHAR(20),
+            d_state CHAR(2),
+            d_zip CHAR(9),
+            d_tax DECIMAL(4, 4),
+            d_ytd DECIMAL(12, 2),
+            d_next_o_id INT,
+            PRIMARY KEY (d_w_id, d_id),
+            FOREIGN KEY (d_w_id) REFERENCES warehouse (w_id)
+        )
+    """,
+    "customer": """
+        CREATE TABLE customer (
+            c_w_id INT,
+            c_d_id INT,
+            c_id INT,
+            c_first VARCHAR(16),
+            c_middle CHAR(2),
+            c_last VARCHAR(16),
+            c_street_1 VARCHAR(20),
+            c_city VARCHAR(20),
+            c_state CHAR(2),
+            c_zip CHAR(9),
+            c_phone CHAR(16),
+            c_since TIMESTAMP,
+            c_credit CHAR(2),
+            c_credit_lim DECIMAL(12, 2),
+            c_discount DECIMAL(4, 4),
+            c_balance DECIMAL(12, 2),
+            c_ytd_payment DECIMAL(12, 2),
+            c_payment_cnt INT,
+            c_delivery_cnt INT,
+            c_data VARCHAR(250),
+            PRIMARY KEY (c_w_id, c_d_id, c_id),
+            FOREIGN KEY (c_w_id, c_d_id) REFERENCES district (d_w_id, d_id)
+        )
+    """,
+    "history": """
+        CREATE TABLE history (
+            h_c_id INT,
+            h_c_d_id INT,
+            h_c_w_id INT,
+            h_d_id INT,
+            h_w_id INT,
+            h_date TIMESTAMP,
+            h_amount DECIMAL(6, 2),
+            h_data VARCHAR(24)
+        )
+    """,
+    "new_order": """
+        CREATE TABLE new_order (
+            no_o_id INT,
+            no_d_id INT,
+            no_w_id INT,
+            PRIMARY KEY (no_w_id, no_d_id, no_o_id)
+        )
+    """,
+    "orders": """
+        CREATE TABLE orders (
+            o_w_id INT,
+            o_d_id INT,
+            o_id INT,
+            o_c_id INT,
+            o_entry_d TIMESTAMP,
+            o_carrier_id INT,
+            o_ol_cnt INT,
+            o_all_local INT,
+            PRIMARY KEY (o_w_id, o_d_id, o_id)
+        )
+    """,
+    "order_line": """
+        CREATE TABLE order_line (
+            ol_w_id INT,
+            ol_d_id INT,
+            ol_o_id INT,
+            ol_number INT,
+            ol_i_id INT,
+            ol_supply_w_id INT,
+            ol_delivery_d TIMESTAMP,
+            ol_quantity INT,
+            ol_amount DECIMAL(6, 2),
+            ol_dist_info CHAR(24),
+            PRIMARY KEY (ol_w_id, ol_d_id, ol_o_id, ol_number)
+        )
+    """,
+    "item": """
+        CREATE TABLE item (
+            i_id INT PRIMARY KEY,
+            i_im_id INT,
+            i_name VARCHAR(24),
+            i_price DECIMAL(5, 2),
+            i_data VARCHAR(50)
+        )
+    """,
+    "stock": """
+        CREATE TABLE stock (
+            s_w_id INT,
+            s_i_id INT,
+            s_quantity INT,
+            s_dist_01 CHAR(24),
+            s_ytd INT,
+            s_order_cnt INT,
+            s_remote_cnt INT,
+            s_data VARCHAR(50),
+            PRIMARY KEY (s_w_id, s_i_id)
+        )
+    """,
+}
+
+# Secondary indexes the transactions rely on.  Ordered indexes so that
+# multi-column prefixes can serve equality lookups.
+INDEXES: tuple[str, ...] = (
+    "CREATE INDEX customer_name_idx ON customer (c_w_id, c_d_id, c_last)",
+    "CREATE INDEX new_order_district_idx ON new_order (no_w_id, no_d_id)",
+    "CREATE INDEX orders_customer_idx ON orders (o_w_id, o_d_id, o_c_id)",
+    "CREATE INDEX order_line_order_idx ON order_line (ol_w_id, ol_d_id, ol_o_id)",
+    "CREATE INDEX order_line_item_idx ON order_line (ol_i_id)",
+    "CREATE INDEX stock_item_idx ON stock (s_i_id)",
+)
+
+# Load order respects FK dependencies.
+TABLE_ORDER: tuple[str, ...] = (
+    "warehouse",
+    "district",
+    "customer",
+    "history",
+    "item",
+    "stock",
+    "orders",
+    "new_order",
+    "order_line",
+)
+
+
+def create_schema(session: Session, with_fks: bool = True) -> None:
+    """Create the nine TPC-C tables and secondary indexes.
+
+    ``with_fks=False`` strips the FOREIGN KEY clauses (used by tests
+    that want to exercise constraint-free paths)."""
+    for name in TABLE_ORDER:
+        ddl = TABLES[name]
+        if not with_fks:
+            ddl = _strip_fks(ddl)
+        session.execute(ddl)
+    for index_ddl in INDEXES:
+        session.execute(index_ddl)
+
+
+def _strip_fks(ddl: str) -> str:
+    lines = []
+    for line in ddl.splitlines():
+        if "FOREIGN KEY" in line.upper():
+            # Remove the clause; fix the trailing comma of the previous line.
+            if lines and lines[-1].rstrip().endswith(","):
+                lines[-1] = lines[-1].rstrip().rstrip(",")
+            continue
+        lines.append(line)
+    return "\n".join(lines)

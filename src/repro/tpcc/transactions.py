@@ -1,0 +1,576 @@
+"""TPC-C transactions, with schema-variant awareness.
+
+The five transaction types run against one of four schema variants:
+
+* ``BASE`` — the standard nine-table schema;
+* ``SPLIT`` — after the table-split migration (section 4.1): customer
+  is replaced by ``customer_private`` (financial columns) and
+  ``customer_public`` (contact columns);
+* ``AGGREGATE`` — after the aggregate migration (section 4.2): per-order
+  totals are maintained in ``order_totals`` alongside ``order_line``;
+* ``JOIN`` — after the join migration (section 4.3): ``order_line`` and
+  ``stock`` are replaced by the denormalized ``orderline_stock``.
+
+The transaction mix follows the paper: NewOrder 45 %, Payment 43 %,
+Delivery 4 %, OrderStatus 4 %, StockLevel 4 %.
+
+Contention control (section 4.4.2): ``hot_customers`` restricts the
+customer ids transactions touch to a hot set, increasing the chance of
+duplicate simultaneous migration attempts exactly as the paper's skew
+experiment does.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import datetime
+from decimal import Decimal
+from enum import Enum
+
+from ..db import Database, Session
+from ..errors import TransactionAborted
+from .loader import NURand, customer_last_name
+from .schema import ScaleConfig
+
+_NOW = datetime(2021, 6, 21, 12, 0, 0)
+
+
+class SchemaVariant(Enum):
+    BASE = "base"
+    SPLIT = "split"
+    AGGREGATE = "aggregate"
+    JOIN = "join"
+
+
+# (name, weight) — the paper's mix.
+TRANSACTION_MIX: tuple[tuple[str, int], ...] = (
+    ("new_order", 45),
+    ("payment", 43),
+    ("delivery", 4),
+    ("order_status", 4),
+    ("stock_level", 4),
+)
+
+
+class TpccClient:
+    """One emulated terminal: picks and runs transactions."""
+
+    def __init__(
+        self,
+        db: Database,
+        scale: ScaleConfig,
+        variant: SchemaVariant = SchemaVariant.BASE,
+        seed: int | None = None,
+        hot_customers: int | None = None,
+        customer_stride: tuple[int, int] | None = None,
+        max_retries: int = 10,
+        rollback_rate: float = 0.01,
+    ) -> None:
+        self.db = db
+        self.scale = scale
+        self.variant = variant
+        self.rng = random.Random(seed)
+        self.nurand = NURand(self.rng)
+        self.hot_customers = hot_customers
+        # (offset, step): walk customer ids offset, offset+step, ... so
+        # concurrent clients touch disjoint customers, each exactly once
+        # per cycle — the access pattern of the paper's section 4.4.1
+        # tracking-overhead experiment.
+        self.customer_stride = customer_stride
+        self._stride_position = 0
+        self.max_retries = max_retries
+        self.rollback_rate = rollback_rate
+        self.session: Session = db.connect()
+        self.aborts = 0
+
+    # ------------------------------------------------------------------
+    # Driver API
+    # ------------------------------------------------------------------
+    def pick_transaction(self) -> str:
+        total = sum(weight for _name, weight in TRANSACTION_MIX)
+        roll = self.rng.randint(1, total)
+        for name, weight in TRANSACTION_MIX:
+            roll -= weight
+            if roll <= 0:
+                return name
+        return TRANSACTION_MIX[0][0]
+
+    def run(self, name: str) -> bool:
+        """Run one transaction with retry-on-abort.  Returns True on
+        commit, False if it gave up after ``max_retries``."""
+        method = getattr(self, name)
+        for _attempt in range(self.max_retries):
+            try:
+                method()
+                return True
+            except TransactionAborted:
+                self.aborts += 1
+                if self.session.in_transaction:
+                    try:
+                        self.session.rollback()
+                    except Exception:
+                        pass
+                self.session._txn = None
+                continue
+        return False
+
+    def run_random(self) -> tuple[str, bool]:
+        name = self.pick_transaction()
+        return name, self.run(name)
+
+    # ------------------------------------------------------------------
+    # Random value helpers
+    # ------------------------------------------------------------------
+    def _warehouse(self) -> int:
+        return self.rng.randint(1, self.scale.warehouses)
+
+    def _district(self) -> int:
+        return self.rng.randint(1, self.scale.districts_per_warehouse)
+
+    def _customer(self) -> int:
+        if self.customer_stride is not None:
+            offset, step = self.customer_stride
+            total = self.scale.customers_per_district
+            customer = (offset + self._stride_position * step) % total + 1
+            self._stride_position += 1
+            return customer
+        if self.hot_customers is not None:
+            bound = max(
+                1, min(self.hot_customers, self.scale.customers_per_district)
+            )
+            return self.rng.randint(1, bound)
+        return self.nurand.customer_id(self.scale.customers_per_district)
+
+    def _item(self) -> int:
+        return self.nurand.item_id(self.scale.items)
+
+    def _last_name(self) -> str:
+        pool = min(self.scale.customers_per_district, 1000)
+        return customer_last_name(self.nurand.last_name_number(pool))
+
+    # ------------------------------------------------------------------
+    # Variant helpers
+    # ------------------------------------------------------------------
+    @property
+    def _split(self) -> bool:
+        return self.variant is SchemaVariant.SPLIT
+
+    @property
+    def _join(self) -> bool:
+        return self.variant is SchemaVariant.JOIN
+
+    @property
+    def _aggregate(self) -> bool:
+        return self.variant is SchemaVariant.AGGREGATE
+
+    # ==================================================================
+    # NewOrder (45%)
+    # ==================================================================
+    def new_order(self) -> None:
+        session = self.session
+        w_id = self._warehouse()
+        d_id = self._district()
+        c_id = self._customer()
+        line_count = self.rng.randint(
+            self.scale.min_lines_per_order, self.scale.max_lines_per_order
+        )
+        # Sorted item ids: consistent lock order avoids stock deadlocks.
+        item_ids = sorted({self._item() for _ in range(line_count)})
+        simulate_user_error = self.rng.random() < self.rollback_rate
+
+        session.begin()
+        try:
+            session.execute(
+                "SELECT w_tax FROM warehouse WHERE w_id = ?", [w_id]
+            )
+            district = session.execute(
+                "SELECT d_tax, d_next_o_id FROM district "
+                "WHERE d_w_id = ? AND d_id = ? FOR UPDATE",
+                [w_id, d_id],
+            )
+            o_id = district.rows[0][1]
+            session.execute(
+                "UPDATE district SET d_next_o_id = d_next_o_id + 1 "
+                "WHERE d_w_id = ? AND d_id = ?",
+                [w_id, d_id],
+            )
+            if self._split:
+                session.execute(
+                    "SELECT c_discount, c_credit FROM customer_private "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+                session.execute(
+                    "SELECT c_last FROM customer_public "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+            else:
+                session.execute(
+                    "SELECT c_discount, c_last, c_credit FROM customer "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+            session.execute(
+                "INSERT INTO orders (o_w_id, o_d_id, o_id, o_c_id, o_entry_d,"
+                " o_carrier_id, o_ol_cnt, o_all_local)"
+                " VALUES (?, ?, ?, ?, ?, NULL, ?, 1)",
+                [w_id, d_id, o_id, c_id, _NOW, len(item_ids)],
+            )
+            session.execute(
+                "INSERT INTO new_order (no_o_id, no_d_id, no_w_id) "
+                "VALUES (?, ?, ?)",
+                [o_id, d_id, w_id],
+            )
+            # Price the lines first so the AGGREGATE variant can insert
+            # the order's total *before* its lines: the lazy group
+            # migration this insert triggers then sees an empty group
+            # instead of this transaction's uncommitted lines (the
+            # engine has no MVCC snapshots; see DESIGN.md).
+            priced: list[tuple[int, int, int, Decimal]] = []
+            total = Decimal("0.00")
+            for number, i_id in enumerate(item_ids, start=1):
+                item = session.execute(
+                    "SELECT i_price, i_name, i_data FROM item WHERE i_id = ?",
+                    [i_id],
+                )
+                price = item.rows[0][0]
+                quantity = self.rng.randint(1, 10)
+                amount = price * quantity
+                total += amount
+                priced.append((number, i_id, quantity, amount))
+            if self._aggregate:
+                session.execute(
+                    "INSERT INTO order_totals (ol_w_id, ol_d_id, ol_o_id, "
+                    "ol_total) VALUES (?, ?, ?, ?) ON CONFLICT DO NOTHING",
+                    [w_id, d_id, o_id, total],
+                )
+            for number, i_id, quantity, amount in priced:
+                if self._join:
+                    self._new_order_line_joined(
+                        session, w_id, d_id, o_id, number, i_id, quantity, amount
+                    )
+                else:
+                    stock = session.execute(
+                        "SELECT s_quantity, s_dist_01 FROM stock "
+                        "WHERE s_w_id = ? AND s_i_id = ? FOR UPDATE",
+                        [w_id, i_id],
+                    )
+                    s_quantity = stock.rows[0][0]
+                    new_quantity = (
+                        s_quantity - quantity
+                        if s_quantity - quantity >= 10
+                        else s_quantity - quantity + 91
+                    )
+                    session.execute(
+                        "UPDATE stock SET s_quantity = ?, s_ytd = s_ytd + ?, "
+                        "s_order_cnt = s_order_cnt + 1 "
+                        "WHERE s_w_id = ? AND s_i_id = ?",
+                        [new_quantity, quantity, w_id, i_id],
+                    )
+                    session.execute(
+                        "INSERT INTO order_line (ol_w_id, ol_d_id, ol_o_id, "
+                        "ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, "
+                        "ol_quantity, ol_amount, ol_dist_info) "
+                        "VALUES (?, ?, ?, ?, ?, ?, NULL, ?, ?, ?)",
+                        [
+                            w_id, d_id, o_id, number, i_id, w_id,
+                            quantity, amount, stock.rows[0][1],
+                        ],
+                    )
+            if simulate_user_error:
+                # The spec's 1% "unused item number" rollback.
+                session.rollback()
+                return
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            raise
+
+    def _new_order_line_joined(
+        self, session, w_id, d_id, o_id, number, i_id, quantity, amount
+    ) -> None:
+        """JOIN variant: the denormalized orderline_stock carries both
+        order-line and stock columns; new lines copy the stock attributes
+        from an existing row for (s_w_id, s_i_id)."""
+        stock = session.execute(
+            "SELECT s_quantity, s_dist_01, s_ytd, s_order_cnt, s_data "
+            "FROM orderline_stock WHERE s_w_id = ? AND s_i_id = ? LIMIT 1",
+            [w_id, i_id],
+        )
+        if stock.rows:
+            s_quantity, s_dist, s_ytd, s_order_cnt, s_data = stock.rows[0]
+        else:
+            s_quantity, s_dist, s_ytd, s_order_cnt, s_data = 91, "", 0, 0, ""
+        new_quantity = (
+            s_quantity - quantity
+            if s_quantity - quantity >= 10
+            else s_quantity - quantity + 91
+        )
+        session.execute(
+            "UPDATE orderline_stock SET s_quantity = ?, s_ytd = s_ytd + ?, "
+            "s_order_cnt = s_order_cnt + 1 WHERE s_w_id = ? AND s_i_id = ?",
+            [new_quantity, quantity, w_id, i_id],
+        )
+        session.execute(
+            "INSERT INTO orderline_stock (ol_w_id, ol_d_id, ol_o_id, "
+            "ol_number, ol_i_id, ol_supply_w_id, ol_delivery_d, ol_quantity, "
+            "ol_amount, ol_dist_info, s_w_id, s_i_id, s_quantity, s_dist_01, "
+            "s_ytd, s_order_cnt, s_data) "
+            "VALUES (?, ?, ?, ?, ?, ?, NULL, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                w_id, d_id, o_id, number, i_id, w_id, quantity, amount, s_dist,
+                w_id, i_id, new_quantity, s_dist, s_ytd, s_order_cnt + 1, s_data,
+            ],
+        )
+
+    # ==================================================================
+    # Payment (43%)
+    # ==================================================================
+    def payment(self) -> None:
+        session = self.session
+        w_id = self._warehouse()
+        d_id = self._district()
+        amount = Decimal(self.rng.randint(100, 500_000)) / 100
+        by_name = self.rng.random() < 0.6 and self.hot_customers is None
+
+        session.begin()
+        try:
+            session.execute(
+                "UPDATE warehouse SET w_ytd = w_ytd + ? WHERE w_id = ?",
+                [amount, w_id],
+            )
+            session.execute(
+                "SELECT w_name FROM warehouse WHERE w_id = ?", [w_id]
+            )
+            session.execute(
+                "UPDATE district SET d_ytd = d_ytd + ? "
+                "WHERE d_w_id = ? AND d_id = ?",
+                [amount, w_id, d_id],
+            )
+            if by_name:
+                c_id = self._customer_by_name(session, w_id, d_id)
+                if c_id is None:
+                    session.rollback()
+                    return
+            else:
+                c_id = self._customer()
+            if self._split:
+                session.execute(
+                    "UPDATE customer_private SET c_balance = c_balance - ?, "
+                    "c_ytd_payment = c_ytd_payment + ?, "
+                    "c_payment_cnt = c_payment_cnt + 1 "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [amount, amount, w_id, d_id, c_id],
+                )
+            else:
+                session.execute(
+                    "UPDATE customer SET c_balance = c_balance - ?, "
+                    "c_ytd_payment = c_ytd_payment + ?, "
+                    "c_payment_cnt = c_payment_cnt + 1 "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [amount, amount, w_id, d_id, c_id],
+                )
+            session.execute(
+                "INSERT INTO history (h_c_id, h_c_d_id, h_c_w_id, h_d_id, "
+                "h_w_id, h_date, h_amount, h_data) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, 'payment')",
+                [c_id, d_id, w_id, d_id, w_id, _NOW, amount],
+            )
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            raise
+
+    def _customer_by_name(self, session, w_id: int, d_id: int) -> int | None:
+        last = self._last_name()
+        table = "customer_public" if self._split else "customer"
+        result = session.execute(
+            f"SELECT c_id FROM {table} "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_last = ? ORDER BY c_first",
+            [w_id, d_id, last],
+        )
+        if not result.rows:
+            return None
+        # The spec picks the "middle" matching customer (ceil(n/2)).
+        return result.rows[(len(result.rows)) // 2][0]
+
+    # ==================================================================
+    # Delivery (4%)
+    # ==================================================================
+    def delivery(self) -> None:
+        session = self.session
+        w_id = self._warehouse()
+        carrier = self.rng.randint(1, 10)
+        session.begin()
+        try:
+            for d_id in range(1, self.scale.districts_per_warehouse + 1):
+                oldest = session.execute(
+                    "SELECT no_o_id FROM new_order "
+                    "WHERE no_w_id = ? AND no_d_id = ? "
+                    "ORDER BY no_o_id ASC LIMIT 1",
+                    [w_id, d_id],
+                )
+                if not oldest.rows:
+                    continue
+                o_id = oldest.rows[0][0]
+                deleted = session.execute(
+                    "DELETE FROM new_order "
+                    "WHERE no_w_id = ? AND no_d_id = ? AND no_o_id = ?",
+                    [w_id, d_id, o_id],
+                )
+                if deleted.rowcount == 0:
+                    continue  # another Delivery claimed this order first
+                customer = session.execute(
+                    "SELECT o_c_id FROM orders "
+                    "WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
+                    [w_id, d_id, o_id],
+                )
+                if not customer.rows:
+                    continue
+                c_id = customer.rows[0][0]
+                session.execute(
+                    "UPDATE orders SET o_carrier_id = ? "
+                    "WHERE o_w_id = ? AND o_d_id = ? AND o_id = ?",
+                    [carrier, w_id, d_id, o_id],
+                )
+                total = self._order_total(session, w_id, d_id, o_id)
+                self._mark_lines_delivered(session, w_id, d_id, o_id)
+                balance_table = (
+                    "customer_private" if self._split else "customer"
+                )
+                session.execute(
+                    f"UPDATE {balance_table} SET c_balance = c_balance + ?, "
+                    "c_delivery_cnt = c_delivery_cnt + 1 "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [total or Decimal("0.00"), w_id, d_id, c_id],
+                )
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            raise
+
+    def _order_total(self, session, w_id, d_id, o_id):
+        """The paper's implicit aggregate (section 4.2): SUM(OL_AMOUNT)
+        for one order — served from ``order_totals`` post-migration."""
+        if self._aggregate:
+            result = session.execute(
+                "SELECT ol_total FROM order_totals "
+                "WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                [w_id, d_id, o_id],
+            )
+            return result.scalar()
+        table = "orderline_stock" if self._join else "order_line"
+        result = session.execute(
+            f"SELECT SUM(ol_amount) AS ol_total FROM {table} "
+            "WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+            [w_id, d_id, o_id],
+        )
+        return result.scalar()
+
+    def _mark_lines_delivered(self, session, w_id, d_id, o_id) -> None:
+        table = "orderline_stock" if self._join else "order_line"
+        session.execute(
+            f"UPDATE {table} SET ol_delivery_d = ? "
+            "WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+            [_NOW, w_id, d_id, o_id],
+        )
+
+    # ==================================================================
+    # OrderStatus (4%) — external read query
+    # ==================================================================
+    def order_status(self) -> None:
+        session = self.session
+        w_id = self._warehouse()
+        d_id = self._district()
+        by_name = self.rng.random() < 0.6 and self.hot_customers is None
+        session.begin()
+        try:
+            if by_name:
+                c_id = self._customer_by_name(session, w_id, d_id)
+                if c_id is None:
+                    session.rollback()
+                    return
+            else:
+                c_id = self._customer()
+            if self._split:
+                session.execute(
+                    "SELECT c_balance FROM customer_private "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+                session.execute(
+                    "SELECT c_first, c_middle, c_last FROM customer_public "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+            else:
+                session.execute(
+                    "SELECT c_balance, c_first, c_middle, c_last "
+                    "FROM customer "
+                    "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?",
+                    [w_id, d_id, c_id],
+                )
+            order = session.execute(
+                "SELECT o_id, o_entry_d, o_carrier_id FROM orders "
+                "WHERE o_w_id = ? AND o_d_id = ? AND o_c_id = ? "
+                "ORDER BY o_id DESC LIMIT 1",
+                [w_id, d_id, c_id],
+            )
+            if order.rows:
+                o_id = order.rows[0][0]
+                table = "orderline_stock" if self._join else "order_line"
+                session.execute(
+                    f"SELECT ol_i_id, ol_supply_w_id, ol_quantity, ol_amount, "
+                    f"ol_delivery_d FROM {table} "
+                    "WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                    [w_id, d_id, o_id],
+                )
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            raise
+
+    # ==================================================================
+    # StockLevel (4%) — external read query (the join of section 4.3)
+    # ==================================================================
+    def stock_level(self) -> None:
+        session = self.session
+        w_id = self._warehouse()
+        d_id = self._district()
+        threshold = self.rng.randint(10, 20)
+        session.begin()
+        try:
+            next_o_id = session.execute(
+                "SELECT d_next_o_id FROM district "
+                "WHERE d_w_id = ? AND d_id = ?",
+                [w_id, d_id],
+            ).scalar()
+            low = max(1, next_o_id - 20)
+            if self._join:
+                session.execute(
+                    "SELECT COUNT(DISTINCT s_i_id) AS stock_count "
+                    "FROM orderline_stock "
+                    "WHERE ol_w_id = ? AND ol_d_id = ? "
+                    "AND ol_o_id >= ? AND ol_o_id < ? "
+                    "AND s_w_id = ? AND s_quantity < ?",
+                    [w_id, d_id, low, next_o_id, w_id, threshold],
+                )
+            else:
+                session.execute(
+                    "SELECT COUNT(DISTINCT s_i_id) AS stock_count "
+                    "FROM order_line, stock "
+                    "WHERE ol_w_id = ? AND ol_d_id = ? "
+                    "AND ol_o_id >= ? AND ol_o_id < ? "
+                    "AND s_w_id = ? AND s_i_id = ol_i_id AND s_quantity < ?",
+                    [w_id, d_id, low, next_o_id, w_id, threshold],
+                )
+            session.commit()
+        except BaseException:
+            if session.in_transaction:
+                session.rollback()
+            raise

@@ -1,0 +1,20 @@
+"""Transactions: locking, write-ahead logging, and the transaction manager."""
+
+from .locks import DeadlockPolicy, LockManager, LockMode
+from .wal import LogOp, LogRecord, RedoLog
+from .manager import Transaction, TransactionManager, TxnState
+from .recovery import RecoveryError, replay_redo
+
+__all__ = [
+    "DeadlockPolicy",
+    "LockManager",
+    "LockMode",
+    "LogOp",
+    "LogRecord",
+    "RedoLog",
+    "Transaction",
+    "TransactionManager",
+    "TxnState",
+    "RecoveryError",
+    "replay_redo",
+]

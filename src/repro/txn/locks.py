@@ -1,0 +1,221 @@
+"""Lock manager: strict two-phase locking with deadlock handling.
+
+Resources are hashable keys — the transaction manager uses
+``("table", name)`` for table-level locks and ``("tuple", name, tid)``
+for tuple-level locks.  Modes follow the classic hierarchy:
+
+    IS < IX < S < X   (SIX omitted; the engine does not need it)
+
+Two deadlock policies are supported:
+
+* ``DETECT`` (default) — blocked requesters register edges in a global
+  waits-for graph; a cycle check runs before sleeping and the requester
+  that *closes* a cycle dies (:class:`repro.errors.DeadlockAvoided`).
+  Everyone else queues, which is what makes the eager-migration
+  baseline behave like the paper's: client transactions pile up behind
+  the migration's exclusive table locks instead of failing fast.
+* ``WAIT_DIE`` — the classic timestamp scheme (older waits, younger
+  dies); cheaper, never builds the graph.
+
+A configurable timeout bounds pathological waits under either policy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+from typing import Hashable
+
+from ..errors import DeadlockAvoided, LockTimeout
+
+
+class LockMode(IntEnum):
+    IS = 0
+    IX = 1
+    S = 2
+    X = 3
+
+
+class DeadlockPolicy(Enum):
+    DETECT = "detect"
+    WAIT_DIE = "wait-die"
+
+
+# _COMPATIBLE[held][requested]
+_COMPATIBLE = {
+    LockMode.IS: {LockMode.IS: True, LockMode.IX: True, LockMode.S: True, LockMode.X: False},
+    LockMode.IX: {LockMode.IS: True, LockMode.IX: True, LockMode.S: False, LockMode.X: False},
+    LockMode.S: {LockMode.IS: True, LockMode.IX: False, LockMode.S: True, LockMode.X: False},
+    LockMode.X: {LockMode.IS: False, LockMode.IX: False, LockMode.S: False, LockMode.X: False},
+}
+
+# Upgrade lattice: the mode that covers both.
+_SUPREMUM = {
+    (LockMode.IS, LockMode.IX): LockMode.IX,
+    (LockMode.IS, LockMode.S): LockMode.S,
+    (LockMode.IS, LockMode.X): LockMode.X,
+    (LockMode.IX, LockMode.S): LockMode.X,  # S+IX == SIX; we round up to X
+    (LockMode.IX, LockMode.X): LockMode.X,
+    (LockMode.S, LockMode.X): LockMode.X,
+}
+
+
+def supremum(a: LockMode, b: LockMode) -> LockMode:
+    if a == b:
+        return a
+    return _SUPREMUM.get((min(a, b), max(a, b)), max(a, b))
+
+
+@dataclass
+class _LockEntry:
+    """State of one lockable resource."""
+
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    condition: threading.Condition = field(default_factory=threading.Condition)
+    waiting: int = 0
+
+
+class _WaitsForGraph:
+    """Global waits-for graph for deadlock detection."""
+
+    def __init__(self) -> None:
+        self._edges: dict[int, set[int]] = {}
+        self._latch = threading.Lock()
+
+    def would_deadlock(self, waiter: int, holders: set[int]) -> bool:
+        """Register waiter->holders; True if that closes a cycle (the
+        edges are left registered either way — callers must clear)."""
+        with self._latch:
+            self._edges[waiter] = set(holders)
+            # DFS from each holder looking for a path back to waiter.
+            stack = list(holders)
+            seen: set[int] = set()
+            while stack:
+                node = stack.pop()
+                if node == waiter:
+                    return True
+                if node in seen:
+                    continue
+                seen.add(node)
+                stack.extend(self._edges.get(node, ()))
+            return False
+
+    def update(self, waiter: int, holders: set[int]) -> None:
+        with self._latch:
+            self._edges[waiter] = set(holders)
+
+    def clear(self, waiter: int) -> None:
+        with self._latch:
+            self._edges.pop(waiter, None)
+
+
+class LockManager:
+    """Central lock table shared by all transactions of a database."""
+
+    def __init__(
+        self,
+        timeout: float = 10.0,
+        policy: DeadlockPolicy = DeadlockPolicy.DETECT,
+    ) -> None:
+        self.timeout = timeout
+        self.policy = policy
+        self._entries: dict[Hashable, _LockEntry] = {}
+        self._latch = threading.Lock()
+        self._waits_for = _WaitsForGraph()
+
+    def _entry(self, resource: Hashable) -> _LockEntry:
+        with self._latch:
+            entry = self._entries.get(resource)
+            if entry is None:
+                entry = _LockEntry()
+                self._entries[resource] = entry
+            return entry
+
+    # ------------------------------------------------------------------
+    # Acquire / release
+    # ------------------------------------------------------------------
+    def acquire(self, txn_id: int, resource: Hashable, mode: LockMode) -> bool:
+        """Acquire (or upgrade to) ``mode`` on ``resource`` for ``txn_id``.
+
+        Returns True if a new/upgraded lock was taken, False if the
+        transaction already held a covering mode.  Raises
+        DeadlockAvoided or LockTimeout.
+        """
+        entry = self._entry(resource)
+        with entry.condition:
+            held = entry.holders.get(txn_id)
+            if held is not None and held >= mode and not (
+                held == LockMode.IX and mode == LockMode.S
+            ):
+                return False
+            target = mode if held is None else supremum(held, mode)
+            deadline = None
+            waited = False
+            try:
+                while True:
+                    conflicting = {
+                        other
+                        for other, other_mode in entry.holders.items()
+                        if other != txn_id and not _COMPATIBLE[other_mode][target]
+                    }
+                    if not conflicting:
+                        entry.holders[txn_id] = target
+                        return True
+                    if self.policy is DeadlockPolicy.WAIT_DIE:
+                        # Only wait for strictly older holders.
+                        if any(other < txn_id for other in conflicting):
+                            raise DeadlockAvoided(
+                                f"transaction {txn_id} dies waiting for lock "
+                                f"on {resource!r} held by older transaction(s)"
+                            )
+                    else:
+                        if not waited:
+                            if self._waits_for.would_deadlock(txn_id, conflicting):
+                                raise DeadlockAvoided(
+                                    f"deadlock detected: transaction {txn_id} "
+                                    f"waiting on {resource!r} closes a cycle"
+                                )
+                        else:
+                            self._waits_for.update(txn_id, conflicting)
+                    waited = True
+                    if deadline is None:
+                        deadline = time.monotonic() + self.timeout
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise LockTimeout(
+                            f"transaction {txn_id} timed out waiting for "
+                            f"{target.name} lock on {resource!r}"
+                        )
+                    entry.waiting += 1
+                    try:
+                        entry.condition.wait(min(remaining, 0.2))
+                    finally:
+                        entry.waiting -= 1
+            finally:
+                if waited:
+                    self._waits_for.clear(txn_id)
+
+    def release(self, txn_id: int, resource: Hashable) -> None:
+        entry = self._entry(resource)
+        with entry.condition:
+            if entry.holders.pop(txn_id, None) is not None:
+                entry.condition.notify_all()
+
+    def release_all(self, txn_id: int, resources: list[Hashable]) -> None:
+        for resource in resources:
+            self.release(txn_id, resource)
+
+    # ------------------------------------------------------------------
+    # Introspection (tests / stats)
+    # ------------------------------------------------------------------
+    def held_mode(self, txn_id: int, resource: Hashable) -> LockMode | None:
+        entry = self._entry(resource)
+        with entry.condition:
+            return entry.holders.get(txn_id)
+
+    def waiter_count(self, resource: Hashable) -> int:
+        entry = self._entry(resource)
+        with entry.condition:
+            return entry.waiting

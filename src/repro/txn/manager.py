@@ -1,0 +1,201 @@
+"""Transactions: strict 2PL + undo-based abort + redo logging.
+
+A :class:`Transaction` tracks held locks, an undo list of physical
+inverse actions, and buffered redo records; COMMIT releases locks after
+appending the redo batch, ABORT applies undo in reverse then runs the
+registered abort hooks — which is where BullFrog resets the lock bits of
+its in-progress migration granules (paper section 3.5).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from enum import Enum
+from typing import Any, Callable, Hashable
+
+from ..errors import TransactionAborted, TransactionError
+from ..storage.tid import Tid
+from .locks import DeadlockPolicy, LockManager, LockMode
+from .wal import LogOp, RedoLog
+
+Row = tuple[Any, ...]
+
+
+class TxnState(Enum):
+    ACTIVE = "ACTIVE"
+    COMMITTED = "COMMITTED"
+    ABORTED = "ABORTED"
+
+
+class Transaction:
+    """One transaction.  Not thread-safe: a transaction belongs to the
+    single worker driving it (workers cooperate through the shared lock
+    manager and BullFrog's shared trackers, not by sharing transactions).
+    """
+
+    def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
+        self.id = txn_id
+        self.state = TxnState.ACTIVE
+        self._manager = manager
+        self._locks: list[Hashable] = []
+        self._undo: list[Callable[[], None]] = []
+        self._redo: list[tuple[LogOp, Any]] = []
+        self._commit_hooks: list[Callable[[], None]] = []
+        self._abort_hooks: list[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # State guards
+    # ------------------------------------------------------------------
+    def _check_active(self) -> None:
+        if self.state is not TxnState.ACTIVE:
+            raise TransactionAborted(
+                f"transaction {self.id} is {self.state.value} and cannot be used"
+            )
+
+    @property
+    def is_active(self) -> bool:
+        return self.state is TxnState.ACTIVE
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+    def lock_table(self, table_name: str, mode: LockMode) -> None:
+        self._check_active()
+        resource = ("table", table_name)
+        try:
+            if self._manager.locks.acquire(self.id, resource, mode):
+                self._locks.append(resource)
+        except TransactionAborted:
+            self.abort()
+            raise
+
+    def lock_tuple(self, table_name: str, tid: Tid, mode: LockMode) -> None:
+        self._check_active()
+        resource = ("tuple", table_name, tid)
+        try:
+            if self._manager.locks.acquire(self.id, resource, mode):
+                self._locks.append(resource)
+        except TransactionAborted:
+            self.abort()
+            raise
+
+    # ------------------------------------------------------------------
+    # Undo / redo recording (called by the DML executor)
+    # ------------------------------------------------------------------
+    def record_insert(self, table, tid: Tid, row: Row) -> None:
+        self._check_active()
+        self._undo.append(lambda: table.physical_unindex(tid, row))
+        self._redo.append((LogOp.INSERT, (table.schema.name, tid, row)))
+
+    def record_update(self, table, tid: Tid, old_row: Row, new_row: Row) -> None:
+        self._check_active()
+        self._undo.append(lambda: table.physical_update(tid, old_row))
+        self._redo.append((LogOp.UPDATE, (table.schema.name, tid, new_row)))
+
+    def record_delete(self, table, tid: Tid, old_row: Row) -> None:
+        self._check_active()
+        self._undo.append(lambda: table.physical_restore(tid, old_row))
+        self._redo.append((LogOp.DELETE, (table.schema.name, tid, old_row)))
+
+    def record_migration(self, migration_id: str, input_table: str, granules: tuple) -> None:
+        """BullFrog: log which granules this txn migrated so recovery can
+        rebuild the tracker (paper section 3.5)."""
+        self._check_active()
+        self._redo.append((LogOp.MIGRATE, (migration_id, input_table, granules)))
+
+    def add_undo(self, action: Callable[[], None]) -> None:
+        """Register an arbitrary physical inverse action (DDL paths)."""
+        self._check_active()
+        self._undo.append(action)
+
+    def on_commit(self, hook: Callable[[], None]) -> None:
+        self._check_active()
+        self._commit_hooks.append(hook)
+
+    def on_abort(self, hook: Callable[[], None]) -> None:
+        self._check_active()
+        self._abort_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Completion
+    # ------------------------------------------------------------------
+    def commit(self) -> None:
+        self._check_active()
+        if self._redo:
+            self._manager.wal.append_batch(self.id, self._redo)
+        self.state = TxnState.COMMITTED
+        self._release_locks()
+        hooks, self._commit_hooks = self._commit_hooks, []
+        for hook in hooks:
+            hook()
+        self._manager._finished(self)
+
+    def abort(self) -> None:
+        if self.state is TxnState.ABORTED:
+            return
+        if self.state is TxnState.COMMITTED:
+            raise TransactionError(f"transaction {self.id} already committed")
+        # Apply undo in reverse order (standard ARIES-style rollback).
+        for action in reversed(self._undo):
+            action()
+        self._manager.wal.append_abort(self.id)
+        self.state = TxnState.ABORTED
+        self._release_locks()
+        hooks, self._abort_hooks = self._abort_hooks, []
+        # Abort hooks run AFTER the underlying undo completed — the
+        # ordering the paper requires: "after the standard database
+        # system code is run to handle the abort, BullFrog must inject
+        # additional code that traverses the aborted worker's WIP list".
+        for hook in hooks:
+            hook()
+        self._manager._finished(self)
+
+    def _release_locks(self) -> None:
+        self._manager.locks.release_all(self.id, self._locks)
+        self._locks.clear()
+        self._undo.clear()
+        self._redo.clear()
+
+    # Context-manager sugar: commits on success, aborts on exception.
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.is_active:
+                self.commit()
+        else:
+            if self.is_active:
+                self.abort()
+        return False
+
+
+class TransactionManager:
+    """Issues transaction ids and owns the shared lock manager + WAL."""
+
+    def __init__(
+        self,
+        lock_timeout: float = 10.0,
+        deadlock_policy: DeadlockPolicy = DeadlockPolicy.DETECT,
+    ) -> None:
+        self.locks = LockManager(timeout=lock_timeout, policy=deadlock_policy)
+        self.wal = RedoLog()
+        self._next_id = itertools.count(1)
+        self._active: dict[int, Transaction] = {}
+        self._latch = threading.Lock()
+
+    def begin(self) -> Transaction:
+        txn = Transaction(next(self._next_id), self)
+        with self._latch:
+            self._active[txn.id] = txn
+        return txn
+
+    def _finished(self, txn: Transaction) -> None:
+        with self._latch:
+            self._active.pop(txn.id, None)
+
+    @property
+    def active_count(self) -> int:
+        with self._latch:
+            return len(self._active)

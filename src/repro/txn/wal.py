@@ -1,0 +1,102 @@
+"""Redo log (WAL).
+
+An in-memory, append-only redo log.  Data-page durability is out of
+scope for this reproduction (storage is volatile anyway); the log
+exists because BullFrog's tracker-recovery path (paper section 3.5)
+rebuilds migration bitmaps/hashmaps by scanning committed migration
+records in the REDO log after a crash — ``repro.core.recovery``
+consumes exactly this structure.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Iterator
+
+
+class LogOp(Enum):
+    INSERT = "INSERT"
+    UPDATE = "UPDATE"
+    DELETE = "DELETE"
+    COMMIT = "COMMIT"
+    ABORT = "ABORT"
+    MIGRATE = "MIGRATE"  # BullFrog: granule(s) migrated by this txn
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One redo record.
+
+    ``payload`` depends on ``op``:
+      * INSERT/UPDATE/DELETE: (table, tid, row) — row is the after-image
+        (before-image for DELETE).
+      * MIGRATE: (migration_id, input_table, granule_keys) where
+        granule_keys is a tuple of bitmap ordinals or hashmap group keys.
+      * COMMIT/ABORT: None.
+    """
+
+    lsn: int
+    txn_id: int
+    op: LogOp
+    payload: Any = None
+
+
+class RedoLog:
+    """Thread-safe append-only log with monotonically increasing LSNs."""
+
+    def __init__(self) -> None:
+        self._records: list[LogRecord] = []
+        self._latch = threading.Lock()
+
+    def append_batch(self, txn_id: int, entries: list[tuple[LogOp, Any]]) -> int:
+        """Atomically append a transaction's records followed by COMMIT.
+
+        Mirrors a group-commit: either all of a transaction's redo
+        records (and its COMMIT) appear in the log, or none do.  Returns
+        the commit LSN.
+        """
+        with self._latch:
+            base = len(self._records)
+            for offset, (op, payload) in enumerate(entries):
+                self._records.append(LogRecord(base + offset, txn_id, op, payload))
+            commit_lsn = len(self._records)
+            self._records.append(LogRecord(commit_lsn, txn_id, LogOp.COMMIT))
+            return commit_lsn
+
+    def append_abort(self, txn_id: int) -> int:
+        with self._latch:
+            lsn = len(self._records)
+            self._records.append(LogRecord(lsn, txn_id, LogOp.ABORT))
+            return lsn
+
+    def __len__(self) -> int:
+        with self._latch:
+            return len(self._records)
+
+    def records(self) -> list[LogRecord]:
+        """Snapshot of all records (recovery scans this)."""
+        with self._latch:
+            return list(self._records)
+
+    def committed_txn_ids(self) -> set[int]:
+        with self._latch:
+            return {
+                record.txn_id
+                for record in self._records
+                if record.op is LogOp.COMMIT
+            }
+
+    def iter_committed(self) -> Iterator[LogRecord]:
+        """Yield the data records of committed transactions, in LSN order.
+
+        This is the two-pass REDO scan: first find commit records, then
+        replay the records of those transactions.
+        """
+        committed = self.committed_txn_ids()
+        for record in self.records():
+            if record.op in (LogOp.COMMIT, LogOp.ABORT):
+                continue
+            if record.txn_id in committed:
+                yield record

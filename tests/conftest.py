@@ -1,0 +1,42 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database
+from repro.tpcc import ScaleConfig, create_schema, load_tpcc
+
+
+@pytest.fixture
+def db() -> Database:
+    return Database()
+
+
+@pytest.fixture
+def session(db):
+    return db.connect()
+
+
+TINY_SCALE = ScaleConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=20,
+    items=30,
+    initial_orders_per_district=20,
+)
+
+
+@pytest.fixture
+def tpcc_db():
+    """A freshly loaded tiny TPC-C database."""
+    database = Database()
+    session = database.connect()
+    create_schema(session)
+    load_tpcc(database, TINY_SCALE)
+    return database
+
+
+@pytest.fixture
+def tpcc_scale() -> ScaleConfig:
+    return TINY_SCALE

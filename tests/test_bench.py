@@ -1,0 +1,215 @@
+"""Tests for the benchmark harness: metrics, driver, report, scenarios."""
+
+import time
+
+import pytest
+
+from repro.bench import (
+    DriverConfig,
+    ExperimentConfig,
+    LatencyRecorder,
+    LatencySummary,
+    ThroughputSeries,
+    WorkloadDriver,
+    cdf_points,
+    percentile,
+    render_cdf,
+    render_timeseries,
+    run_migration_experiment,
+    summary_rows,
+)
+from repro.bench.report import downsample
+from repro.core import Strategy
+from repro.tpcc import ScaleConfig
+
+
+class TestMetrics:
+    def test_throughput_buckets(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        for t in (0.1, 0.5, 1.2, 2.9, 2.95):
+            series.record(t)
+        assert series.series() == [(0.0, 2.0), (1.0, 1.0), (2.0, 2.0)]
+
+    def test_throughput_dense_zeros(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        series.record(0.1)
+        series.record(3.2)
+        assert series.series() == [(0.0, 1.0), (1.0, 0.0), (2.0, 0.0), (3.0, 1.0)]
+
+    def test_throughput_fractional_buckets(self):
+        series = ThroughputSeries(bucket_seconds=0.5)
+        series.record(0.1)
+        series.record(0.2)
+        assert series.series()[0] == (0.0, 4.0)  # 2 txns / 0.5s
+
+    def test_latency_recorder_filters(self):
+        recorder = LatencyRecorder()
+        recorder.record(0.5, 0.010, "new_order")
+        recorder.record(1.5, 0.020, "payment")
+        recorder.record(2.5, 0.030, "new_order")
+        assert len(recorder) == 3
+        assert len(recorder.samples("new_order")) == 2
+        assert len(recorder.samples("new_order", after=1.0)) == 1
+
+    def test_percentile(self):
+        values = sorted(float(i) for i in range(1, 101))
+        assert percentile(values, 50) == pytest.approx(50.0, abs=1)
+        assert percentile(values, 99) == pytest.approx(99.0, abs=1)
+        assert percentile([], 50) != percentile([], 50)  # NaN
+
+    def test_cdf_points_monotonic(self):
+        points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0], points=10)
+        latencies = [p[0] for p in points]
+        fractions = [p[1] for p in points]
+        assert latencies == sorted(latencies)
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+    def test_latency_summary(self):
+        summary = LatencySummary.of([0.001, 0.002, 0.003, 0.004, 1.0])
+        assert summary.count == 5
+        assert summary.max == 1.0
+        assert summary.p50 == 0.003
+
+    def test_latency_summary_empty(self):
+        summary = LatencySummary.of([])
+        assert summary.count == 0
+
+
+class _FakeClient:
+    def __init__(self, latency=0.0):
+        self.latency = latency
+        self.calls = 0
+
+    def run_random(self):
+        self.calls += 1
+        if self.latency:
+            time.sleep(self.latency)
+        return "fake", True
+
+
+class TestDriver:
+    def test_closed_loop_counts(self):
+        driver = WorkloadDriver(
+            lambda i: _FakeClient(latency=0.001),
+            DriverConfig(duration=0.5, rate=None, workers=2),
+        )
+        result = driver.run()
+        assert result.completed > 50
+        assert result.failed == 0
+        assert result.overall_tps > 100
+
+    def test_open_loop_respects_rate(self):
+        driver = WorkloadDriver(
+            lambda i: _FakeClient(),
+            DriverConfig(duration=1.0, rate=100, workers=2),
+        )
+        result = driver.run()
+        # Scheduled arrivals: exactly rate x duration (give slack for
+        # shutdown timing).
+        assert 80 <= result.completed <= 101
+
+    def test_open_loop_queueing_latency(self):
+        """When service time exceeds the arrival interval, latency grows
+        (the queue builds) — the saturation regime of the figures."""
+        driver = WorkloadDriver(
+            lambda i: _FakeClient(latency=0.02),
+            DriverConfig(duration=1.0, rate=200, workers=1),
+        )
+        result = driver.run()
+        samples = [s.latency for s in result.latencies.samples()]
+        assert samples, "no samples recorded"
+        # early requests fast, late requests queued
+        assert max(samples) > 0.1
+
+    def test_events_marked(self):
+        driver = WorkloadDriver(
+            lambda i: _FakeClient(),
+            DriverConfig(duration=0.3, rate=50, workers=1),
+        )
+
+        def on_start(drv):
+            drv.mark("hello")
+
+        result = driver.run(on_start=on_start)
+        assert any(label == "hello" for _t, label in result.events)
+
+    def test_errors_recorded_not_fatal(self):
+        class Exploding:
+            def run_random(self):
+                raise ValueError("kaboom")
+
+        driver = WorkloadDriver(
+            lambda i: Exploding(),
+            DriverConfig(duration=0.2, rate=50, workers=1),
+        )
+        result = driver.run()
+        assert result.errors.get("ValueError", 0) > 0
+        assert result.completed == 0
+
+
+class TestReport:
+    def test_render_timeseries(self):
+        text = render_timeseries(
+            {"sys-a": [(0.0, 10.0), (1.0, 20.0)], "sys-b": [(0.0, 5.0)]},
+            {"sys-a": [(0.5, "migration start")]},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "A = sys-a" in text
+        assert "migration start" in text
+
+    def test_render_timeseries_empty(self):
+        assert "(no data)" in render_timeseries({"x": []})
+
+    def test_render_cdf(self):
+        text = render_cdf({"sys": [0.001, 0.002, 0.5]})
+        assert "sys" in text
+        assert "ms" in text
+
+    def test_summary_rows(self):
+        rows = summary_rows({"a": [0.001, 0.002]})
+        assert rows[0]["system"] == "a"
+        assert rows[0]["count"] == 2
+
+    def test_downsample(self):
+        series = [(float(i), float(i)) for i in range(100)]
+        small = downsample(series, buckets=10)
+        assert len(small) <= 12
+        assert small[0][0] == 0.0
+
+
+@pytest.mark.slow
+class TestExperimentIntegration:
+    def test_quick_lazy_experiment(self):
+        config = ExperimentConfig(
+            scenario="split",
+            scale=ScaleConfig.small(),
+            strategy=Strategy.LAZY,
+            duration=3.0,
+            migrate_at=1.0,
+            workers=2,
+            background_delay=0.5,
+            rate_fraction=0.5,
+        )
+        result = run_migration_experiment(config)
+        assert result.driver.completed > 0
+        assert result.migration_started_at is not None
+        assert result.migration_started_at == pytest.approx(1.0, abs=0.5)
+        assert result.migration_completed_at is not None
+        assert result.latencies("new_order")
+        assert result.migration_stats.get("complete") is True
+
+    def test_quick_eager_experiment(self):
+        config = ExperimentConfig(
+            scenario="split",
+            scale=ScaleConfig.small(),
+            strategy=Strategy.EAGER,
+            duration=3.0,
+            migrate_at=1.0,
+            workers=2,
+            rate_fraction=0.5,
+        )
+        result = run_migration_experiment(config)
+        assert result.migration_completed_at is not None
+        assert result.driver.failed == 0

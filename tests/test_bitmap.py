@@ -1,0 +1,186 @@
+"""Tests for the migration bitmap (paper section 3.3, Algorithm 2)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Claim, MigrationBitmap
+from repro.core.bitmap import IN_PROGRESS, MIGRATED, NOT_STARTED
+
+
+class TestStates:
+    def test_initial_state(self):
+        bitmap = MigrationBitmap(8)
+        assert all(bitmap.state(i) == NOT_STARTED for i in range(8))
+        assert bitmap.migrated_count == 0
+        assert not bitmap.all_migrated
+
+    def test_claim_sets_lock_bit(self):
+        bitmap = MigrationBitmap(8)
+        assert bitmap.try_begin(3) is Claim.MIGRATE
+        assert bitmap.state(3) == IN_PROGRESS
+        assert bitmap.is_in_progress(3)
+        assert not bitmap.is_migrated(3)
+
+    def test_second_claim_skips(self):
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(3)
+        assert bitmap.try_begin(3) is Claim.SKIP
+
+    def test_migrated_returns_done(self):
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(3)
+        bitmap.mark_migrated([3])
+        assert bitmap.state(3) == MIGRATED
+        assert bitmap.try_begin(3) is Claim.DONE
+
+    def test_one_one_never_occurs(self):
+        """[1 1] must never occur: marking migrated clears the lock bit."""
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(0)
+        bitmap.mark_migrated([0])
+        assert bitmap.state(0) == MIGRATED  # not IN_PROGRESS | MIGRATED
+
+    def test_reset_after_abort(self):
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(5)
+        bitmap.reset([5])
+        assert bitmap.state(5) == NOT_STARTED
+        assert bitmap.try_begin(5) is Claim.MIGRATE  # re-claimable
+
+    def test_reset_does_not_clear_migrated(self):
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(5)
+        bitmap.mark_migrated([5])
+        bitmap.reset([5])
+        assert bitmap.is_migrated(5)
+
+    def test_mark_migrated_idempotent(self):
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(0)
+        bitmap.mark_migrated([0])
+        bitmap.mark_migrated([0])
+        assert bitmap.migrated_count == 1
+
+    def test_bounds_checked(self):
+        bitmap = MigrationBitmap(4)
+        with pytest.raises(IndexError):
+            bitmap.try_begin(4)
+        with pytest.raises(IndexError):
+            bitmap.state(-1)
+
+    def test_all_migrated(self):
+        bitmap = MigrationBitmap(4)
+        for i in range(4):
+            bitmap.try_begin(i)
+        bitmap.mark_migrated(range(4))
+        assert bitmap.all_migrated
+
+    def test_zero_size(self):
+        bitmap = MigrationBitmap(0)
+        assert bitmap.all_migrated  # vacuously complete
+        assert list(bitmap.iter_unmigrated()) == []
+
+    def test_iter_unmigrated(self):
+        bitmap = MigrationBitmap(6)
+        bitmap.try_begin(1)
+        bitmap.mark_migrated([1])
+        bitmap.try_begin(3)  # in-progress still counts as unmigrated
+        assert list(bitmap.iter_unmigrated()) == [0, 2, 3, 4, 5]
+        assert list(bitmap.iter_unmigrated(start=2, limit=2)) == [2, 3]
+
+    def test_adjacent_granules_do_not_interfere(self):
+        """Four granules share each byte: flipping one must not disturb
+        its neighbours."""
+        bitmap = MigrationBitmap(8)
+        bitmap.try_begin(1)
+        bitmap.mark_migrated([1])
+        bitmap.try_begin(2)
+        assert bitmap.state(0) == NOT_STARTED
+        assert bitmap.state(1) == MIGRATED
+        assert bitmap.state(2) == IN_PROGRESS
+        assert bitmap.state(3) == NOT_STARTED
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("partitions", [1, 4, 16])
+    def test_exactly_once_claims(self, partitions):
+        """Every granule is claimed by exactly one of many racing
+        workers — the paper's exactly-once guarantee at the bitmap level."""
+        size = 2000
+        bitmap = MigrationBitmap(size, partitions=partitions)
+        claims = [[] for _ in range(8)]
+
+        def worker(bucket):
+            for ordinal in range(size):
+                if bitmap.try_begin(ordinal) is Claim.MIGRATE:
+                    bucket.append(ordinal)
+
+        threads = [
+            threading.Thread(target=worker, args=(claims[i],))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sorted(o for bucket in claims for o in bucket)
+        assert total == list(range(size))  # each exactly once
+
+    def test_concurrent_mark_and_reset(self):
+        bitmap = MigrationBitmap(1000, partitions=8)
+        for i in range(1000):
+            bitmap.try_begin(i)
+
+        def marker():
+            bitmap.mark_migrated(range(0, 1000, 2))
+
+        def resetter():
+            bitmap.reset(range(1, 1000, 2))
+
+        t1, t2 = threading.Thread(target=marker), threading.Thread(target=resetter)
+        t1.start(); t2.start(); t1.join(); t2.join()
+        assert bitmap.migrated_count == 500
+        assert all(bitmap.state(i) == MIGRATED for i in range(0, 1000, 2))
+        assert all(bitmap.state(i) == NOT_STARTED for i in range(1, 1000, 2))
+
+
+@settings(max_examples=60)
+@given(
+    size=st.integers(min_value=1, max_value=40),
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["claim", "mark", "reset"]),
+            st.integers(min_value=0, max_value=39),
+        ),
+        max_size=60,
+    ),
+)
+def test_bitmap_matches_reference_model(size, operations):
+    """Single-threaded model check: the bitmap behaves like a dict of
+    three-state values under arbitrary claim/mark/reset sequences."""
+    bitmap = MigrationBitmap(size)
+    model: dict[int, str] = {}
+    for op, raw in operations:
+        ordinal = raw % size
+        state = model.get(ordinal, "new")
+        if op == "claim":
+            outcome = bitmap.try_begin(ordinal)
+            if state == "new":
+                assert outcome is Claim.MIGRATE
+                model[ordinal] = "claimed"
+            elif state == "claimed":
+                assert outcome is Claim.SKIP
+            else:
+                assert outcome is Claim.DONE
+        elif op == "mark":
+            if state == "claimed":
+                bitmap.mark_migrated([ordinal])
+                model[ordinal] = "done"
+        else:  # reset
+            bitmap.reset([ordinal])
+            if state == "claimed":
+                model[ordinal] = "new"
+    migrated = sum(1 for v in model.values() if v == "done")
+    assert bitmap.migrated_count == migrated

@@ -1,0 +1,165 @@
+"""Tests for the migration hash table (paper section 3.4, Algorithm 3)."""
+
+import threading
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Claim, GroupState, MigrationHashMap
+
+
+class TestAlgorithm3:
+    def test_absent_key_claimed(self):
+        table = MigrationHashMap()
+        assert table.try_begin(("g1",)) is Claim.MIGRATE
+        assert table.state(("g1",)) is GroupState.IN_PROGRESS
+
+    def test_in_progress_key_skipped(self):
+        table = MigrationHashMap()
+        table.try_begin(("g1",))
+        assert table.try_begin(("g1",)) is Claim.SKIP
+
+    def test_migrated_key_done(self):
+        table = MigrationHashMap()
+        table.try_begin(("g1",))
+        table.mark_migrated([("g1",)])
+        assert table.try_begin(("g1",)) is Claim.DONE
+        assert table.is_migrated(("g1",))
+
+    def test_wip_list_short_circuit(self):
+        """Algorithm 3 line 2: a key in this worker's own WIP must be
+        migrated along with the rest of its group."""
+        table = MigrationHashMap()
+        wip = {("g1",)}
+        assert table.try_begin(("g1",), wip=wip, skip=set()) is Claim.MIGRATE
+        # The global table was not consulted (no entry created):
+        assert table.state(("g1",)) is None
+
+    def test_skip_list_short_circuit(self):
+        """Algorithm 3 line 3."""
+        table = MigrationHashMap()
+        skip = {("g1",)}
+        assert table.try_begin(("g1",), wip=set(), skip=skip) is Claim.SKIP
+
+    def test_aborted_key_reclaimable(self):
+        """Algorithm 3 lines 7-9: an aborted group may be re-acquired."""
+        table = MigrationHashMap()
+        table.try_begin(("g1",))
+        table.mark_aborted([("g1",)])
+        assert table.state(("g1",)) is GroupState.ABORTED
+        assert table.try_begin(("g1",)) is Claim.MIGRATE
+        assert table.state(("g1",)) is GroupState.IN_PROGRESS
+
+    def test_mark_aborted_only_affects_in_progress(self):
+        table = MigrationHashMap()
+        table.try_begin(("g1",))
+        table.mark_migrated([("g1",)])
+        table.mark_aborted([("g1",)])
+        assert table.is_migrated(("g1",))
+
+    def test_migrated_count(self):
+        table = MigrationHashMap()
+        for key in [("a",), ("b",), ("c",)]:
+            table.try_begin(key)
+        table.mark_migrated([("a",), ("b",)])
+        assert table.migrated_count == 2
+        table.mark_migrated([("a",)])  # idempotent
+        assert table.migrated_count == 2
+
+    def test_composite_keys(self):
+        table = MigrationHashMap()
+        assert table.try_begin((1, 2, 3)) is Claim.MIGRATE
+        assert table.try_begin((1, 2, 4)) is Claim.MIGRATE
+
+    def test_snapshot(self):
+        table = MigrationHashMap(partitions=4)
+        table.try_begin(("x",))
+        table.mark_migrated([("x",)])
+        table.try_begin(("y",))
+        snap = table.snapshot()
+        assert snap[("x",)] is GroupState.MIGRATED
+        assert snap[("y",)] is GroupState.IN_PROGRESS
+
+    def test_len(self):
+        table = MigrationHashMap(partitions=4)
+        for i in range(10):
+            table.try_begin((i,))
+        assert len(table) == 10
+
+
+class TestConcurrency:
+    @pytest.mark.parametrize("partitions", [1, 4, 16])
+    def test_exactly_once_group_claims(self, partitions):
+        table = MigrationHashMap(partitions=partitions)
+        keys = [(i,) for i in range(500)]
+        claims = [[] for _ in range(8)]
+
+        def worker(bucket):
+            for key in keys:
+                if table.try_begin(key) is Claim.MIGRATE:
+                    bucket.append(key)
+
+        threads = [
+            threading.Thread(target=worker, args=(claims[i],))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sorted(k for bucket in claims for k in bucket)
+        assert total == keys
+
+    def test_race_between_check_and_insert(self):
+        """Algorithm 3 lines 11-12: losing the insert race behaves as if
+        the key had been found in the table."""
+        table = MigrationHashMap(partitions=1)
+        results = []
+
+        def claim():
+            results.append(table.try_begin(("hot",)))
+
+        threads = [threading.Thread(target=claim) for _ in range(16)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert results.count(Claim.MIGRATE) == 1
+        assert results.count(Claim.SKIP) == 15
+
+
+@settings(max_examples=60)
+@given(
+    operations=st.lists(
+        st.tuples(
+            st.sampled_from(["claim", "mark", "abort"]),
+            st.integers(min_value=0, max_value=9),
+        ),
+        max_size=60,
+    )
+)
+def test_hashmap_matches_reference_model(operations):
+    table = MigrationHashMap(partitions=3)
+    model: dict[tuple, str] = {}
+    for op, raw in operations:
+        key = (raw,)
+        state = model.get(key, "absent")
+        if op == "claim":
+            outcome = table.try_begin(key)
+            if state in ("absent", "aborted"):
+                assert outcome is Claim.MIGRATE
+                model[key] = "in-progress"
+            elif state == "in-progress":
+                assert outcome is Claim.SKIP
+            else:
+                assert outcome is Claim.DONE
+        elif op == "mark":
+            if state == "in-progress":
+                table.mark_migrated([key])
+                model[key] = "migrated"
+        else:
+            table.mark_aborted([key])
+            if state == "in-progress":
+                model[key] = "aborted"
+    migrated = sum(1 for v in model.values() if v == "migrated")
+    assert table.migrated_count == migrated

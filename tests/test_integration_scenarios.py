@@ -1,0 +1,195 @@
+"""Integration: lazy migration results must match an eager reference.
+
+For each of the paper's three TPC-C scenarios, run the migration lazily
+to completion (no concurrent workload) on one database and eagerly on
+an identically-loaded database; the final output tables must be
+identical row sets.  Then repeat the lazy runs *with* a concurrent
+workload and check integrity invariants instead (exact equality no
+longer applies because the workload mutates data).
+"""
+
+import threading
+
+import pytest
+
+from repro import Database
+from repro.core import (
+    BackgroundConfig,
+    ConflictMode,
+    MigrationController,
+    Strategy,
+)
+from repro.tpcc import (
+    SCENARIOS,
+    ScaleConfig,
+    SchemaVariant,
+    TpccClient,
+    create_schema,
+    load_tpcc,
+)
+
+SCALE = ScaleConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=25,
+    items=40,
+    initial_orders_per_district=25,
+)
+
+
+def fresh_db():
+    db = Database()
+    s = db.connect()
+    create_schema(s)
+    load_tpcc(db, SCALE)
+    return db, s
+
+
+def table_rows(session, table, order_cols):
+    result = session.execute(
+        f"SELECT * FROM {table} ORDER BY {', '.join(order_cols)}"
+    )
+    return result.rows
+
+
+SCENARIO_KEYS = {
+    "split": [("customer_private", ["c_w_id", "c_d_id", "c_id"]),
+              ("customer_public", ["c_w_id", "c_d_id", "c_id"])],
+    "aggregate": [("order_totals", ["ol_w_id", "ol_d_id", "ol_o_id"])],
+    "join": [("orderline_stock", ["ol_w_id", "ol_d_id", "ol_o_id", "ol_number", "s_w_id"])],
+}
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", ["split", "aggregate", "join"])
+@pytest.mark.parametrize("conflict_mode", [ConflictMode.TRACKER, ConflictMode.ON_CONFLICT])
+def test_lazy_equals_eager_without_workload(scenario, conflict_mode):
+    config = SCENARIOS[scenario]
+
+    lazy_db, lazy_s = fresh_db()
+    lazy = MigrationController(lazy_db)
+    handle = lazy.submit(
+        scenario,
+        config["ddl"],
+        strategy=Strategy.LAZY,
+        conflict_mode=conflict_mode,
+        background=BackgroundConfig(delay=0.05, chunk=128, interval=0.0),
+        big_flip=config["big_flip"],
+    )
+    assert handle.await_completion(timeout=120)
+
+    eager_db, eager_s = fresh_db()
+    eager = MigrationController(eager_db)
+    eager.submit(
+        scenario,
+        config["ddl"],
+        strategy=Strategy.EAGER,
+        big_flip=config["big_flip"],
+    )
+
+    for table, keys in SCENARIO_KEYS[scenario]:
+        lazy_rows = table_rows(lazy_s, table, keys)
+        eager_rows = table_rows(eager_s, table, keys)
+        assert lazy_rows == eager_rows, f"{table} diverged"
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("scenario", ["split", "aggregate", "join"])
+def test_lazy_with_concurrent_workload_invariants(scenario):
+    config = SCENARIOS[scenario]
+    db, s = fresh_db()
+    controller = MigrationController(db)
+    stop = threading.Event()
+    errors = []
+
+    def worker(seed):
+        from repro.errors import SchemaVersionError
+
+        client = TpccClient(db, SCALE, SchemaVariant.BASE, seed=seed)
+        while not stop.is_set():
+            if controller.new_schema_active:
+                client.variant = config["variant"]
+            try:
+                client.run_random()
+            except SchemaVersionError:
+                if client.session.in_transaction:
+                    client.session.rollback()
+                client.session._txn = None
+                client.variant = config["variant"]
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    handle = controller.submit(
+        scenario,
+        config["ddl"],
+        strategy=Strategy.LAZY,
+        background=BackgroundConfig(delay=0.2, chunk=128, interval=0.001),
+        big_flip=config["big_flip"],
+    )
+    assert handle.await_completion(timeout=120)
+    stop.set()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]
+
+    if scenario == "split":
+        # Exactly-once: the two outputs agree and have unique PKs.
+        private_ids = [
+            r for r in s.execute(
+                "SELECT c_w_id, c_d_id, c_id FROM customer_private"
+            ).rows
+        ]
+        public_ids = [
+            r for r in s.execute(
+                "SELECT c_w_id, c_d_id, c_id FROM customer_public"
+            ).rows
+        ]
+        assert len(private_ids) == len(set(private_ids))
+        assert set(private_ids) == set(public_ids)
+        assert len(private_ids) == SCALE.total_customers
+    elif scenario == "aggregate":
+        rows = s.execute(
+            "SELECT ol_w_id, ol_d_id, ol_o_id, ol_total FROM order_totals"
+        ).rows
+        keys = [(w, d, o) for w, d, o, _t in rows]
+        assert len(keys) == len(set(keys))
+        for w, d, o, total in rows:
+            actual = s.execute(
+                "SELECT SUM(ol_amount) FROM order_line "
+                "WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ?",
+                [w, d, o],
+            ).scalar()
+            assert actual == total, (w, d, o, total, actual)
+    else:  # join
+        keys = s.execute(
+            "SELECT ol_w_id, ol_d_id, ol_o_id, ol_number, s_w_id "
+            "FROM orderline_stock"
+        ).rows
+        assert len(keys) == len(set(keys))  # PK truly unique
+        assert len(keys) >= 1
+
+
+@pytest.mark.slow
+def test_multistep_final_state_matches_eager_without_workload():
+    config = SCENARIOS["split"]
+    ms_db, ms_s = fresh_db()
+    ms = MigrationController(ms_db)
+    handle = ms.submit(
+        "split",
+        config["ddl"],
+        strategy=Strategy.MULTISTEP,
+        multistep_chunk=64,
+        multistep_interval=0.0,
+    )
+    assert handle.await_completion(timeout=120)
+
+    eager_db, eager_s = fresh_db()
+    MigrationController(eager_db).submit(
+        "split", config["ddl"], strategy=Strategy.EAGER
+    )
+    for table, keys in SCENARIO_KEYS["split"]:
+        assert table_rows(ms_s, table, keys) == table_rows(eager_s, table, keys)

@@ -1,0 +1,257 @@
+"""Planner tests: plan shapes, index selection, pushdown, EXPLAIN."""
+
+import pytest
+
+from repro import Database
+from repro.exec.rewrite import (
+    EquivalenceClasses,
+    bind_params,
+    conjoin,
+    derive_equivalent_predicates,
+    expand_views,
+    split_conjuncts,
+)
+from repro.sql import ast_nodes as ast
+from repro.sql import parse_expression, parse_statement
+from repro.sql.render import render_expr
+
+
+@pytest.fixture
+def s(db):
+    session = db.connect()
+    session.execute(
+        "CREATE TABLE t (a INT PRIMARY KEY, b INT, c VARCHAR(10))"
+    )
+    session.execute("CREATE TABLE u (x INT PRIMARY KEY, y INT)")
+    session.execute("CREATE INDEX t_bc ON t (b, c)")
+    for i in range(20):
+        session.execute(
+            "INSERT INTO t VALUES (?, ?, ?)", [i, i % 5, f"v{i % 3}"]
+        )
+        session.execute("INSERT INTO u VALUES (?, ?)", [i, i * 10])
+    return session
+
+
+class TestIndexSelection:
+    def test_pk_point_lookup(self, s):
+        plan = s.explain("SELECT * FROM t WHERE a = 5")
+        assert "Index Scan using t_pkey" in plan
+
+    def test_composite_index_full_key(self, s):
+        plan = s.explain("SELECT * FROM t WHERE b = 1 AND c = 'v0'")
+        assert "Index Scan using t_bc" in plan
+
+    def test_ordered_index_prefix(self, s):
+        plan = s.explain("SELECT * FROM t WHERE b = 1 AND a > 3")
+        assert "Index Scan using t_bc" in plan
+        assert "Filter" in plan  # residual a > 3
+
+    def test_no_index_means_seq_scan(self, s):
+        plan = s.explain("SELECT * FROM t WHERE c = 'v0'")
+        assert "Seq Scan on t" in plan
+
+    def test_param_keys_use_index(self, s):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ?")
+        planned = s.db.planner.plan_select(stmt)
+        assert "Index Scan using t_pkey" in planned.explain()
+
+    def test_inequality_not_indexed(self, s):
+        plan = s.explain("SELECT * FROM t WHERE a > 5")
+        assert "Seq Scan" in plan
+
+    def test_column_equals_column_not_an_index_key(self, s):
+        plan = s.explain("SELECT * FROM t WHERE a = b")
+        assert "Seq Scan" in plan
+
+
+class TestJoinPlans:
+    def test_equi_join_uses_hash_join(self, s):
+        plan = s.explain("SELECT * FROM t, u WHERE t.a = u.x")
+        assert "Hash Join" in plan
+
+    def test_non_equi_join_uses_nested_loop(self, s):
+        plan = s.explain("SELECT * FROM t, u WHERE t.a < u.x")
+        assert "Nested Loop" in plan
+
+    def test_pushdown_into_scans(self, s):
+        plan = s.explain(
+            "SELECT * FROM t, u WHERE t.a = u.x AND t.b = 1 AND u.y = 50"
+        )
+        # each single-table conjunct lands in its own scan
+        assert plan.count("Index Scan") + plan.count("Seq Scan") == 2
+        assert "u.y = 50" in plan or "(u.y = 50)" in plan
+
+    def test_equivalence_class_derivation(self, s):
+        """t.a = u.x AND t.a = 5 also pins u.x = 5."""
+        plan = s.explain("SELECT * FROM t, u WHERE t.a = u.x AND t.a = 5")
+        assert "Index Scan using u_pkey" in plan
+
+    def test_result_correctness_with_derivation(self, s):
+        result = s.execute(
+            "SELECT u.y FROM t, u WHERE t.a = u.x AND t.a = 5"
+        )
+        assert result.rows == [(50,)]
+
+    def test_three_way_join(self, s):
+        s.execute("CREATE TABLE w (k INT PRIMARY KEY)")
+        s.execute("INSERT INTO w VALUES (5)")
+        result = s.execute(
+            "SELECT t.a FROM t, u, w WHERE t.a = u.x AND u.x = w.k"
+        )
+        assert result.rows == [(5,)]
+
+
+class TestRewriteHelpers:
+    def test_split_and_conjoin(self):
+        expr = parse_expression("a = 1 AND b = 2 AND c = 3")
+        conjuncts = split_conjuncts(expr)
+        assert len(conjuncts) == 3
+        rejoined = conjoin(conjuncts)
+        assert sorted(render_expr(c) for c in split_conjuncts(rejoined)) == sorted(
+            render_expr(c) for c in conjuncts
+        )
+
+    def test_split_none(self):
+        assert split_conjuncts(None) == []
+        assert conjoin([]) is None
+
+    def test_or_not_split(self):
+        expr = parse_expression("a = 1 OR b = 2")
+        assert len(split_conjuncts(expr)) == 1
+
+    def test_bind_params(self):
+        expr = parse_expression("a = ? AND b > ?")
+        bound = bind_params(expr, [5, "x"])
+        assert render_expr(bound) == "((a = 5) AND (b > 'x'))"
+
+    def test_equivalence_classes(self):
+        conjuncts = split_conjuncts(
+            parse_expression("a.x = b.y AND b.y = c.z")
+        )
+        classes = EquivalenceClasses.from_conjuncts(conjuncts)
+        assert classes.equivalent("a.x", "c.z")
+        assert not classes.equivalent("a.x", "q.q")
+
+    def test_derive_equivalent_predicates(self):
+        conjuncts = split_conjuncts(
+            parse_expression("a.x = b.y AND a.x = 5")
+        )
+        classes = EquivalenceClasses.from_conjuncts(conjuncts)
+        derived = derive_equivalent_predicates(conjuncts, classes)
+        assert any(render_expr(d) == "(b.y = 5)" for d in derived)
+
+    def test_derive_handles_function_predicates(self):
+        conjuncts = split_conjuncts(
+            parse_expression("a.x = b.y AND EXTRACT(DAY FROM a.x) = 9")
+        )
+        classes = EquivalenceClasses.from_conjuncts(conjuncts)
+        derived = derive_equivalent_predicates(conjuncts, classes)
+        assert any("b.y" in render_expr(d) for d in derived)
+
+    def test_no_duplicate_derivation(self):
+        conjuncts = split_conjuncts(
+            parse_expression("a.x = b.y AND a.x = 5 AND b.y = 5")
+        )
+        classes = EquivalenceClasses.from_conjuncts(conjuncts)
+        derived = derive_equivalent_predicates(conjuncts, classes)
+        assert derived == []
+
+    def test_expand_views_nested(self):
+        inner = parse_statement("SELECT a FROM base")
+        outer = parse_statement("SELECT * FROM v1")
+
+        def lookup(name):
+            return inner if name == "v1" else None
+
+        expanded = expand_views(outer, lookup)
+        sub = expanded.from_items[0]
+        assert isinstance(sub, ast.SubquerySource)
+        assert sub.alias == "v1"
+
+
+class TestExplainShape:
+    def test_paper_style_plan(self, s):
+        """The section 2.1 EXPLAIN analogue: predicates pushed through a
+        join, visible per-table."""
+        s.execute("CREATE VIEW both AS SELECT t.a AS ta, u.y FROM t, u WHERE t.a = u.x")
+        plan = s.explain("SELECT * FROM both WHERE ta = 5")
+        assert "Subquery Scan" in plan
+
+    def test_explain_rejects_dml(self, s):
+        from repro.errors import ExecutionError
+
+        with pytest.raises(ExecutionError):
+            s.explain("DELETE FROM t")
+
+
+class TestPaperExampleExplain:
+    """The exact section 2.1 walk-through: the view predicate must reach
+    BOTH base tables (FLIGHTID = 'AA101' as index conditions on flights
+    and flewon) plus the EXTRACT filter on flewon."""
+
+    @pytest.fixture
+    def flights(self, db):
+        s = db.connect()
+        s.execute(
+            "CREATE TABLE flights (flightid CHAR(6) PRIMARY KEY, capacity INT)"
+        )
+        s.execute(
+            "CREATE TABLE flewon (flightid CHAR(6), flightdate DATE, "
+            "passenger_count INT)"
+        )
+        s.execute("CREATE INDEX flewon_flightid_idx ON flewon (flightid)")
+        s.execute(
+            "CREATE VIEW flewoninfo_view AS SELECT f.flightid AS fid, "
+            "flightdate, passenger_count, "
+            "(capacity - passenger_count) AS empty_seats "
+            "FROM flights f, flewon fi WHERE f.flightid = fi.flightid"
+        )
+        return s
+
+    def test_predicates_reach_both_base_tables(self, flights):
+        plan = flights.explain(
+            "SELECT * FROM flewoninfo_view WHERE fid = 'AA101' "
+            "AND EXTRACT(DAY FROM flightdate) = 9"
+        )
+        assert "Index Scan using flights_pkey" in plan
+        assert "f.flightid = 'AA101'" in plan
+        assert "Index Scan using flewon_flightid_idx" in plan
+        assert "fi.flightid = 'AA101'" in plan
+        assert "EXTRACT(DAY FROM fi.flightdate) = 9" in plan
+        # No residual filter left above the subquery.
+        assert "flewoninfo_view.fid" not in plan
+
+    def test_pushed_plan_correct(self, flights):
+        flights.execute("INSERT INTO flights VALUES ('AA101', 100)")
+        flights.execute("INSERT INTO flights VALUES ('UA900', 80)")
+        flights.execute("INSERT INTO flewon VALUES ('AA101', '2021-06-09', 42)")
+        flights.execute("INSERT INTO flewon VALUES ('AA101', '2021-06-10', 50)")
+        flights.execute("INSERT INTO flewon VALUES ('UA900', '2021-06-09', 9)")
+        rows = flights.execute(
+            "SELECT empty_seats FROM flewoninfo_view WHERE fid = 'AA101' "
+            "AND EXTRACT(DAY FROM flightdate) = 9"
+        ).rows
+        assert rows == [(58,)]
+
+    def test_aggregate_view_not_pushed_below_group_by(self, db):
+        s = db.connect()
+        s.execute("CREATE TABLE t (g INT, v INT)")
+        s.execute("INSERT INTO t VALUES (1, 10)")
+        s.execute("INSERT INTO t VALUES (1, 20)")
+        s.execute("INSERT INTO t VALUES (2, 5)")
+        s.execute(
+            "CREATE VIEW sums AS SELECT g, SUM(v) AS total FROM t GROUP BY g"
+        )
+        # Correctness: the HAVING-like filter applies to the aggregate
+        # result, not the base rows.
+        rows = s.execute("SELECT g FROM sums WHERE total = 30").rows
+        assert rows == [(1,)]
+
+    def test_limit_view_not_pushed(self, db):
+        s = db.connect()
+        s.execute("CREATE TABLE t (v INT)")
+        for i in range(10):
+            s.execute("INSERT INTO t VALUES (?)", [i])
+        s.execute("CREATE VIEW first3 AS SELECT v FROM t ORDER BY v LIMIT 3")
+        rows = s.execute("SELECT v FROM first3 WHERE v > 1").rows
+        assert rows == [(2,)]  # filter above the limit, not below

@@ -1,0 +1,66 @@
+"""Tests for the interactive shell's formatting and meta-commands."""
+
+import pytest
+
+from repro.db import Result
+from repro.shell import Shell, format_result
+
+
+class TestFormatResult:
+    def test_select_table(self):
+        result = Result(
+            "SELECT", rows=[(1, "hello"), (2, "hi")], columns=["id", "v"]
+        )
+        text = format_result(result)
+        assert "id" in text and "hello" in text
+        assert "(2 rows)" in text
+
+    def test_single_row_grammar(self):
+        result = Result("SELECT", rows=[(1,)], columns=["x"])
+        assert "(1 row)" in format_result(result)
+
+    def test_dml_result(self):
+        assert format_result(Result("INSERT", rowcount=3)) == "INSERT 3"
+        assert format_result(Result("CREATE TABLE")) == "CREATE TABLE"
+
+
+class TestMetaCommands:
+    @pytest.fixture
+    def shell(self):
+        sh = Shell()
+        sh.session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        sh.session.execute("INSERT INTO t VALUES (1, 'a')")
+        return sh
+
+    def test_dt(self, shell):
+        out = shell.handle_meta("\\dt")
+        assert "t" in out
+        assert "[1 rows]" in out
+
+    def test_describe(self, shell):
+        out = shell.handle_meta("\\d t")
+        assert "id" in out and "PRIMARY KEY" in out
+
+    def test_explain(self, shell):
+        out = shell.handle_meta("\\explain SELECT * FROM t WHERE id = 1")
+        assert "Index Scan" in out
+
+    def test_migrate_and_progress(self, shell):
+        out = shell.handle_meta(
+            "\\migrate split CREATE TABLE t2 AS SELECT id, v FROM t"
+        )
+        assert "submitted" in out
+        progress = shell.handle_meta("\\progress")
+        assert "complete" in progress
+        result = shell.session.execute("SELECT v FROM t2 WHERE id = 1")
+        assert result.scalar() == "a"
+
+    def test_progress_without_migration(self):
+        assert "no migration" in Shell().handle_meta("\\progress")
+
+    def test_unknown_meta(self, shell):
+        assert "unknown" in shell.handle_meta("\\frobnicate")
+
+    def test_quit_raises_eof(self, shell):
+        with pytest.raises(EOFError):
+            shell.handle_meta("\\q")

@@ -1,0 +1,470 @@
+"""Tests for the SQL tokenizer, parser, and renderer."""
+
+import pytest
+from decimal import Decimal
+from hypothesis import given, strategies as st
+
+from repro.errors import ParseError, TokenizeError
+from repro.sql import ast_nodes as ast
+from repro.sql import parse_expression, parse_script, parse_statement
+from repro.sql.render import render_expr, render_statement
+from repro.sql.tokens import TokenType, tokenize
+
+
+class TestTokenizer:
+    def test_keywords_uppercased(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+        assert all(t.type is TokenType.KEYWORD for t in tokens[:-1])
+
+    def test_identifiers_lowercased(self):
+        tokens = tokenize("Customers C_ID")
+        assert tokens[0].value == "customers"
+        assert tokens[1].value == "c_id"
+
+    def test_quoted_identifier_preserves_case(self):
+        tokens = tokenize('"MixedCase"')
+        assert tokens[0].type is TokenType.IDENT
+        assert tokens[0].value == "MixedCase"
+
+    def test_string_literal(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].type is TokenType.STRING
+        assert tokens[0].value == "hello world"
+
+    def test_string_escape_doubled_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(TokenizeError):
+            tokenize("'oops")
+
+    def test_numbers(self):
+        tokens = tokenize("42 3.14 1e6 2.5E-3")
+        values = [t.value for t in tokens[:-1]]
+        assert values == ["42", "3.14", "1e6", "2.5E-3"]
+        assert all(t.type is TokenType.NUMBER for t in tokens[:-1])
+
+    def test_malformed_number(self):
+        with pytest.raises(TokenizeError):
+            tokenize("1.2.3")
+
+    def test_operators_longest_first(self):
+        tokens = tokenize("a <> b <= c != d || e")
+        ops = [t.value for t in tokens if t.type is TokenType.OPERATOR]
+        assert ops == ["<>", "<=", "!=", "||"]
+
+    def test_params(self):
+        tokens = tokenize("? + ?")
+        assert tokens[0].type is TokenType.PARAM
+        assert tokens[2].type is TokenType.PARAM
+
+    def test_line_comment(self):
+        tokens = tokenize("SELECT -- a comment\n 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_block_comment(self):
+        tokens = tokenize("SELECT /* hi */ 1")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(TokenizeError):
+            tokenize("/* nope")
+
+    def test_unexpected_character(self):
+        with pytest.raises(TokenizeError):
+            tokenize("SELECT @")
+
+    def test_eof_token(self):
+        tokens = tokenize("")
+        assert len(tokens) == 1
+        assert tokens[0].type is TokenType.EOF
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        stmt = parse_statement("SELECT a, b FROM t")
+        assert isinstance(stmt, ast.Select)
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.from_items[0], ast.TableRef)
+
+    def test_star(self):
+        stmt = parse_statement("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        stmt = parse_statement("SELECT t.* FROM t")
+        assert stmt.items[0].expr == ast.Star(table="t")
+
+    def test_aliases(self):
+        stmt = parse_statement("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_table_alias(self):
+        stmt = parse_statement("SELECT * FROM customers c")
+        assert stmt.from_items[0].alias == "c"
+        assert stmt.from_items[0].binding == "c"
+
+    def test_where(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a > 5 AND b = 'x'")
+        assert isinstance(stmt.where, ast.BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_join_on(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b ON a.id = b.id")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.Join)
+        assert join.kind == "INNER"
+        assert join.condition is not None
+
+    def test_left_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT JOIN b ON a.id = b.id")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_left_outer_join(self):
+        stmt = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.id = b.id")
+        assert stmt.from_items[0].kind == "LEFT"
+
+    def test_cross_join(self):
+        stmt = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert stmt.from_items[0].kind == "CROSS"
+        assert stmt.from_items[0].condition is None
+
+    def test_join_using(self):
+        stmt = parse_statement("SELECT * FROM a JOIN b USING (id)")
+        condition = stmt.from_items[0].condition
+        assert isinstance(condition, ast.BinaryOp)
+        assert condition.op == "="
+        assert condition.left == ast.ColumnRef("id", "a")
+        assert condition.right == ast.ColumnRef("id", "b")
+
+    def test_join_requires_condition(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM a JOIN b")
+
+    def test_comma_join(self):
+        stmt = parse_statement("SELECT * FROM a, b WHERE a.x = b.x")
+        assert len(stmt.from_items) == 2
+
+    def test_subquery_in_from(self):
+        stmt = parse_statement("SELECT * FROM (SELECT a FROM t) s")
+        sub = stmt.from_items[0]
+        assert isinstance(sub, ast.SubquerySource)
+        assert sub.alias == "s"
+
+    def test_group_by_having(self):
+        stmt = parse_statement(
+            "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 2"
+        )
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_statement("SELECT a FROM t ORDER BY a DESC, b LIMIT 5 OFFSET 2")
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == ast.Literal(5)
+        assert stmt.offset == ast.Literal(2)
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_for_update(self):
+        stmt = parse_statement("SELECT a FROM t WHERE a = 1 FOR UPDATE")
+        assert stmt.for_update is True
+
+    def test_count_distinct(self):
+        stmt = parse_statement("SELECT COUNT(DISTINCT a) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call, ast.FunctionCall)
+        assert call.distinct is True
+
+    def test_count_star(self):
+        stmt = parse_statement("SELECT COUNT(*) FROM t")
+        call = stmt.items[0].expr
+        assert isinstance(call.args[0], ast.Star)
+
+
+class TestExpressionParsing:
+    def test_precedence_arithmetic(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert render_expr(expr) == "(1 + (2 * 3))"
+
+    def test_precedence_logic(self):
+        expr = parse_expression("a OR b AND c")
+        assert render_expr(expr) == "(a OR (b AND c))"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a AND b")
+        assert render_expr(expr) == "((NOT a) AND b)"
+
+    def test_parens(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert render_expr(expr) == "((1 + 2) * 3)"
+
+    def test_between(self):
+        expr = parse_expression("x BETWEEN 1 AND 10")
+        assert isinstance(expr, ast.Between)
+
+    def test_not_between(self):
+        expr = parse_expression("x NOT BETWEEN 1 AND 10")
+        assert expr.negated is True
+
+    def test_in_list(self):
+        expr = parse_expression("x IN (1, 2, 3)")
+        assert isinstance(expr, ast.InList)
+        assert len(expr.items) == 3
+
+    def test_not_in(self):
+        assert parse_expression("x NOT IN (1)").negated is True
+
+    def test_is_null(self):
+        assert isinstance(parse_expression("x IS NULL"), ast.IsNull)
+
+    def test_is_not_null(self):
+        assert parse_expression("x IS NOT NULL").negated is True
+
+    def test_like(self):
+        expr = parse_expression("name LIKE 'A%'")
+        assert isinstance(expr, ast.BinaryOp)
+        assert expr.op == "LIKE"
+
+    def test_case_searched(self):
+        expr = parse_expression("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(expr, ast.CaseExpr)
+        assert expr.operand is None
+
+    def test_case_simple(self):
+        expr = parse_expression("CASE a WHEN 1 THEN 'one' END")
+        assert expr.operand is not None
+        assert expr.default is None
+
+    def test_case_requires_when(self):
+        with pytest.raises(ParseError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_cast(self):
+        expr = parse_expression("CAST(x AS BIGINT)")
+        assert isinstance(expr, ast.Cast)
+
+    def test_extract(self):
+        expr = parse_expression("EXTRACT(DAY FROM d)")
+        assert isinstance(expr, ast.Extract)
+        assert expr.field == "DAY"
+
+    def test_unary_minus(self):
+        expr = parse_expression("-x")
+        assert isinstance(expr, ast.UnaryOp)
+
+    def test_unary_plus_elided(self):
+        assert parse_expression("+x") == ast.ColumnRef("x")
+
+    def test_not_equal_normalized(self):
+        expr = parse_expression("a != b")
+        assert expr.op == "<>"
+
+    def test_param_indices(self):
+        stmt = parse_statement("SELECT * FROM t WHERE a = ? AND b = ?")
+        params = [
+            node
+            for node in ast.walk(stmt.where)
+            if isinstance(node, ast.Param)
+        ]
+        assert [p.index for p in params] == [0, 1]
+
+    def test_number_types(self):
+        assert parse_expression("42") == ast.Literal(42)
+        assert parse_expression("4.5") == ast.Literal(Decimal("4.5"))
+
+    def test_null_true_false(self):
+        assert parse_expression("NULL") == ast.Literal(None)
+        assert parse_expression("TRUE") == ast.Literal(True)
+        assert parse_expression("FALSE") == ast.Literal(False)
+
+
+class TestDmlParsing:
+    def test_insert_values(self):
+        stmt = parse_statement("INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')")
+        assert stmt.columns == ("a", "b")
+        assert len(stmt.rows) == 2
+
+    def test_insert_no_columns(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1)")
+        assert stmt.columns == ()
+
+    def test_insert_select(self):
+        stmt = parse_statement("INSERT INTO t SELECT a FROM s")
+        assert stmt.query is not None
+
+    def test_insert_parenthesized_select(self):
+        stmt = parse_statement("INSERT INTO t (a) (SELECT a FROM s)")
+        assert stmt.query is not None
+
+    def test_insert_on_conflict(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1) ON CONFLICT DO NOTHING")
+        assert stmt.on_conflict_do_nothing is True
+
+    def test_insert_requires_source(self):
+        with pytest.raises(ParseError):
+            parse_statement("INSERT INTO t")
+
+    def test_update(self):
+        stmt = parse_statement("UPDATE t SET a = a + 1, b = ? WHERE c = 2")
+        assert len(stmt.assignments) == 2
+        assert stmt.where is not None
+
+    def test_update_with_alias(self):
+        stmt = parse_statement("UPDATE t x SET a = 1 WHERE x.a = 0")
+        assert stmt.alias == "x"
+
+    def test_delete(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestDdlParsing:
+    def test_create_table_columns(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (id INT PRIMARY KEY, name VARCHAR(10) NOT NULL, "
+            "age INT DEFAULT 0 CHECK (age >= 0), other INT REFERENCES o (id))"
+        )
+        assert stmt.columns[0].primary_key
+        assert stmt.columns[1].not_null
+        assert stmt.columns[2].default == ast.Literal(0)
+        assert stmt.columns[2].check is not None
+        assert stmt.columns[3].references == ("o", ("id",))
+
+    def test_create_table_table_constraints(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b), "
+            "UNIQUE (b), CHECK (a < b), "
+            "FOREIGN KEY (b) REFERENCES other (x))"
+        )
+        kinds = [c.kind for c in stmt.constraints]
+        assert kinds == ["PRIMARY KEY", "UNIQUE", "CHECK", "FOREIGN KEY"]
+
+    def test_create_table_as_select(self):
+        stmt = parse_statement("CREATE TABLE t AS SELECT a FROM s")
+        assert stmt.as_select is not None
+
+    def test_create_table_as_parenthesized(self):
+        stmt = parse_statement("CREATE TABLE t AS (SELECT a FROM s)")
+        assert stmt.as_select is not None
+
+    def test_if_not_exists(self):
+        stmt = parse_statement("CREATE TABLE IF NOT EXISTS t (a INT)")
+        assert stmt.if_not_exists is True
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT 1")
+        assert isinstance(stmt, ast.CreateView)
+
+    def test_create_index(self):
+        stmt = parse_statement("CREATE INDEX i ON t (a, b)")
+        assert stmt.columns == ("a", "b")
+        assert stmt.unique is False
+
+    def test_create_unique_index(self):
+        assert parse_statement("CREATE UNIQUE INDEX i ON t (a)").unique is True
+
+    def test_drop_statements(self):
+        assert isinstance(parse_statement("DROP TABLE t"), ast.DropTable)
+        assert isinstance(parse_statement("DROP VIEW v"), ast.DropView)
+        assert isinstance(parse_statement("DROP INDEX i"), ast.DropIndex)
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists is True
+
+    def test_alter_add_column(self):
+        stmt = parse_statement("ALTER TABLE t ADD COLUMN x INT")
+        assert stmt.action[0] == "ADD COLUMN"
+
+    def test_alter_drop_column(self):
+        stmt = parse_statement("ALTER TABLE t DROP COLUMN x")
+        assert stmt.action == ("DROP COLUMN", "x")
+
+    def test_alter_rename(self):
+        assert parse_statement("ALTER TABLE t RENAME TO u").action == ("RENAME TO", "u")
+        assert parse_statement("ALTER TABLE t RENAME COLUMN a TO b").action == (
+            "RENAME COLUMN", "a", "b",
+        )
+
+    def test_alter_add_constraint(self):
+        stmt = parse_statement(
+            "ALTER TABLE t ADD CONSTRAINT fk FOREIGN KEY (a) REFERENCES o (b)"
+        )
+        assert stmt.action[0] == "ADD CONSTRAINT"
+        assert stmt.action[1].name == "fk"
+
+    def test_alter_drop_constraint(self):
+        stmt = parse_statement("ALTER TABLE t DROP CONSTRAINT c")
+        assert stmt.action == ("DROP CONSTRAINT", "c")
+
+
+class TestTransactionStatements:
+    def test_begin_commit_rollback(self):
+        assert isinstance(parse_statement("BEGIN"), ast.BeginTransaction)
+        assert isinstance(parse_statement("COMMIT"), ast.CommitTransaction)
+        assert isinstance(parse_statement("ROLLBACK"), ast.RollbackTransaction)
+        assert isinstance(parse_statement("ABORT"), ast.RollbackTransaction)
+        assert isinstance(
+            parse_statement("BEGIN TRANSACTION"), ast.BeginTransaction
+        )
+
+
+class TestScripts:
+    def test_parse_script(self):
+        statements = parse_script(
+            "CREATE TABLE t (a INT); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_empty_statements_skipped(self):
+        assert parse_script(";;SELECT 1;;") != []
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestRenderRoundTrip:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "SELECT a, b AS x FROM t WHERE (a = 1)",
+            "SELECT COUNT(DISTINCT a) AS n FROM t GROUP BY b HAVING (COUNT(DISTINCT a) > 2)",
+            "INSERT INTO t (a) VALUES (1) ON CONFLICT DO NOTHING",
+            "UPDATE t SET a = (a + 1) WHERE (b = 'x')",
+            "DELETE FROM t WHERE (a IN (1, 2))",
+            "SELECT * FROM a JOIN b ON (a.x = b.x) ORDER BY x DESC LIMIT 3",
+        ],
+    )
+    def test_render_is_reparseable(self, sql):
+        stmt = parse_statement(sql)
+        rendered = render_statement(stmt)
+        # Rendering a parsed statement must itself parse to the same AST.
+        assert parse_statement(rendered) == parse_statement(rendered)
+        twice = render_statement(parse_statement(rendered))
+        assert twice == rendered
+
+
+@given(st.text(alphabet=st.characters(whitelist_categories=("Ll",)), min_size=1, max_size=12))
+def test_identifier_tokens_round_trip(name):
+    tokens = tokenize(name)
+    if tokens[0].type is TokenType.IDENT:
+        assert tokens[0].value == name
+
+
+@given(st.integers(min_value=0, max_value=10**12))
+def test_integer_literals_round_trip(value):
+    expr = parse_expression(str(value))
+    assert expr == ast.Literal(value)
+
+
+@given(st.text(alphabet=st.characters(blacklist_characters="'", blacklist_categories=("Cs",)), max_size=30))
+def test_string_literals_round_trip(value):
+    rendered = render_expr(ast.Literal(value))
+    assert parse_expression(rendered) == ast.Literal(value)

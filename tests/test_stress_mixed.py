@@ -1,0 +1,139 @@
+"""Mixed-operation stress tests: migrations racing with full DML churn.
+
+These go beyond the TPC-C integration tests by driving inserts,
+updates, and deletes against the *new* schema while the lazy migration
+is still in flight, then checking global invariants.
+"""
+
+import threading
+
+import pytest
+
+from repro import BackgroundConfig, Database, LazyMigrationEngine
+from repro.core import ConflictMode
+
+
+def make_db(rows=300):
+    db = Database()
+    s = db.connect()
+    s.execute("CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT)")
+    s.execute("CREATE INDEX src_grp ON src (grp)")
+    for i in range(rows):
+        s.execute("INSERT INTO src VALUES (?, ?, ?)", [i, i % 10, 1])
+    return db, s
+
+
+SPLIT_DDL = """
+CREATE TABLE a (id INT PRIMARY KEY, v INT);
+INSERT INTO a (id, v) SELECT id, v FROM src;
+CREATE TABLE b (id INT PRIMARY KEY, grp INT);
+INSERT INTO b (id, grp) SELECT id, grp FROM src;
+"""
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize(
+    "conflict_mode", [ConflictMode.TRACKER, ConflictMode.ON_CONFLICT]
+)
+def test_mixed_dml_during_split_migration(conflict_mode):
+    rows = 300
+    db, s = make_db(rows)
+    engine = LazyMigrationEngine(
+        db,
+        background=BackgroundConfig(delay=0.1, chunk=32, interval=0.002),
+        conflict_mode=conflict_mode,
+    )
+    handle = engine.submit("m", SPLIT_DDL)
+    errors: list[Exception] = []
+    inserted_ids: list[list[int]] = [[] for _ in range(3)]
+    deleted_ids: list[list[int]] = [[] for _ in range(3)]
+
+    def worker(index: int) -> None:
+        session = db.connect()
+        base = 10_000 + index * 1_000
+        try:
+            for i in range(80):
+                # touch (lazily migrate) a random-ish old row
+                session.execute(
+                    "SELECT v FROM a WHERE id = ?", [(index * 37 + i * 7) % rows]
+                )
+                # update some migrated rows
+                session.execute(
+                    "UPDATE a SET v = v + 1 WHERE id = ?",
+                    [(index * 11 + i * 3) % rows],
+                )
+                # insert brand-new rows into the new schema
+                if i % 4 == 0:
+                    new_id = base + i
+                    session.execute(
+                        "INSERT INTO a (id, v) VALUES (?, 0)", [new_id]
+                    )
+                    session.execute(
+                        "INSERT INTO b (id, grp) VALUES (?, 99)", [new_id]
+                    )
+                    inserted_ids[index].append(new_id)
+                # delete a previously inserted row sometimes
+                if i % 8 == 4 and inserted_ids[index]:
+                    victim = inserted_ids[index].pop(0)
+                    session.execute("DELETE FROM a WHERE id = ?", [victim])
+                    session.execute("DELETE FROM b WHERE id = ?", [victim])
+                    deleted_ids[index].append(victim)
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [threading.Thread(target=worker, args=(i,)) for i in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, errors[:3]
+    assert handle.await_completion(timeout=60)
+
+    # Invariants: exactly-once migration + surviving DML effects.
+    a_ids = [r[0] for r in s.execute("SELECT id FROM a").rows]
+    b_ids = [r[0] for r in s.execute("SELECT id FROM b").rows]
+    assert len(a_ids) == len(set(a_ids))
+    assert len(b_ids) == len(set(b_ids))
+    survivors = {i for bucket in inserted_ids for i in bucket}
+    gone = {i for bucket in deleted_ids for i in bucket}
+    expected = set(range(rows)) | survivors
+    assert set(a_ids) == expected
+    assert set(b_ids) == expected
+    assert not (gone & set(a_ids))
+
+
+@pytest.mark.slow
+def test_updates_during_migration_not_lost():
+    """An UPDATE through the new schema migrates the row first, so the
+    update applies to the migrated copy and must survive completion."""
+    db, s = make_db(100)
+    engine = LazyMigrationEngine(
+        db, background=BackgroundConfig(delay=0.05, chunk=16, interval=0.001)
+    )
+    handle = engine.submit("m", SPLIT_DDL)
+    for i in range(100):
+        s.execute("UPDATE a SET v = ? WHERE id = ?", [i * 100, i])
+    assert handle.await_completion(timeout=60)
+    rows = s.execute("SELECT id, v FROM a").rows
+    assert len(rows) == 100
+    for row_id, v in rows:
+        assert v == row_id * 100, (row_id, v)
+
+
+@pytest.mark.slow
+def test_deletes_during_migration_not_resurrected():
+    """A row deleted through the new schema must not be re-inserted by
+    the background sweep (its granule was migrated before deletion)."""
+    db, s = make_db(100)
+    engine = LazyMigrationEngine(
+        db, background=BackgroundConfig(delay=0.3, chunk=16, interval=0.002)
+    )
+    handle = engine.submit("m", SPLIT_DDL)
+    for i in range(0, 100, 5):
+        s.execute("DELETE FROM a WHERE id = ?", [i])
+        s.execute("DELETE FROM b WHERE id = ?", [i])
+    assert handle.await_completion(timeout=60)
+    remaining = {r[0] for r in s.execute("SELECT id FROM a").rows}
+    assert remaining == {i for i in range(100) if i % 5 != 0}
+    remaining_b = {r[0] for r in s.execute("SELECT id FROM b").rows}
+    assert remaining_b == remaining

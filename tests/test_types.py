@@ -1,0 +1,235 @@
+"""Unit tests for the SQL type system (repro.types)."""
+
+import datetime
+from decimal import Decimal
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeError_
+from repro.types import (
+    SqlType,
+    TypeKind,
+    bigint_type,
+    bool_type,
+    char_type,
+    date_type,
+    decimal_type,
+    float_type,
+    int_type,
+    parse_type,
+    text_type,
+    timestamp_type,
+    varchar_type,
+)
+
+
+class TestIntCoercion:
+    def test_plain_int(self):
+        assert int_type().coerce(42) == 42
+
+    def test_integral_float(self):
+        assert int_type().coerce(42.0) == 42
+
+    def test_integral_decimal(self):
+        assert int_type().coerce(Decimal("7")) == 7
+
+    def test_string(self):
+        assert int_type().coerce(" 13 ") == 13
+
+    def test_null_passthrough(self):
+        assert int_type().coerce(None) is None
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeError_):
+            int_type().coerce(1.5)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError_):
+            int_type().coerce(True)
+
+    def test_int_overflow(self):
+        with pytest.raises(TypeError_):
+            int_type().coerce(2**31)
+
+    def test_int_underflow(self):
+        with pytest.raises(TypeError_):
+            int_type().coerce(-(2**31) - 1)
+
+    def test_bigint_accepts_int_overflowing_values(self):
+        assert bigint_type().coerce(2**31) == 2**31
+
+    def test_bigint_overflow(self):
+        with pytest.raises(TypeError_):
+            bigint_type().coerce(2**63)
+
+    def test_garbage_string(self):
+        with pytest.raises(TypeError_):
+            int_type().coerce("not-a-number")
+
+
+class TestFloatCoercion:
+    def test_int_to_float(self):
+        assert float_type().coerce(3) == 3.0
+        assert isinstance(float_type().coerce(3), float)
+
+    def test_decimal_to_float(self):
+        assert float_type().coerce(Decimal("2.5")) == 2.5
+
+    def test_string(self):
+        assert float_type().coerce("1.25") == 1.25
+
+    def test_rejects_list(self):
+        with pytest.raises(TypeError_):
+            float_type().coerce([1])
+
+
+class TestDecimalCoercion:
+    def test_scale_quantization(self):
+        t = decimal_type(12, 2)
+        assert t.coerce("3.14159") == Decimal("3.14")
+
+    def test_int(self):
+        assert decimal_type(5, 0).coerce(42) == Decimal("42")
+
+    def test_float_via_str(self):
+        assert decimal_type(6, 2).coerce(0.1) == Decimal("0.10")
+
+    def test_precision_overflow(self):
+        with pytest.raises(TypeError_):
+            decimal_type(4, 2).coerce("123.45")
+
+    def test_unbounded(self):
+        assert decimal_type().coerce("123456.789") == Decimal("123456.789")
+
+    def test_invalid_literal(self):
+        with pytest.raises(TypeError_):
+            decimal_type().coerce("abc")
+
+
+class TestStringCoercion:
+    def test_char_strips_trailing_pad(self):
+        assert char_type(6).coerce("AB    ") == "AB"
+
+    def test_char_length_enforced(self):
+        with pytest.raises(TypeError_):
+            char_type(3).coerce("ABCD")
+
+    def test_char_trailing_spaces_do_not_count(self):
+        assert char_type(3).coerce("AB     ") == "AB"
+
+    def test_varchar_length(self):
+        assert varchar_type(5).coerce("hello") == "hello"
+        with pytest.raises(TypeError_):
+            varchar_type(5).coerce("hello!")
+
+    def test_varchar_unbounded(self):
+        assert varchar_type().coerce("x" * 1000) == "x" * 1000
+
+    def test_text(self):
+        assert text_type().coerce("anything") == "anything"
+
+    def test_non_string_rejected(self):
+        with pytest.raises(TypeError_):
+            varchar_type(5).coerce(5)
+
+
+class TestBoolCoercion:
+    @pytest.mark.parametrize("value", [True, 1, "t", "TRUE", "yes", "on"])
+    def test_truthy(self, value):
+        assert bool_type().coerce(value) is True
+
+    @pytest.mark.parametrize("value", [False, 0, "f", "false", "no", "off"])
+    def test_falsy(self, value):
+        assert bool_type().coerce(value) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeError_):
+            bool_type().coerce(2)
+
+
+class TestTemporalCoercion:
+    def test_date_from_string(self):
+        assert date_type().coerce("2021-06-20") == datetime.date(2021, 6, 20)
+
+    def test_date_from_datetime(self):
+        value = datetime.datetime(2021, 6, 20, 10, 30)
+        assert date_type().coerce(value) == datetime.date(2021, 6, 20)
+
+    def test_timestamp_from_string(self):
+        assert timestamp_type().coerce("2021-06-20 10:30:00") == datetime.datetime(
+            2021, 6, 20, 10, 30
+        )
+
+    def test_timestamp_from_date(self):
+        assert timestamp_type().coerce(datetime.date(2021, 6, 20)) == datetime.datetime(
+            2021, 6, 20
+        )
+
+    def test_bad_date(self):
+        with pytest.raises(TypeError_):
+            date_type().coerce("June 20th")
+
+
+class TestParseType:
+    def test_basic(self):
+        assert parse_type("INT").kind is TypeKind.INT
+
+    def test_aliases(self):
+        assert parse_type("INTEGER").kind is TypeKind.INT
+        assert parse_type("NUMERIC", (10, 2)).kind is TypeKind.DECIMAL
+        assert parse_type("BOOLEAN").kind is TypeKind.BOOL
+        assert parse_type("REAL").kind is TypeKind.FLOAT
+
+    def test_char_with_length(self):
+        t = parse_type("CHAR", (6,))
+        assert t.kind is TypeKind.CHAR
+        assert t.length == 6
+
+    def test_decimal_args(self):
+        t = parse_type("DECIMAL", (12, 2))
+        assert t.precision == 12
+        assert t.scale == 2
+
+    def test_decimal_single_arg_gets_zero_scale(self):
+        t = parse_type("DECIMAL", (10,))
+        assert t.scale == 0
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeError_):
+            parse_type("BLOB")
+
+    def test_args_on_argless_type(self):
+        with pytest.raises(TypeError_):
+            parse_type("INT", (4,))
+
+
+class TestRender:
+    def test_round_trip_render(self):
+        assert char_type(6).render() == "CHAR(6)"
+        assert decimal_type(12, 2).render() == "DECIMAL(12, 2)"
+        assert int_type().render() == "INT"
+        assert varchar_type().render() == "VARCHAR"
+
+
+@given(st.integers(min_value=-(2**31), max_value=2**31 - 1))
+def test_int_coercion_identity(value):
+    assert int_type().coerce(value) == value
+
+
+@given(st.text(max_size=20))
+def test_char_coercion_idempotent(value):
+    """Coercing an already-coerced CHAR value is a no-op."""
+    t = char_type(40)
+    once = t.coerce(value)
+    assert t.coerce(once) == once
+
+
+@given(
+    st.decimals(allow_nan=False, allow_infinity=False, places=4,
+                min_value=-10**6, max_value=10**6)
+)
+def test_decimal_scale_is_enforced(value):
+    t = decimal_type(20, 2)
+    coerced = t.coerce(value)
+    assert coerced == coerced.quantize(Decimal("0.01"))
