@@ -1,0 +1,135 @@
+"""Overhead of the fault-injection seams when **disabled**.
+
+The zero-cost-when-disabled contract (``repro.core.faults``): every
+injection point is guarded by a plain ``<owner>.faults is not None``
+attribute check, so a production run — ``faults=None`` — pays one
+pointer comparison per point and nothing else.  This benchmark holds
+that contract to numbers two ways:
+
+* ``faults=None`` (production default) vs. an **armed but empty**
+  injector (``FaultInjector(FaultPlan([]))`` attached everywhere): the
+  empty-injector run takes the full ``fire()`` path at every point and
+  bounds the cost a test run pays;
+* the headline assertion compares ``faults=None`` against the seed's
+  behaviour implicitly: the guard is the only new instruction, and the
+  measured delta between the two modes above brackets it.
+
+Methodology: ABBA-ordered pairs (each pair runs the two modes in
+alternating order, so ordering effects like monotonically growing GC
+pressure hit both sides equally across pairs), a ``gc.collect()``
+before every timed run, then the median of per-pair overhead ratios —
+pairing adjacent runs cancels slow drift, the median rejects scheduler
+spikes.  Each round is a complete lazy SPLIT migration driven by point
+SELECTs.
+"""
+
+import gc
+import statistics
+import time
+
+from repro import BackgroundConfig, Database, LazyMigrationEngine
+from repro.core import FaultInjector, FaultPlan
+
+ROWS = 800
+ROUNDS = 13  # A/B pairs
+
+SPLIT_DDL = """
+CREATE TABLE left_part (id INT PRIMARY KEY, v INT);
+INSERT INTO left_part (id, v) SELECT id, v FROM src;
+CREATE TABLE right_part (id INT PRIMARY KEY, tag VARCHAR(10));
+INSERT INTO right_part (id, tag) SELECT id, tag FROM src;
+"""
+
+
+def _make_db():
+    db = Database()
+    s = db.connect()
+    s.execute(
+        "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT, tag VARCHAR(10))"
+    )
+    for i in range(ROWS):
+        s.execute(
+            "INSERT INTO src VALUES (?, ?, ?, ?)", [i, i % 5, i * 10, f"t{i % 3}"]
+        )
+    return db
+
+
+def _run_once(injector):
+    """One full lazy migration under point queries; returns seconds."""
+    db = _make_db()
+    gc.collect()
+    engine = LazyMigrationEngine(
+        db,
+        background=BackgroundConfig(enabled=False),
+        faults=injector,
+    )
+    if injector is not None:
+        db.txns.faults = injector
+        db.txns.wal.faults = injector
+    session = db.connect()
+    started = time.perf_counter()
+    engine.submit("m", SPLIT_DDL)
+    for i in range(ROWS):
+        session.execute("SELECT v FROM left_part WHERE id = ?", [i])
+    elapsed = time.perf_counter() - started
+    assert engine.stats.tuples_migrated == ROWS
+    return elapsed
+
+
+def measure():
+    """Returns (median baseline seconds, median armed-empty seconds,
+    median per-pair overhead ratio)."""
+    baseline: list[float] = []
+    disabled: list[float] = []
+    _run_once(None)  # warm-up, discarded
+    _run_once(FaultInjector(FaultPlan([])))
+    for round_index in range(ROUNDS):
+        if round_index % 2 == 0:
+            baseline.append(_run_once(None))
+            disabled.append(_run_once(FaultInjector(FaultPlan([]))))
+        else:
+            disabled.append(_run_once(FaultInjector(FaultPlan([]))))
+            baseline.append(_run_once(None))
+    ratios = [d / b - 1.0 for b, d in zip(baseline, disabled)]
+    return (
+        statistics.median(baseline),
+        statistics.median(disabled),
+        statistics.median(ratios),
+    )
+
+
+def test_disabled_fault_seams_are_cheap():
+    base, armed_empty, overhead = measure()
+    median_delta = armed_empty / base - 1.0
+    if min(overhead, median_delta) >= 0.02:
+        # One re-measure: a genuine seam cost (pre-optimisation the
+        # armed-empty path measured +13%) reproduces across both
+        # attempts; an uncorrelated load spike on a shared box does not.
+        base, armed_empty, overhead = measure()
+        median_delta = armed_empty / base - 1.0
+    print(
+        f"\nfault-seam overhead: baseline={base * 1e3:.1f}ms "
+        f"armed-empty={armed_empty * 1e3:.1f}ms "
+        f"paired-median delta={overhead * 100:+.2f}% "
+        f"median-of-sides delta={median_delta * 100:+.2f}%"
+    )
+    # The contract is <2%.  Two independent unbiased estimators of the
+    # same delta (median of per-pair ratios; ratio of per-side medians)
+    # must agree for a real regression, so requiring *either* to stay
+    # under the bound keeps single-estimator scheduler noise from
+    # failing a run while still catching a genuine seam cost.  Note the
+    # armed-empty side *includes* the frozenset probe at every point —
+    # the production ``faults=None`` guard is cheaper still.
+    assert min(overhead, median_delta) < 0.02, (
+        f"disabled fault injection cost {overhead * 100:.2f}% (paired) / "
+        f"{median_delta * 100:.2f}% (medians) "
+        f"(baseline {base:.4f}s vs {armed_empty:.4f}s)"
+    )
+
+
+if __name__ == "__main__":
+    base, armed_empty, overhead = measure()
+    print(
+        f"baseline={base * 1e3:.2f}ms armed-empty={armed_empty * 1e3:.2f}ms "
+        f"delta={overhead * 100:+.2f}%"
+    )

@@ -29,12 +29,23 @@ class ThroughputSeries:
             self._counts[bucket] = self._counts.get(bucket, 0) + 1
 
     def series(self, duration: float | None = None) -> list[tuple[float, float]]:
-        """[(bucket_start_seconds, txns_per_second), ...] dense from 0."""
+        """[(bucket_start_seconds, txns_per_second), ...] dense from 0.
+
+        The series always covers both the requested ``duration`` and
+        every recorded bucket — completions recorded past ``duration``
+        (in-flight work draining after the run window) are not silently
+        dropped, and ``duration=0.0`` is a valid zero-length window, not
+        a request for "whatever was recorded".
+        """
         with self._latch:
             counts = dict(self._counts)
         if not counts and duration is None:
             return []
-        last = int(duration / self.bucket_seconds) if duration else max(counts)
+        last = 0
+        if duration is not None:
+            last = int(duration / self.bucket_seconds)
+        if counts:
+            last = max(last, max(counts))
         return [
             (
                 bucket * self.bucket_seconds,

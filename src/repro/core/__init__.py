@@ -15,6 +15,15 @@ from .predicates import PredicateTransfer, Scope
 from .stats import MigrationStats
 from .background import BackgroundConfig, BackgroundMigrator
 from .engine import ConflictMode, LazyMigrationEngine, MigrationHandle
+from .faults import (
+    FAULT_POINTS,
+    FaultAction,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    SimulatedCrash,
+)
 from .eager import EagerMigration
 from .multistep import MultiStepMigration
 from .recovery import rebuild_trackers, simulate_crash
@@ -41,6 +50,13 @@ __all__ = [
     "ConflictMode",
     "LazyMigrationEngine",
     "MigrationHandle",
+    "FAULT_POINTS",
+    "FaultAction",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultRule",
+    "SimulatedCrash",
     "EagerMigration",
     "MultiStepMigration",
     "rebuild_trackers",

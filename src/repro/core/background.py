@@ -20,7 +20,9 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from .engine import LazyMigrationEngine, UnitRuntime
 
+from ..errors import TransactionAborted
 from .bitmap import MigrationBitmap
+from .faults import SimulatedCrash
 from .hashmap import MigrationHashMap
 from .predicates import Scope
 
@@ -54,8 +56,22 @@ class BackgroundMigrator:
             self._threads.append(thread)
             thread.start()
 
-    def stop(self) -> None:
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Signal the threads to stop and join them (bounded).
+
+        Joining matters: callers (``finalize``, ``shutdown``, bench
+        teardown) must not proceed to ``drop_old_schema`` or the next
+        run while a pass is still mid-``migrate_scope``.  A background
+        thread may itself reach here via ``_check_completion`` →
+        ``finalize``; it cannot join itself, so it is skipped (it exits
+        on the stop flag as soon as it unwinds).
+        """
         self._stop.set()
+        current = threading.current_thread()
+        for thread in self._threads:
+            if thread is current or not thread.is_alive():
+                continue
+            thread.join(timeout)
 
     def join(self, timeout: float | None = None) -> None:
         for thread in self._threads:
@@ -63,6 +79,14 @@ class BackgroundMigrator:
 
     # ------------------------------------------------------------------
     def _run(self, worker_index: int) -> None:
+        try:
+            self._run_passes(worker_index)
+        except SimulatedCrash:
+            # Fault injection killed this "process"; the harness drives
+            # recovery.  Exit quietly instead of spewing a traceback.
+            return
+
+    def _run_passes(self, worker_index: int) -> None:
         if self._stop.wait(self.config.delay):
             return
         self.engine.stats.mark_background_started()
@@ -73,10 +97,24 @@ class BackgroundMigrator:
                     return
                 if runtime.complete:
                     continue
-                if runtime.plan.category.uses_bitmap:
-                    did_work |= self._bitmap_pass(runtime)
-                else:
-                    did_work |= self._hashmap_pass(runtime)
+                faults = self.engine.faults
+                try:
+                    if faults is not None and "background.pass" in faults.watching:
+                        faults.fire(
+                            "background.pass",
+                            unit=runtime.plan.unit_id,
+                            worker=worker_index,
+                        )
+                    if runtime.plan.category.uses_bitmap:
+                        did_work |= self._bitmap_pass(runtime)
+                    else:
+                        did_work |= self._hashmap_pass(runtime)
+                except TransactionAborted:
+                    # A migration txn lost a lock conflict (wait-die) or
+                    # a fault fired.  The abort hooks already released
+                    # the claims; retry on the next round instead of
+                    # letting the background thread die.
+                    did_work = True
                 runtime.check_complete()
             self.engine._check_completion()
             if self.engine.is_complete:

@@ -48,6 +48,7 @@ from .constraints import (
     insert_conjuncts,
     update_unique_conjuncts,
 )
+from .faults import FaultInjector
 from .granularity import GranuleMapper
 from .hashmap import MigrationHashMap
 from .migration import MigrationSpec, parse_migration
@@ -153,6 +154,10 @@ class UnitRuntime:
         """Hashmap units: pre-render per-key INSERT..SELECT statements
         (the paper's rewritten migration DDL with injected predicates)."""
         self.key_sql: list[str] = []
+        # Parallel list of the bare per-key SELECTs (no INSERT wrapper):
+        # the invariant checker recomputes expected output rows from
+        # them without mutating anything.
+        self.key_select_sql: list[str] = []
         plan = self.plan
         if plan.category.uses_bitmap:
             return
@@ -195,6 +200,7 @@ class UnitRuntime:
                 on_conflict_do_nothing=on_conflict,
             )
             self.key_sql.append(render_statement(insert))
+            self.key_select_sql.append(render_statement(pinned))
         self._key_param_copies = len(sides)
 
     # ------------------------------------------------------------------
@@ -327,8 +333,12 @@ class LazyMigrationEngine:
         big_flip: bool = True,
         tracking_enabled: bool = True,
         fkpk_join_mode: str = "fkit-bitmap",
+        faults: FaultInjector | None = None,
     ) -> None:
         self.db = db
+        # Fault injection (repro.core.faults).  ``None`` in production:
+        # every injection point is a single ``is not None`` check.
+        self.faults = faults
         self.granule_size = granule_size
         self.tracker_partitions = tracker_partitions
         self.conflict_mode = conflict_mode
@@ -563,10 +573,17 @@ class LazyMigrationEngine:
             self._run_unclaimed(runtime, pending, is_bitmap)
             return
         tracker = runtime.tracker
+        faults = self.faults
         deadline = time.monotonic() + self.skip_wait_timeout
         wip_seen: set = set()
         skip_seen: set = set()
         while pending:
+            if faults is not None and "migrate.before_claim" in faults.watching:
+                faults.fire(
+                    "migrate.before_claim",
+                    unit=runtime.plan.unit_id,
+                    pending=len(pending),
+                )
             wip: list = []
             skip: list = []
             for granule in pending:
@@ -583,6 +600,11 @@ class LazyMigrationEngine:
             if wip:
                 self._migrate_wip(runtime, wip, is_bitmap)
                 wip_seen.difference_update(wip)
+                # Productive iteration: time spent migrating our own WIP
+                # must not count against the skip-wait timeout, or large
+                # batches spuriously time out on granules other workers
+                # finish promptly.
+                deadline = time.monotonic() + self.skip_wait_timeout
             if not skip or not wait:
                 break
             # Re-check skipped granules in a fresh iteration: the other
@@ -600,6 +622,7 @@ class LazyMigrationEngine:
     def _migrate_wip(self, runtime: UnitRuntime, wip: list, is_bitmap: bool) -> None:
         """One migration transaction for this worker's WIP list."""
         tracker = runtime.tracker
+        faults = self.faults
         session = self.db.connect(allow_retired=True)
         session.internal = True
         session.begin()
@@ -614,13 +637,25 @@ class LazyMigrationEngine:
                 produced = runtime.produce_bitmap_granules(wip, session)
             else:
                 produced = runtime.produce_keys(wip, session)
+            if faults is not None and "migrate.after_produce" in faults.watching:
+                faults.fire(
+                    "migrate.after_produce",
+                    unit=runtime.plan.unit_id,
+                    wip=len(wip),
+                    produced=produced,
+                )
             txn.record_migration(
                 runtime.plan.unit_id, runtime.plan.anchor, tuple(wip)
             )
             session.commit()
         except TransactionAborted:
-            # The lock manager already aborted the txn (wait-die); the
-            # abort hook reset our claims — the caller may retry.
+            # Usually the lock manager already aborted the txn
+            # (wait-die) and the abort hook reset our claims.  But a
+            # TransactionAborted from any other source (fault injection,
+            # a conflict surfacing at commit) leaves the txn ACTIVE and
+            # its locks held — roll back so nothing leaks.
+            if session.in_transaction:
+                session.rollback()
             self.stats.add_abort()
             raise
         except BaseException:
@@ -628,8 +663,19 @@ class LazyMigrationEngine:
                 session.rollback()
             self.stats.add_abort()
             raise
+        # The committed-but-untracked window: a crash between COMMIT and
+        # mark_migrated leaves the migrate bits unset; recovery replays
+        # the WAL's MIGRATE record to restore them (section 3.5).
+        if faults is not None and "migrate.before_mark" in faults.watching:
+            faults.fire(
+                "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(wip)
+            )
         tracker.mark_migrated(wip)  # Algorithm 1 lines 8-9
         self.stats.add(granules=len(wip), tuples=produced)
+        if faults is not None and "migrate.after_commit" in faults.watching:
+            faults.fire(
+                "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(wip)
+            )
 
     def _run_unclaimed(
         self, runtime: UnitRuntime, pending: list, is_bitmap: bool
@@ -653,15 +699,25 @@ class LazyMigrationEngine:
         ]
         if not todo:
             return
+        faults = self.faults
         session = self.db.connect(allow_retired=True)
         session.internal = True
         session.begin()
+        txn = session._txn
+        assert txn is not None
         try:
             if is_bitmap:
                 produced = runtime.produce_bitmap_granules(todo, session)
             else:
                 produced = runtime.produce_keys(todo, session)
-            session._txn.record_migration(
+            if faults is not None and "migrate.after_produce" in faults.watching:
+                faults.fire(
+                    "migrate.after_produce",
+                    unit=runtime.plan.unit_id,
+                    wip=len(todo),
+                    produced=produced,
+                )
+            txn.record_migration(
                 runtime.plan.unit_id, runtime.plan.anchor, tuple(todo)
             )
             session.commit()
@@ -672,8 +728,16 @@ class LazyMigrationEngine:
             raise
         # Completion bookkeeping only — there are no lock bits in this
         # mode, so mark directly.
+        if faults is not None and "migrate.before_mark" in faults.watching:
+            faults.fire(
+                "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(todo)
+            )
         tracker.mark_migrated(todo)
         self.stats.add(granules=len(todo), tuples=produced)
+        if faults is not None and "migrate.after_commit" in faults.watching:
+            faults.fire(
+                "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(todo)
+            )
 
     # ==================================================================
     # Completion
@@ -691,6 +755,9 @@ class LazyMigrationEngine:
         self._complete_event.set()
         self.db.set_statement_interceptor(None)
         if self._background is not None:
+            # stop() joins (bounded): finalize must not return while a
+            # background pass is still mid-migrate_scope, or teardown /
+            # drop_old_schema races the tail of the sweep.
             self._background.stop()
 
     @property
@@ -718,14 +785,15 @@ class LazyMigrationEngine:
         self.db.bump_epoch()
 
     def progress(self) -> dict[str, Any]:
+        snapshot = self.stats.snapshot()
         return {
             "migration": self.spec.migration_id if self.spec else None,
             "complete": self.is_complete,
-            "granules_migrated": self.stats.granules_migrated,
-            "tuples_migrated": self.stats.tuples_migrated,
-            "skip_waits": self.stats.skip_waits,
-            "aborts": self.stats.migration_txn_aborts,
-            "duplicates": self.stats.duplicate_attempts,
+            "granules_migrated": snapshot["granules_migrated"],
+            "tuples_migrated": snapshot["tuples_migrated"],
+            "skip_waits": snapshot["skip_waits"],
+            "aborts": snapshot["migration_txn_aborts"],
+            "duplicates": snapshot["duplicate_attempts"],
             "units": [runtime.progress() for runtime in self.units],
         }
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
+from typing import Any
 
 
 @dataclass
@@ -53,6 +54,24 @@ class MigrationStats:
     def add_duplicates(self, count: int) -> None:
         with self._latch:
             self.duplicate_attempts += count
+
+    def snapshot(self) -> dict[str, Any]:
+        """All counters read under one latch acquisition — consumers
+        (``engine.progress()``, the bench pollers) would otherwise see
+        torn values, e.g. ``granules_migrated`` after an ``add`` but
+        ``tuples_migrated`` from before it."""
+        with self._latch:
+            return {
+                "started_at": self.started_at,
+                "completed_at": self.completed_at,
+                "background_started_at": self.background_started_at,
+                "granules_migrated": self.granules_migrated,
+                "granules_total": self.granules_total,
+                "tuples_migrated": self.tuples_migrated,
+                "skip_waits": self.skip_waits,
+                "migration_txn_aborts": self.migration_txn_aborts,
+                "duplicate_attempts": self.duplicate_attempts,
+            }
 
     @property
     def is_complete(self) -> bool:

@@ -1,0 +1,25 @@
+"""Correctness tooling for the BullFrog reproduction.
+
+Two pieces, built for (and dogfooded by) ``tests/test_fault_injection.py``:
+
+* :class:`InvariantChecker` — verifies the paper's exactly-once
+  guarantees at any quiesce point (no lost tuples, no duplicates,
+  tracker state consistent with actual output rows);
+* :class:`FaultHarness` — engine lifecycle management under a
+  :class:`~repro.core.faults.FaultPlan`: multi-threaded clients, crash
+  detection, and the ``submit(resume=True)`` + ``rebuild_trackers``
+  recovery drill.
+
+Every future performance PR is expected to run the fault suite as its
+correctness backstop; see DESIGN.md ("Fault injection & invariants").
+"""
+
+from .invariants import InvariantChecker, InvariantReport, InvariantViolation
+from .harness import FaultHarness
+
+__all__ = [
+    "FaultHarness",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+]

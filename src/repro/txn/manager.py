@@ -122,8 +122,19 @@ class Transaction:
     # ------------------------------------------------------------------
     def commit(self) -> None:
         self._check_active()
-        if self._redo:
-            self._manager.wal.append_batch(self.id, self._redo)
+        faults = self._manager.faults
+        try:
+            if faults is not None and "txn.commit" in faults.watching:
+                faults.fire("txn.commit", txn_id=self.id)
+            if self._redo:
+                self._manager.wal.append_batch(self.id, self._redo)
+        except TransactionAborted:
+            # An abort surfacing inside commit (fault injection, a
+            # conflict at flush time) must not leave the transaction
+            # ACTIVE with its locks held: roll back fully, then let the
+            # caller see the abort.
+            self.abort()
+            raise
         self.state = TxnState.COMMITTED
         self._release_locks()
         hooks, self._commit_hooks = self._commit_hooks, []
@@ -139,6 +150,11 @@ class Transaction:
         # Apply undo in reverse order (standard ARIES-style rollback).
         for action in reversed(self._undo):
             action()
+        faults = self._manager.faults
+        if faults is not None and "txn.abort" in faults.watching:
+            # Latency/callback only — FaultRule rejects raising actions
+            # at txn.abort (an abort must not itself fail).
+            faults.fire("txn.abort", txn_id=self.id)
         self._manager.wal.append_abort(self.id)
         self.state = TxnState.ABORTED
         self._release_locks()
@@ -181,6 +197,9 @@ class TransactionManager:
     ) -> None:
         self.locks = LockManager(timeout=lock_timeout, policy=deadlock_policy)
         self.wal = RedoLog()
+        # Optional fault injector (repro.core.faults.FaultInjector);
+        # None in production — commit/abort guard with ``is not None``.
+        self.faults: Any = None
         self._next_id = itertools.count(1)
         self._active: dict[int, Transaction] = {}
         self._latch = threading.Lock()

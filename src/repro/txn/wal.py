@@ -49,6 +49,9 @@ class RedoLog:
     def __init__(self) -> None:
         self._records: list[LogRecord] = []
         self._latch = threading.Lock()
+        # Optional fault injector (repro.core.faults.FaultInjector);
+        # None in production.
+        self.faults: Any = None
 
     def append_batch(self, txn_id: int, entries: list[tuple[LogOp, Any]]) -> int:
         """Atomically append a transaction's records followed by COMMIT.
@@ -57,6 +60,12 @@ class RedoLog:
         records (and its COMMIT) appear in the log, or none do.  Returns
         the commit LSN.
         """
+        faults = self.faults
+        if faults is not None and "wal.flush" in faults.watching:
+            # Fired outside the latch (a LATENCY rule must not stall
+            # every other committer); a crash here happens *before* the
+            # batch lands — the commit is not durable.
+            faults.fire("wal.flush", txn_id=txn_id, records=len(entries))
         with self._latch:
             base = len(self._records)
             for offset, (op, payload) in enumerate(entries):

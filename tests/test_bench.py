@@ -42,6 +42,32 @@ class TestMetrics:
         series.record(0.2)
         assert series.series()[0] == (0.0, 4.0)  # 2 txns / 0.5s
 
+    def test_throughput_zero_duration(self):
+        # Regression: duration=0.0 used to fall through to max() over an
+        # empty bucket dict and raise ValueError.
+        series = ThroughputSeries(bucket_seconds=1.0)
+        assert series.series(duration=0.0) == [(0.0, 0.0)]
+
+    def test_throughput_empty_with_duration(self):
+        series = ThroughputSeries(bucket_seconds=1.0)
+        assert series.series(duration=2.5) == [
+            (0.0, 0.0),
+            (1.0, 0.0),
+            (2.0, 0.0),
+        ]
+
+    def test_throughput_includes_buckets_past_duration(self):
+        # Regression: completions recorded after the nominal duration
+        # (in-flight work draining past the run window) were silently
+        # dropped from the series.
+        series = ThroughputSeries(bucket_seconds=1.0)
+        series.record(0.5)
+        series.record(5.2)
+        result = series.series(duration=2.0)
+        assert result[0] == (0.0, 1.0)
+        assert result[-1] == (5.0, 1.0)
+        assert len(result) == 6
+
     def test_latency_recorder_filters(self):
         recorder = LatencyRecorder()
         recorder.record(0.5, 0.010, "new_order")

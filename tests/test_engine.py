@@ -454,3 +454,153 @@ class TestTrackingDisabled:
         for i in range(20):
             s.execute("SELECT v FROM left_part WHERE id = ?", [i])
         assert s.execute("SELECT COUNT(*) FROM left_part").scalar() == 20
+
+
+class TestConcurrencyRegressions:
+    """Regression tests for the migration-loop concurrency fixes that
+    shipped with the fault-injection harness."""
+
+    def test_skip_wait_deadline_extends_after_productive_work(self):
+        """The skip-wait deadline must be re-armed after a productive
+        iteration: time spent migrating our *own* WIP batch must not
+        count against waiting for granules held by *other* workers.
+        (Previously the deadline was computed once at loop entry, so a
+        slow WIP batch spuriously timed out the subsequent wait.)"""
+        from repro.core import Claim, FaultAction, FaultInjector, FaultPlan, FaultRule
+        from repro.core.predicates import Scope as _Scope
+
+        db, s = make_source_db(rows=40)
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "migrate.after_produce",
+                    FaultAction.LATENCY,
+                    latency=0.5,
+                    times=1,
+                )
+            ]
+        )
+        engine = LazyMigrationEngine(
+            db,
+            background=no_background(),
+            skip_wait_timeout=0.3,
+            faults=FaultInjector(plan),
+        )
+        engine.submit("m", SPLIT_DDL)
+        runtime = engine.units[0]
+        # Another worker holds granule 3 for 0.7s — longer than the WIP
+        # batch (0.5s via injected latency) plus nothing, shorter than
+        # the re-armed deadline (0.5s + 0.3s timeout).
+        assert runtime.tracker.try_begin(3) is Claim.MIGRATE
+        release = threading.Timer(0.7, lambda: runtime.tracker.mark_migrated([3]))
+        release.start()
+        try:
+            # Pre-fix: the 0.5s WIP batch exhausts the 0.3s deadline and
+            # this raises MigrationError instead of waiting.
+            engine.migrate_scope(runtime, _Scope(granules=set(range(40))))
+        finally:
+            release.join()
+        assert runtime.tracker.migrated_count == 40
+        assert engine.stats.skip_waits >= 1
+
+    def test_background_stop_joins_threads(self):
+        """stop() must join its worker threads (with a timeout), not
+        just set the stop flag and return while a pass is mid-flight."""
+        from repro.core import FaultAction, FaultInjector, FaultPlan, FaultRule
+
+        db, s = make_source_db(rows=30)
+        # Hold every background pass in a 0.3s sleep so stop() provably
+        # races an in-flight pass.
+        plan = FaultPlan(
+            [
+                FaultRule(
+                    "background.pass",
+                    FaultAction.LATENCY,
+                    latency=0.3,
+                    times=None,
+                )
+            ]
+        )
+        injector = FaultInjector(plan)
+        engine = LazyMigrationEngine(
+            db,
+            background=BackgroundConfig(delay=0.0, chunk=4, interval=0.01),
+            faults=injector,
+        )
+        engine.submit("m", SPLIT_DDL)
+        background = engine._background
+        assert background is not None
+        for _ in range(200):
+            if injector.hits("background.pass") > 0:
+                break
+            time.sleep(0.005)
+        assert injector.hits("background.pass") > 0
+        background.stop()
+        assert not any(t.is_alive() for t in background._threads)
+
+    def test_stats_snapshot_holds_the_latch(self):
+        """snapshot() must read all counters under the stats latch so a
+        concurrent add() cannot produce a torn view."""
+        from repro.core import MigrationStats
+
+        stats = MigrationStats()
+        stats.add(granules=1, tuples=2)
+        assert stats._latch.acquire()
+        done = threading.Event()
+        result = {}
+
+        def reader():
+            result["snap"] = stats.snapshot()
+            done.set()
+
+        t = threading.Thread(target=reader)
+        t.start()
+        try:
+            # Blocked: snapshot() is waiting on the latch we hold.
+            assert not done.wait(0.15)
+        finally:
+            stats._latch.release()
+        assert done.wait(2.0)
+        t.join()
+        assert result["snap"]["granules_migrated"] == 1
+        assert result["snap"]["tuples_migrated"] == 2
+
+    def test_stats_snapshot_never_torn_under_concurrency(self):
+        """Hammer add(granules=1, tuples=3) against snapshot(): every
+        snapshot must observe tuples == 3 * granules."""
+        from repro.core import MigrationStats
+
+        stats = MigrationStats()
+        stop = threading.Event()
+        torn = []
+
+        def writer():
+            while not stop.is_set():
+                stats.add(granules=1, tuples=3)
+
+        def reader():
+            while not stop.is_set():
+                snap = stats.snapshot()
+                if snap["tuples_migrated"] != 3 * snap["granules_migrated"]:
+                    torn.append(snap)
+                    return
+
+        threads = [threading.Thread(target=writer) for _ in range(2)]
+        threads += [threading.Thread(target=reader) for _ in range(2)]
+        for t in threads:
+            t.start()
+        time.sleep(0.2)
+        stop.set()
+        for t in threads:
+            t.join()
+        assert not torn, f"torn snapshot observed: {torn[:1]}"
+
+    def test_progress_reports_consistent_pair(self):
+        """engine.progress() is built from one stats snapshot."""
+        db, s = make_source_db(rows=10)
+        engine = LazyMigrationEngine(db, background=no_background())
+        engine.submit("m", SPLIT_DDL)
+        s.execute("SELECT v FROM left_part WHERE id = 1")
+        progress = engine.progress()
+        assert progress["granules_migrated"] == 1
+        assert progress["tuples_migrated"] == 1
