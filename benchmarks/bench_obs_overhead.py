@@ -1,0 +1,218 @@
+"""Overhead of the observability layer on the no-op migration hot loop.
+
+The zero-cost-when-detached contract (``repro.obs``): every emission
+site is guarded by a plain ``<owner>.obs is not None`` attribute check
+— the same contract ``repro.core.faults`` established and
+``bench_fault_overhead.py`` holds to numbers.  This benchmark prices
+two configurations against the production default (``obs=None``):
+
+* **attached but disabled** — ``Observability(metrics=False,
+  tracing=False)``: the guards all pass and early-out on the
+  ``active`` flag; this bounds the cost of the seams themselves and
+  must stay under **2%**;
+* **metrics enabled** (tracing off) — exact counters on every
+  statement, commit, and claim round, plus the latency histogram at
+  its default 1-in-16 statement sampling; must stay under **5%**.
+
+The measured regime is the *no-op migration hot loop*: a lazy SPLIT is
+submitted and drained down to one remaining granule (untimed), then we
+time point SELECTs against already-migrated granules.  Each statement
+still enters the Algorithm-1 claim loop — the interceptor scopes it,
+``try_begin`` answers DONE, the loop breaks — which is the steady-state
+path a live system pays on every query while a migration is in flight.
+Timing the *initial* drain instead would amplify the instrumentation
+~10x (a full migration transaction per statement) and measure the cost
+of migrating, not the cost of observing.
+
+Methodology — two noise sources, two countermeasures:
+
+* **Heap-layout variance.**  Two separately-built ``Database``
+  instances differ by ±10% on identical work (allocator layout, dict
+  order), which swamps a ~2 µs/statement effect.  So both sides of
+  every comparison run against the *same* database, engine, and
+  session; only the ``obs`` attachment is swapped between timed passes
+  (the attach points are plain attributes, re-read on every seam).
+* **Scheduler noise and process-lifetime drift.**  Long timed passes
+  drift several percent over a run on a loaded host, so the timing is
+  interleaved at fine grain: short blocks of ~100 statements alternate
+  attach state.  Three estimators are computed over the block series —
+  the median per-pair ratio (cancels drift: both blocks of a pair move
+  together), the total-time ratio (averages noise), and the ratio of
+  per-side minimum blocks (noise is additive and one-sided, so the
+  minimum estimates intrinsic cost) — and any one staying under the
+  bound passes.  A genuine regression is intrinsic to every
+  instrumented block and shows up in all three; an uncorrelated load
+  spike does not.
+"""
+
+import gc
+import itertools
+import statistics
+import time
+
+from repro import BackgroundConfig, Database, LazyMigrationEngine
+from repro.obs import Observability
+
+ROWS = 600
+BLOCK = 100  # statements per timed block
+PAIRS = 60  # adjacent baseline/instrumented block pairs
+
+SPLIT_DDL = """
+CREATE TABLE left_part (id INT PRIMARY KEY, v INT);
+INSERT INTO left_part (id, v) SELECT id, v FROM src;
+CREATE TABLE right_part (id INT PRIMARY KEY, tag VARCHAR(10));
+INSERT INTO right_part (id, tag) SELECT id, tag FROM src;
+"""
+
+
+def _setup():
+    """Database + engine with a migration drained to one remaining
+    granule, so the claim loop stays live for every later statement."""
+    db = Database()
+    s = db.connect()
+    s.execute(
+        "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT, tag VARCHAR(10))"
+    )
+    for i in range(ROWS):
+        s.execute(
+            "INSERT INTO src VALUES (?, ?, ?, ?)", [i, i % 5, i * 10, f"t{i % 3}"]
+        )
+    engine = LazyMigrationEngine(
+        db,
+        background=BackgroundConfig(enabled=False),
+    )
+    session = db.connect()
+    engine.submit("m", SPLIT_DDL)
+    for i in range(ROWS - 1):
+        session.execute("SELECT v FROM left_part WHERE id = ?", [i])
+    assert engine.stats.tuples_migrated == ROWS - 1
+    assert not engine.is_complete
+    return db, engine, session
+
+
+def _attach(db, engine, obs):
+    """Swap the observability attachment on live objects.  Every seam
+    re-reads its owner's ``obs`` attribute, so this flips the entire
+    instrumentation surface without rebuilding any state."""
+    db.obs = obs
+    db.txns.obs = obs
+    db.txns.wal.obs = obs
+    db.executor.obs = obs
+    engine.obs = obs
+
+
+def _time_block(session, execute, ids):
+    started = time.perf_counter()
+    for _ in range(BLOCK):
+        execute("SELECT v FROM left_part WHERE id = ?", [next(ids)])
+    return time.perf_counter() - started
+
+
+def measure(make_obs):
+    """Returns (total baseline seconds, total instrumented seconds,
+    median per-block-pair overhead ratio) for ``obs=None`` vs
+    ``make_obs()`` over fine-grained interleaved blocks on one shared
+    database."""
+    db, engine, session = _setup()
+    obs = make_obs()
+    execute = session.execute
+    ids = itertools.cycle(range(ROWS - 1))
+    for state in (None, obs, None, obs):  # warm both states, discarded
+        _attach(db, engine, state)
+        _time_block(session, execute, ids)
+    gc.collect()
+    gc.disable()  # no collection pauses inside timed blocks
+    try:
+        base_blocks: list[float] = []
+        inst_blocks: list[float] = []
+        for pair in range(PAIRS):
+            # Alternate within-pair order so drift across a pair
+            # cancels over the run instead of biasing one side.
+            if pair % 2 == 0:
+                _attach(db, engine, None)
+                base_blocks.append(_time_block(session, execute, ids))
+                _attach(db, engine, obs)
+                inst_blocks.append(_time_block(session, execute, ids))
+            else:
+                _attach(db, engine, obs)
+                inst_blocks.append(_time_block(session, execute, ids))
+                _attach(db, engine, None)
+                base_blocks.append(_time_block(session, execute, ids))
+    finally:
+        gc.enable()
+    assert not engine.is_complete  # every timed statement took the loop
+    return base_blocks, inst_blocks
+
+
+def _estimates(base_blocks, inst_blocks):
+    """Three overhead estimators over the interleaved blocks.  Noise on
+    this host is additive and one-sided (preemption only ever adds
+    time), so each estimator discards it differently: the per-pair
+    median cancels drift, the totals average it, and the ratio of
+    per-side minima (every block runs identical work) estimates the
+    intrinsic cost directly — a genuine regression is intrinsic and
+    shows up in *all three*."""
+    ratios = [i / b - 1.0 for b, i in zip(base_blocks, inst_blocks)]
+    paired = statistics.median(ratios)
+    total = sum(inst_blocks) / sum(base_blocks) - 1.0
+    floor = min(inst_blocks) / min(base_blocks) - 1.0
+    return paired, total, floor
+
+
+def _check_overhead(make_obs, bound, label):
+    base_blocks, inst_blocks = measure(make_obs)
+    paired, total, floor = _estimates(base_blocks, inst_blocks)
+    if min(paired, total, floor) >= bound:
+        # One re-measure: a genuine cost reproduces across both
+        # attempts; an uncorrelated load spike on a shared box does not.
+        base_blocks, inst_blocks = measure(make_obs)
+        paired, total, floor = _estimates(base_blocks, inst_blocks)
+    print(
+        f"\n{label} overhead: baseline={sum(base_blocks) * 1e3:.1f}ms "
+        f"instrumented={sum(inst_blocks) * 1e3:.1f}ms "
+        f"paired-median delta={paired * 100:+.2f}% "
+        f"total delta={total * 100:+.2f}% "
+        f"min-vs-min delta={floor * 100:+.2f}%"
+    )
+    assert min(paired, total, floor) < bound, (
+        f"{label} cost {paired * 100:.2f}% (paired) / "
+        f"{total * 100:.2f}% (total) / {floor * 100:.2f}% (min-vs-min), "
+        f"bound {bound * 100:.0f}%"
+    )
+
+
+def test_disabled_instrumentation_is_cheap():
+    """Attached-but-disabled observability: every guard passes, every
+    emission early-outs.  Contract: <2% end-to-end."""
+    _check_overhead(
+        lambda: Observability(metrics=False, tracing=False),
+        0.02,
+        "disabled-instrumentation",
+    )
+
+
+def test_enabled_metrics_are_cheap():
+    """Live counters + histograms on every seam (tracing off).
+    Contract: <5% end-to-end."""
+    _check_overhead(
+        lambda: Observability(metrics=True, tracing=False),
+        0.05,
+        "enabled-metrics",
+    )
+
+
+if __name__ == "__main__":
+    for make_obs, label in (
+        (lambda: Observability(metrics=False, tracing=False), "disabled"),
+        (lambda: Observability(metrics=True, tracing=False), "metrics"),
+        (lambda: Observability(), "metrics+tracing"),
+    ):
+        base_blocks, inst_blocks = measure(make_obs)
+        paired, total, floor = _estimates(base_blocks, inst_blocks)
+        print(
+            f"{label}: baseline={sum(base_blocks) * 1e3:.2f}ms "
+            f"instrumented={sum(inst_blocks) * 1e3:.2f}ms "
+            f"paired={paired * 100:+.2f}% total={total * 100:+.2f}% "
+            f"min-vs-min={floor * 100:+.2f}% "
+            f"per-stmt={sum(base_blocks) / (PAIRS * BLOCK) * 1e6:.1f}us"
+        )

@@ -36,19 +36,40 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also append rendered figures to this file",
     )
+    parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="attach the observability layer to every run (metric "
+        "registry + trace); implied by --json-out",
+    )
+    parser.add_argument(
+        "--json-out",
+        default=None,
+        help="write figures (series, summaries, registry snapshots) "
+        "to this JSON file",
+    )
     args = parser.parse_args(argv)
 
     profile = Profile.quick() if args.profile == "quick" else Profile.paper()
+    if args.obs or args.json_out:
+        profile.observability = True
     names = sorted(ALL_FIGURES) if args.figure == "all" else [args.figure]
+    results = []
     for name in names:
         print(f"[repro.bench] running {name} ({args.profile} profile)...")
         result = ALL_FIGURES[name](profile)
+        results.append(result)
         rendered = result.render()
         print(rendered)
         print()
         if args.out:
             with open(args.out, "a") as fh:
                 fh.write(rendered + "\n\n")
+    if args.json_out:
+        from .report import write_figures_json
+
+        write_figures_json(results, args.json_out)
+        print(f"[repro.bench] wrote JSON report to {args.json_out}")
     return 0
 
 

@@ -66,11 +66,15 @@ class WorkloadDriver:
         self,
         make_client: Callable[[int], ClientLike],
         config: DriverConfig,
+        registry: Any = None,
     ) -> None:
         self.make_client = make_client
         self.config = config
-        self.throughput = ThroughputSeries(config.bucket_seconds)
-        self.latencies = LatencyRecorder()
+        # With a metric registry the recorders double as metric sources
+        # (bench_txn_completed_total / bench_txn_latency_seconds), so an
+        # exporter scraping the engine's registry sees the workload too.
+        self.throughput = ThroughputSeries(config.bucket_seconds, registry=registry)
+        self.latencies = LatencyRecorder(registry=registry)
         self._events: list[tuple[float, str]] = []
         self._events_latch = threading.Lock()
         self._start = 0.0

@@ -35,6 +35,9 @@ class Profile:
     workers: int = 3
     background_delay: float = 1.5
     seed: int = 42
+    # Attach repro.obs to every run in the figure; the FigureResult then
+    # carries per-system registry snapshots (embedded in JSON reports).
+    observability: bool = False
 
     @staticmethod
     def quick() -> "Profile":
@@ -67,6 +70,8 @@ class FigureResult:
     cdfs: dict[str, list[float]] = field(default_factory=dict)
     events: dict[str, list[tuple[float, str]]] = field(default_factory=dict)
     meta: dict[str, Any] = field(default_factory=dict)
+    # Per-system registry snapshots (observability-enabled runs only).
+    registry: dict[str, Any] = field(default_factory=dict)
 
     def render(self) -> str:
         parts = [f"=== {self.figure}: {self.title} ==="]
@@ -131,6 +136,7 @@ def run_strategy_comparison(
                 background_enabled=background_enabled,
                 rate_fraction=_RATE_FRACTIONS[rate_name],
                 seed=profile.seed,
+                observability=profile.observability,
                 **options,
             )
             results[f"{system}@{rate_name}"] = run_migration_experiment(config)
@@ -160,6 +166,8 @@ def _comparison_figure(
             for k, v in result.migration_stats.items()
             if k in ("tuples_migrated", "skip_waits", "aborts", "duplicates", "complete")
         }
+        if result.registry_snapshot is not None:
+            out.registry[name] = result.registry_snapshot
     return out
 
 
@@ -278,6 +286,7 @@ def fig9_tracking_overhead(profile: Profile | None = None) -> FigureResult:
             seed=profile.seed,
             strategy=Strategy.LAZY,
             tracking_enabled=tracking,
+            observability=profile.observability,
             # Section 4.4.1: the application is modified so transactions
             # "cumulatively access each tuple in the old schema exactly
             # once, rendering migration status tracking unnecessary" —
@@ -316,6 +325,7 @@ def fig10_contention(
             rate_fraction=HIGH_RATE_FRACTION,
             hot_customers=None if fraction >= 1.0 else hot,
             seed=profile.seed,
+            observability=profile.observability,
         )
         label = f"hot={'all' if fraction >= 1.0 else hot}"
         results[label] = run_migration_experiment(config)
@@ -354,6 +364,7 @@ def fig11_granularity(
                     hot_customers=None if fraction >= 1.0 else hot,
                     granule_size=granule,
                     seed=profile.seed,
+                    observability=profile.observability,
                 )
                 label = (
                     f"page={granule},hot="
@@ -406,6 +417,7 @@ def fig12_constraints(
                     _CUSTOMER_ONLY if workload == "customer_only" else None
                 ),
                 seed=profile.seed,
+                observability=profile.observability,
             )
             label = f"{_FK_LABELS[fk_variant]} ({workload})"
             results[label] = run_migration_experiment(config)

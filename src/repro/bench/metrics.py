@@ -10,23 +10,52 @@ the latency CDFs.
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from ..obs.registry import MetricRegistry
+
+# Bench latencies live in the same range as statement latencies but the
+# interesting tail is longer (queueing delay under saturation).
+_BENCH_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+    5.0, 10.0, 30.0,
+)
+
 
 class ThroughputSeries:
-    """Thread-safe per-bucket completion counter."""
+    """Thread-safe per-bucket completion counter.
 
-    def __init__(self, bucket_seconds: float = 1.0) -> None:
+    With a ``registry`` the recorder doubles as a metric source: every
+    completion also bumps ``bench_txn_completed_total``, so a scrape of
+    the same registry the engine exports to shows workload progress
+    next to migration progress."""
+
+    def __init__(
+        self,
+        bucket_seconds: float = 1.0,
+        registry: MetricRegistry | None = None,
+    ) -> None:
         self.bucket_seconds = bucket_seconds
         self._counts: dict[int, int] = {}
         self._latch = threading.Lock()
+        self._counter = (
+            registry.counter(
+                "bench_txn_completed_total",
+                "workload transactions completed by the bench driver",
+            )
+            if registry is not None
+            else None
+        )
 
     def record(self, elapsed: float) -> None:
         bucket = int(elapsed / self.bucket_seconds)
         with self._latch:
             self._counts[bucket] = self._counts.get(bucket, 0) + 1
+        if self._counter is not None:
+            self._counter.inc()
 
     def series(self, duration: float | None = None) -> list[tuple[float, float]]:
         """[(bucket_start_seconds, txns_per_second), ...] dense from 0.
@@ -63,15 +92,32 @@ class LatencySample:
 
 
 class LatencyRecorder:
-    """Thread-safe latency sample sink."""
+    """Thread-safe latency sample sink.
 
-    def __init__(self) -> None:
+    With a ``registry`` every sample also feeds the
+    ``bench_txn_latency_seconds`` histogram (labelled by transaction
+    type), the same family shape the executor's statement latencies
+    use — one exporter serves both."""
+
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
         self._samples: list[LatencySample] = []
         self._latch = threading.Lock()
+        self._hist = (
+            registry.histogram(
+                "bench_txn_latency_seconds",
+                "end-to-end workload transaction latency (issue to response)",
+                labelnames=("txn",),
+                buckets=_BENCH_LATENCY_BUCKETS,
+            )
+            if registry is not None
+            else None
+        )
 
     def record(self, at: float, latency: float, txn_type: str) -> None:
         with self._latch:
             self._samples.append(LatencySample(at, latency, txn_type))
+        if self._hist is not None:
+            self._hist.labels(txn=txn_type).observe(latency)
 
     def samples(
         self,
@@ -93,14 +139,29 @@ class LatencyRecorder:
 
 
 def percentile(sorted_values: list[float], p: float) -> float:
-    """Nearest-rank percentile of an already-sorted list."""
+    """Linearly-interpolated percentile of an already-sorted list.
+
+    Interpolates on the ``(n - 1)`` rank basis, i.e. the inclusive
+    method — ``percentile(v, k)`` agrees with
+    ``statistics.quantiles(v, n=100, method="inclusive")[k - 1]`` for
+    integer ``k`` in 1..99 (the property test pins this).  The previous
+    nearest-rank rounding misreported tails at small sample counts
+    (e.g. p99 of 10 samples snapped to the 9th value, identical to
+    p90).  Edge cases: no samples -> NaN; one sample -> that sample;
+    ``p <= 0`` -> min; ``p >= 100`` -> max.
+    """
     if not sorted_values:
         return float("nan")
-    rank = min(
-        len(sorted_values) - 1,
-        max(0, int(round(p / 100.0 * (len(sorted_values) - 1)))),
-    )
-    return sorted_values[rank]
+    n = len(sorted_values)
+    if n == 1 or p <= 0.0:
+        return sorted_values[0]
+    if p >= 100.0:
+        return sorted_values[-1]
+    rank = p / 100.0 * (n - 1)
+    lower = math.floor(rank)
+    upper = min(lower + 1, n - 1)
+    frac = rank - lower
+    return sorted_values[lower] + frac * (sorted_values[upper] - sorted_values[lower])
 
 
 def cdf_points(

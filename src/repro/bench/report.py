@@ -8,7 +8,8 @@ measured shapes.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+import json
+from typing import Any, Iterable, Sequence
 
 from .metrics import LatencySummary, cdf_points
 
@@ -95,6 +96,30 @@ def summary_rows(
             }
         )
     return rows
+
+
+def figure_to_json(figure: Any) -> dict[str, Any]:
+    """A FigureResult as a JSON-able document: the plotted series and
+    summaries plus — when the runs were observability-enabled — the
+    final metric-registry snapshot per system, so a figure's JSON is a
+    self-contained record of both *what* was measured and the engine's
+    own counters while it ran."""
+    return {
+        "figure": figure.figure,
+        "title": figure.title,
+        "lines": {name: list(series) for name, series in figure.lines.items()},
+        "events": {name: list(marks) for name, marks in figure.events.items()},
+        "latency_summaries": figure.latency_summaries(),
+        "meta": figure.meta,
+        "registry": getattr(figure, "registry", {}) or {},
+    }
+
+
+def write_figures_json(figures: Iterable[Any], path: str) -> None:
+    """Write a list of figures as one JSON document."""
+    document = [figure_to_json(figure) for figure in figures]
+    with open(path, "w") as fh:
+        json.dump(document, fh, indent=2, default=str)
 
 
 def downsample(series: Sequence[tuple[float, float]], buckets: int = 40) -> list[tuple[float, float]]:

@@ -18,6 +18,7 @@ from typing import Any, Callable
 from ..core import BackgroundConfig, ConflictMode, MigrationController, Strategy
 from ..db import Database
 from ..errors import SchemaVersionError, TransactionAborted
+from ..obs import Observability
 from ..tpcc import (
     SCENARIOS,
     ScaleConfig,
@@ -53,6 +54,10 @@ class ExperimentConfig:
     disjoint_customers: bool = False  # section 4.4.1's exactly-once access
     seed: int = 42
     transaction_filter: tuple[str, ...] | None = None  # e.g. customer-only mix
+    # Attach a repro.obs.Observability to the run: the database, engine,
+    # and bench recorders all feed one registry + trace log, and the
+    # result carries the final snapshot (report.py embeds it in JSON).
+    observability: bool = False
 
 
 @dataclass
@@ -65,6 +70,10 @@ class ExperimentResult:
     migration_completed_at: float | None
     background_started_at: float | None
     migration_stats: dict[str, Any]
+    # Set when config.observability is on: the live Observability (for
+    # trace export) and the end-of-run registry snapshot.
+    obs: Observability | None = None
+    registry_snapshot: dict[str, Any] | None = None
 
     @property
     def throughput(self) -> list[tuple[float, float]]:
@@ -132,8 +141,10 @@ class AdaptiveClient:
             return name, self.client.run(name)
 
 
-def build_database(scale: ScaleConfig) -> Database:
-    db = Database()
+def build_database(
+    scale: ScaleConfig, obs: Observability | None = None
+) -> Database:
+    db = Database(obs=obs)
     session = db.connect()
     create_schema(session)
     load_tpcc(db, scale)
@@ -164,7 +175,8 @@ def run_migration_experiment(config: ExperimentConfig) -> ExperimentResult:
     """One full paper-style run: load, warm up, migrate at ``migrate_at``
     under a controlled request rate, record throughput/latency/events."""
     scenario = SCENARIOS[config.scenario]
-    db = build_database(config.scale)
+    obs = Observability() if config.observability else None
+    db = build_database(config.scale, obs=obs)
     controller = MigrationController(db)
     max_tps = measure_max_throughput(db, config.scale, config.workers)
     rate = config.rate if config.rate is not None else max_tps * config.rate_fraction
@@ -199,6 +211,7 @@ def run_migration_experiment(config: ExperimentConfig) -> ExperimentResult:
     driver = WorkloadDriver(
         make_client,
         DriverConfig(duration=config.duration, rate=rate, workers=config.workers),
+        registry=obs.registry if obs is not None else None,
     )
 
     state: dict[str, Any] = {
@@ -284,4 +297,6 @@ def run_migration_experiment(config: ExperimentConfig) -> ExperimentResult:
         migration_completed_at=state["migration_completed_at"],
         background_started_at=state["background_started_at"],
         migration_stats=stats,
+        obs=obs,
+        registry_snapshot=obs.registry.snapshot() if obs is not None else None,
     )

@@ -98,17 +98,46 @@ class BackgroundMigrator:
                 if runtime.complete:
                     continue
                 faults = self.engine.faults
+                obs = self.engine.obs
+                if obs is not None and not obs.active:
+                    obs = None
                 try:
+                    if obs is not None:
+                        obs.emit(
+                            "background.pass",
+                            unit=runtime.plan.unit_id,
+                            worker=worker_index,
+                        )
                     if faults is not None and "background.pass" in faults.watching:
                         faults.fire(
                             "background.pass",
                             unit=runtime.plan.unit_id,
                             worker=worker_index,
                         )
-                    if runtime.plan.category.uses_bitmap:
-                        did_work |= self._bitmap_pass(runtime)
+                    if obs is None:
+                        if runtime.plan.category.uses_bitmap:
+                            did_work |= self._bitmap_pass(runtime)
+                        else:
+                            did_work |= self._hashmap_pass(runtime)
                     else:
-                        did_work |= self._hashmap_pass(runtime)
+                        # One span per pass: in the Chrome trace these
+                        # sit on the background thread's track, visibly
+                        # overlapping the foreground ``migrate.wip``
+                        # spans on the client threads.
+                        start = obs.span_start()
+                        try:
+                            if runtime.plan.category.uses_bitmap:
+                                did_work |= self._bitmap_pass(runtime)
+                            else:
+                                did_work |= self._hashmap_pass(runtime)
+                        finally:
+                            obs.span_end(
+                                "background.pass",
+                                start,
+                                cat="background",
+                                unit=runtime.plan.unit_id,
+                                worker=worker_index,
+                            )
                 except TransactionAborted:
                     # A migration txn lost a lock conflict (wait-die) or
                     # a fault fired.  The abort hooks already released

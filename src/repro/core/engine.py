@@ -37,6 +37,7 @@ from ..errors import (
 from ..catalog import Column, TableSchema
 from ..exec.expressions import RowLayout, compile_expr, predicate_satisfied
 from ..exec.plan import ExecutionContext
+from ..obs import Observability
 from ..sql import ast_nodes as ast
 from ..sql.render import render_statement
 from ..types import text_type
@@ -334,11 +335,16 @@ class LazyMigrationEngine:
         tracking_enabled: bool = True,
         fkpk_join_mode: str = "fkit-bitmap",
         faults: FaultInjector | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.db = db
         # Fault injection (repro.core.faults).  ``None`` in production:
         # every injection point is a single ``is not None`` check.
         self.faults = faults
+        # Observability (repro.obs): same zero-cost-when-detached
+        # contract as faults; defaults to whatever the database carries
+        # so attaching once at the Database covers the engine too.
+        self.obs = obs if obs is not None else getattr(db, "obs", None)
         self.granule_size = granule_size
         self.tracker_partitions = tracker_partitions
         self.conflict_mode = conflict_mode
@@ -352,7 +358,9 @@ class LazyMigrationEngine:
         self.big_flip = big_flip
         self.spec: MigrationSpec | None = None
         self.units: list[UnitRuntime] = []
-        self.stats = MigrationStats()
+        self.stats = MigrationStats(
+            registry=self.obs.registry if self.obs is not None else None
+        )
         self._background: BackgroundMigrator | None = None
         self._complete_event = threading.Event()
         self._outputs_to_units: dict[str, UnitRuntime] = {}
@@ -448,6 +456,8 @@ class LazyMigrationEngine:
         self.spec = spec
         self.db.set_statement_interceptor(self._intercept)
         self.stats.mark_started()
+        if self.obs is not None:
+            self.obs.emit("migrate.submit", resume=resume, **spec.summary())
 
         # 7. Background migration threads (section 2.2), after a delay.
         if self.background_config.enabled:
@@ -574,10 +584,22 @@ class LazyMigrationEngine:
             return
         tracker = runtime.tracker
         faults = self.faults
+        obs = self.obs
+        if obs is not None and not obs.active:
+            obs = None  # attached-but-disabled: skip the dispatches
         deadline = time.monotonic() + self.skip_wait_timeout
         wip_seen: set = set()
         skip_seen: set = set()
         while pending:
+            if obs is not None:
+                if obs.tracing_enabled:
+                    obs.emit(
+                        "migrate.before_claim",
+                        unit=runtime.plan.unit_id,
+                        pending=len(pending),
+                    )
+                else:
+                    obs.inc_claim_round()
             if faults is not None and "migrate.before_claim" in faults.watching:
                 faults.fire(
                     "migrate.before_claim",
@@ -620,9 +642,37 @@ class LazyMigrationEngine:
             time.sleep(0.0002)
 
     def _migrate_wip(self, runtime: UnitRuntime, wip: list, is_bitmap: bool) -> None:
-        """One migration transaction for this worker's WIP list."""
+        """One migration transaction for this worker's WIP list.
+
+        With observability attached the whole transaction becomes one
+        ``migrate.wip`` span (claim batch -> produce -> commit -> mark),
+        which is what makes foreground migration cost visible next to
+        the background passes in the Chrome trace.
+        """
+        obs = self.obs
+        if obs is None or not obs.active:
+            self._migrate_wip_txn(runtime, wip, is_bitmap)
+            return
+        start = obs.span_start()
+        produced: int | None = None
+        try:
+            produced = self._migrate_wip_txn(runtime, wip, is_bitmap)
+        finally:
+            obs.observe_wip(
+                start,
+                unit=runtime.plan.unit_id,
+                wip=len(wip),
+                produced=produced,
+            )
+
+    def _migrate_wip_txn(
+        self, runtime: UnitRuntime, wip: list, is_bitmap: bool
+    ) -> int:
         tracker = runtime.tracker
         faults = self.faults
+        obs = self.obs
+        if obs is not None and not obs.active:
+            obs = None
         session = self.db.connect(allow_retired=True)
         session.internal = True
         session.begin()
@@ -637,6 +687,13 @@ class LazyMigrationEngine:
                 produced = runtime.produce_bitmap_granules(wip, session)
             else:
                 produced = runtime.produce_keys(wip, session)
+            if obs is not None:
+                obs.emit(
+                    "migrate.after_produce",
+                    unit=runtime.plan.unit_id,
+                    wip=len(wip),
+                    produced=produced,
+                )
             if faults is not None and "migrate.after_produce" in faults.watching:
                 faults.fire(
                     "migrate.after_produce",
@@ -666,16 +723,25 @@ class LazyMigrationEngine:
         # The committed-but-untracked window: a crash between COMMIT and
         # mark_migrated leaves the migrate bits unset; recovery replays
         # the WAL's MIGRATE record to restore them (section 3.5).
+        if obs is not None:
+            obs.emit(
+                "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(wip)
+            )
         if faults is not None and "migrate.before_mark" in faults.watching:
             faults.fire(
                 "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(wip)
             )
         tracker.mark_migrated(wip)  # Algorithm 1 lines 8-9
         self.stats.add(granules=len(wip), tuples=produced)
+        if obs is not None:
+            obs.emit(
+                "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(wip)
+            )
         if faults is not None and "migrate.after_commit" in faults.watching:
             faults.fire(
                 "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(wip)
             )
+        return produced
 
     def _run_unclaimed(
         self, runtime: UnitRuntime, pending: list, is_bitmap: bool
@@ -700,6 +766,10 @@ class LazyMigrationEngine:
         if not todo:
             return
         faults = self.faults
+        obs = self.obs
+        if obs is not None and not obs.active:
+            obs = None
+        span_start = obs.span_start() if obs is not None else 0.0
         session = self.db.connect(allow_retired=True)
         session.internal = True
         session.begin()
@@ -710,6 +780,13 @@ class LazyMigrationEngine:
                 produced = runtime.produce_bitmap_granules(todo, session)
             else:
                 produced = runtime.produce_keys(todo, session)
+            if obs is not None:
+                obs.emit(
+                    "migrate.after_produce",
+                    unit=runtime.plan.unit_id,
+                    wip=len(todo),
+                    produced=produced,
+                )
             if faults is not None and "migrate.after_produce" in faults.watching:
                 faults.fire(
                     "migrate.after_produce",
@@ -728,12 +805,26 @@ class LazyMigrationEngine:
             raise
         # Completion bookkeeping only — there are no lock bits in this
         # mode, so mark directly.
+        if obs is not None:
+            obs.emit(
+                "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(todo)
+            )
         if faults is not None and "migrate.before_mark" in faults.watching:
             faults.fire(
                 "migrate.before_mark", unit=runtime.plan.unit_id, wip=len(todo)
             )
         tracker.mark_migrated(todo)
         self.stats.add(granules=len(todo), tuples=produced)
+        if obs is not None:
+            obs.emit(
+                "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(todo)
+            )
+            obs.observe_wip(
+                span_start,
+                unit=runtime.plan.unit_id,
+                wip=len(todo),
+                produced=produced,
+            )
         if faults is not None and "migrate.after_commit" in faults.watching:
             faults.fire(
                 "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(todo)
@@ -754,6 +845,15 @@ class LazyMigrationEngine:
         self.stats.mark_completed()
         self._complete_event.set()
         self.db.set_statement_interceptor(None)
+        if self.obs is not None:
+            snapshot = self.stats.snapshot()
+            self.obs.emit(
+                "migrate.complete",
+                migration=self.spec.migration_id if self.spec else None,
+                granules=snapshot["granules_migrated"],
+                tuples=snapshot["tuples_migrated"],
+                duration=self.stats.duration,
+            )
         if self._background is not None:
             # stop() joins (bounded): finalize must not return while a
             # background pass is still mid-migrate_scope, or teardown /

@@ -46,6 +46,13 @@ reference (``None`` by default) and guard every ``fire`` with a plain
 the instruction path of a production run.  ``benchmarks/
 bench_fault_overhead.py`` holds this to <2% end-to-end.
 
+These seams are also the observability layer's emission sites: each
+point maps to a counter + trace event in
+:data:`repro.obs.observability.POINT_COUNTERS`, emitted by the same
+hot-path branches under the same contract (one ``obs is not None``
+guard per seam — see :mod:`repro.obs`).  Adding a fault point?  Add a
+matching entry there so the new seam is observable too.
+
 Raising at ``txn.abort`` is unsupported (an abort must not itself
 fail); use ``LATENCY``/``CALLBACK`` there.  An ``ABORT`` rule at
 ``migrate.before_mark`` would strand lock bits with no recovery — the

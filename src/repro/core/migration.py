@@ -70,6 +70,17 @@ class MigrationSpec:
             )
         return "\n".join(lines)
 
+    def summary(self) -> dict:
+        """Structured summary — attached to the ``migrate.submit`` trace
+        event and the shell's ``\\progress`` surface."""
+        return {
+            "migration": self.migration_id,
+            "units": len(self.units),
+            "categories": [unit.category.value for unit in self.units],
+            "inputs": list(self.input_tables),
+            "outputs": list(self.output_tables),
+        }
+
 
 def parse_migration(
     migration_id: str,

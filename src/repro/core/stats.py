@@ -1,37 +1,129 @@
-"""Migration progress statistics, consumed by the benchmark harness."""
+"""Migration progress statistics, consumed by the benchmark harness.
+
+Since the observability layer landed, :class:`MigrationStats` is a
+*view* over :class:`~repro.obs.registry.MetricRegistry` counters rather
+than a parallel counter bag — the engine's Prometheus surface and
+``engine.progress()`` read the same cells, so the two can never drift.
+A stats object created without a registry makes a private one, so
+standalone use (tests, the eager/multi-step baselines) is unchanged.
+
+Registry counters are process-lifetime totals; the view subtracts the
+cell values captured at construction, so a second migration sharing a
+registry still reports *its own* counts while the exported totals keep
+accumulating (the Prometheus convention).
+
+Thread-safety: every mutator and :meth:`snapshot` run under one stats
+latch, so a snapshot can never observe a torn ``add(granules, tuples)``
+(the cells' own per-metric locks stripe concurrent *export* reads, but
+cross-counter consistency comes from this latch).
+"""
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass, field
 from typing import Any
 
+from ..obs.registry import MetricRegistry
 
-@dataclass
+_COUNTERS: dict[str, tuple[str, str]] = {
+    "granules_migrated": (
+        "bullfrog_migration_granules_migrated_total",
+        "granules (pages / group keys) migrated",
+    ),
+    "tuples_migrated": (
+        "bullfrog_migration_tuples_migrated_total",
+        "output tuples produced by migration transactions",
+    ),
+    "skip_waits": (
+        "bullfrog_migration_skip_waits_total",
+        "times a worker found a granule in-progress elsewhere",
+    ),
+    "migration_txn_aborts": (
+        "bullfrog_migration_txn_aborts_total",
+        "aborted migration transactions",
+    ),
+    "duplicate_attempts": (
+        "bullfrog_migration_duplicate_attempts_total",
+        "ON CONFLICT mode: rows skipped as duplicates",
+    ),
+}
+
+
 class MigrationStats:
     """Counters for one migration (all strategies share this shape)."""
 
-    started_at: float | None = None
-    completed_at: float | None = None
-    background_started_at: float | None = None
-    granules_migrated: int = 0
-    granules_total: int | None = None  # None for hashmap units (unknown upfront)
-    tuples_migrated: int = 0
-    skip_waits: int = 0  # times a worker found a granule in-progress elsewhere
-    migration_txn_aborts: int = 0
-    duplicate_attempts: int = 0  # ON CONFLICT mode: rows skipped as duplicates
-    _latch: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    def __init__(self, registry: MetricRegistry | None = None) -> None:
+        self.registry = registry if registry is not None else MetricRegistry()
+        self._latch = threading.Lock()
+        self.started_at: float | None = None
+        self.completed_at: float | None = None
+        self.background_started_at: float | None = None
+        self._cells = {
+            key: self.registry.counter(name, help_text)
+            for key, (name, help_text) in _COUNTERS.items()
+        }
+        # View baseline: this migration's counts are deltas over the
+        # (possibly shared, process-lifetime) registry cells.
+        self._base = {key: cell.value for key, cell in self._cells.items()}
+        self._granules_planned = self.registry.gauge(
+            "bullfrog_migration_granules_planned",
+            "granules known upfront (bitmap units); unset for hashmap units",
+        )
+        self._running = self.registry.gauge(
+            "bullfrog_migration_running",
+            "1 while a migration is in progress, 0 once complete",
+        )
 
+    # ------------------------------------------------------------------
+    # Registry-backed counter views
+    # ------------------------------------------------------------------
+    def _read(self, key: str) -> int:
+        return self._cells[key].value - self._base[key]
+
+    @property
+    def granules_migrated(self) -> int:
+        return self._read("granules_migrated")
+
+    @property
+    def tuples_migrated(self) -> int:
+        return self._read("tuples_migrated")
+
+    @property
+    def skip_waits(self) -> int:
+        return self._read("skip_waits")
+
+    @property
+    def migration_txn_aborts(self) -> int:
+        return self._read("migration_txn_aborts")
+
+    @property
+    def duplicate_attempts(self) -> int:
+        return self._read("duplicate_attempts")
+
+    @property
+    def granules_total(self) -> int | None:
+        value = self._granules_planned.value
+        return None if value is None else int(value)
+
+    @granules_total.setter
+    def granules_total(self, value: int | None) -> None:
+        self._granules_planned.set(value)
+
+    # ------------------------------------------------------------------
+    # Mutators (all under the stats latch)
+    # ------------------------------------------------------------------
     def mark_started(self) -> None:
         with self._latch:
             if self.started_at is None:
                 self.started_at = time.monotonic()
+                self._running.set(1)
 
     def mark_completed(self) -> None:
         with self._latch:
             if self.completed_at is None:
                 self.completed_at = time.monotonic()
+                self._running.set(0)
 
     def mark_background_started(self) -> None:
         with self._latch:
@@ -40,37 +132,41 @@ class MigrationStats:
 
     def add(self, granules: int = 0, tuples: int = 0) -> None:
         with self._latch:
-            self.granules_migrated += granules
-            self.tuples_migrated += tuples
+            self._cells["granules_migrated"].inc(granules)
+            self._cells["tuples_migrated"].inc(tuples)
 
     def add_skip_wait(self, count: int = 1) -> None:
         with self._latch:
-            self.skip_waits += count
+            self._cells["skip_waits"].inc(count)
 
     def add_abort(self) -> None:
         with self._latch:
-            self.migration_txn_aborts += 1
+            self._cells["migration_txn_aborts"].inc()
 
     def add_duplicates(self, count: int) -> None:
         with self._latch:
-            self.duplicate_attempts += count
+            self._cells["duplicate_attempts"].inc(count)
 
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, Any]:
         """All counters read under one latch acquisition — consumers
         (``engine.progress()``, the bench pollers) would otherwise see
         torn values, e.g. ``granules_migrated`` after an ``add`` but
-        ``tuples_migrated`` from before it."""
+        ``tuples_migrated`` from before it.  The key set is frozen
+        public API (the bench pollers index into it)."""
         with self._latch:
             return {
                 "started_at": self.started_at,
                 "completed_at": self.completed_at,
                 "background_started_at": self.background_started_at,
-                "granules_migrated": self.granules_migrated,
+                "granules_migrated": self._read("granules_migrated"),
                 "granules_total": self.granules_total,
-                "tuples_migrated": self.tuples_migrated,
-                "skip_waits": self.skip_waits,
-                "migration_txn_aborts": self.migration_txn_aborts,
-                "duplicate_attempts": self.duplicate_attempts,
+                "tuples_migrated": self._read("tuples_migrated"),
+                "skip_waits": self._read("skip_waits"),
+                "migration_txn_aborts": self._read("migration_txn_aborts"),
+                "duplicate_attempts": self._read("duplicate_attempts"),
             }
 
     @property
@@ -85,6 +181,7 @@ class MigrationStats:
 
     def progress_fraction(self) -> float | None:
         with self._latch:
-            if self.granules_total:
-                return min(1.0, self.granules_migrated / self.granules_total)
+            total = self.granules_total
+            if total:
+                return min(1.0, self._read("granules_migrated") / total)
         return None

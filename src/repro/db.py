@@ -25,6 +25,7 @@ BullFrog integration points:
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Sequence
 
@@ -42,6 +43,7 @@ from .exec.executor import Executor
 from .exec.expressions import RowLayout, compile_expr, evaluate_constant, predicate_satisfied
 from .exec.plan import ExecutionContext
 from .exec.planner import PlannedQuery, Planner
+from .obs import Observability
 from .sql import ast_nodes as ast
 from .sql.parser import parse_statement
 from .storage.page import DEFAULT_PAGE_CAPACITY
@@ -83,6 +85,7 @@ class Database:
         page_capacity: int = DEFAULT_PAGE_CAPACITY,
         lock_timeout: float = 10.0,
         deadlock_policy: DeadlockPolicy = DeadlockPolicy.DETECT,
+        obs: Observability | None = None,
     ) -> None:
         self.catalog = Catalog(default_page_capacity=page_capacity)
         self.txns = TransactionManager(
@@ -90,6 +93,15 @@ class Database:
         )
         self.planner = Planner(self.catalog)
         self.executor = Executor(self.catalog, self.planner)
+        # Observability fans out from here: attaching one object at the
+        # Database covers the txn manager, the WAL, and (via the engine's
+        # ``getattr(db, "obs", None)`` default) lazy migration.  ``None``
+        # keeps every emission site a single ``is not None`` check.
+        self.obs = obs
+        if obs is not None:
+            self.txns.obs = obs
+            self.txns.wal.obs = obs
+            self.executor.obs = obs
         self._epoch = 0
         self._parse_cache: dict[str, ast.Statement] = {}
         self._plan_cache: dict[tuple, Any] = {}
@@ -216,6 +228,32 @@ class Session:
             self.rollback()
             return Result("ROLLBACK")
 
+        obs = self.db.obs
+        if obs is None or self.internal or not obs.active:
+            # Internal (migration-engine) statements are covered by the
+            # enclosing ``migrate.wip`` span; instrumenting them here too
+            # would double-count migration work as client latency.
+            return self._run_statement(stmt, params, sql_text)
+        start = obs.statement_begin(type(stmt))
+        if not start:
+            # Counted but not latency-sampled (see Observability's
+            # ``sample_statements``): run without the clock reads.
+            return self._run_statement(stmt, params, sql_text)
+        try:
+            return self._run_statement(stmt, params, sql_text)
+        finally:
+            # One histogram observation + one trace span per sampled
+            # client statement, measured around interception — so the
+            # latency a client sees *including* any lazy migration it
+            # triggered.
+            obs.statement_done(_stmt_kind(stmt), start)
+
+    def _run_statement(
+        self,
+        stmt: ast.Statement,
+        params: Sequence[Any],
+        sql_text: str | None,
+    ) -> Result:
         interceptor = self.db._interceptor
         if (
             interceptor is not None
@@ -488,6 +526,21 @@ class _SessionTxn:
             if self.session.in_transaction:
                 self.session.rollback()
         return False
+
+
+_STMT_KINDS = {
+    ast.Select: "select",
+    ast.Insert: "insert",
+    ast.Update: "update",
+    ast.Delete: "delete",
+}
+
+
+def _stmt_kind(stmt: ast.Statement) -> str:
+    """Histogram label for a statement — one label value per DML kind
+    keeps the ``repro_statement_seconds`` family's cardinality bounded
+    (everything else, DDL included, shares the ``ddl`` label)."""
+    return _STMT_KINDS.get(type(stmt), "ddl")
 
 
 # ======================================================================

@@ -51,6 +51,10 @@ class Executor:
     def __init__(self, catalog, planner: Planner) -> None:
         self.catalog = catalog
         self.planner = planner
+        # Optional observability (repro.obs.Observability), set by the
+        # Database when one is attached; None keeps the write path free
+        # of any accounting beyond a single ``is not None`` check.
+        self.obs: Any = None
 
     # ==================================================================
     # SELECT
@@ -189,6 +193,8 @@ class Executor:
                 ctx.txn.record_insert(table, tid, row)
             ctx.fire_row_hooks(table.schema.name, "INSERT", tid, None, row)
             inserted += 1
+        if self.obs is not None and self.obs.active:
+            self.obs.add_rows("insert", inserted)
         return inserted
 
     # ==================================================================
@@ -255,6 +261,8 @@ class Executor:
                 ctx.txn.record_update(table, tid, old_row, new_tuple)
             ctx.fire_row_hooks(table.schema.name, "UPDATE", tid, old_row, new_tuple)
             updated += 1
+        if self.obs is not None and self.obs.active:
+            self.obs.add_rows("update", updated)
         return updated
 
     # ==================================================================
@@ -295,6 +303,8 @@ class Executor:
                 ctx.txn.record_delete(table, tid, old_row)
             ctx.fire_row_hooks(table.schema.name, "DELETE", tid, old_row, None)
             deleted += 1
+        if self.obs is not None and self.obs.active:
+            self.obs.add_rows("delete", deleted)
         return deleted
 
     # ==================================================================

@@ -1,0 +1,61 @@
+"""Unified observability: metric registry, lifecycle tracing, export.
+
+Three parts (see DESIGN.md section 9):
+
+* :mod:`repro.obs.registry` — named counters/gauges/histograms with a
+  ``labels(**kv)`` child API, lock-striped per cell;
+* :mod:`repro.obs.trace` — a ring-buffer :class:`TraceLog` of typed
+  span/instant events, exported as Chrome ``trace_event`` JSON;
+* :mod:`repro.obs.export` — Prometheus-text + JSON snapshot renders
+  and an optional stdlib HTTP endpoint.
+
+Attach an :class:`Observability` to a database and everything below it
+starts emitting::
+
+    from repro import Database
+    from repro.obs import Observability
+
+    obs = Observability()
+    db = Database(obs=obs)
+    ...
+    print(render_prometheus(obs.registry))
+    open("trace.json", "w").write(obs.trace.to_chrome_json())
+"""
+
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricFamily,
+    MetricRegistry,
+    NULL_METRIC,
+    NullMetric,
+)
+from .trace import TraceEvent, TraceLog
+from .observability import Observability, POINT_COUNTERS
+from .export import (
+    MetricsServer,
+    render_prometheus,
+    snapshot_json,
+    start_metrics_server,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricFamily",
+    "MetricRegistry",
+    "NullMetric",
+    "NULL_METRIC",
+    "DEFAULT_LATENCY_BUCKETS",
+    "TraceEvent",
+    "TraceLog",
+    "Observability",
+    "POINT_COUNTERS",
+    "MetricsServer",
+    "render_prometheus",
+    "snapshot_json",
+    "start_metrics_server",
+]

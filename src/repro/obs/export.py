@@ -1,0 +1,170 @@
+"""Export surfaces: Prometheus text, JSON snapshot, optional HTTP.
+
+Everything here is a pure string render over a
+:class:`~repro.obs.registry.MetricRegistry` (no HTTP dependency); the
+optional endpoint is stdlib ``http.server`` only, started on demand —
+a scrape target for a real Prometheus, or ``curl``-able during a long
+bench run.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from .registry import MetricRegistry
+from .trace import TraceLog
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n").replace('"', '\\"')
+
+
+def _render_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(str(value))}"'
+        for key, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(registry: MetricRegistry) -> str:
+    """The Prometheus text exposition format (version 0.0.4)."""
+    lines: list[str] = []
+    for family in registry.families():
+        lines.append(f"# HELP {family.name} {family.help}")
+        lines.append(f"# TYPE {family.name} {family.kind}")
+        for labels, cell in family.samples():
+            if family.kind == "histogram":
+                snap = cell.snapshot()
+                for le, count in snap["buckets"].items():
+                    lines.append(
+                        f"{family.name}_bucket"
+                        f"{_render_labels(labels, {'le': le})} {count}"
+                    )
+                lines.append(
+                    f"{family.name}_sum{_render_labels(labels)} "
+                    f"{_format_value(snap['sum'])}"
+                )
+                lines.append(
+                    f"{family.name}_count{_render_labels(labels)} {snap['count']}"
+                )
+            else:
+                value = cell.value
+                if value is None:
+                    continue  # unset gauge: no sample
+                lines.append(
+                    f"{family.name}{_render_labels(labels)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(registry: MetricRegistry, indent: int | None = None) -> str:
+    """The registry snapshot as a JSON document."""
+    return json.dumps(registry.snapshot(), indent=indent, default=str)
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricRegistry
+    trace: TraceLog | None
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path in ("/metrics", "/"):
+            body = render_prometheus(self.registry).encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        elif self.path == "/metrics.json":
+            body = snapshot_json(self.registry).encode()
+            content_type = "application/json"
+        elif self.path == "/trace" and self.trace is not None:
+            body = self.trace.to_chrome_json().encode()
+            content_type = "application/json"
+        else:
+            self.send_error(404)
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: Any) -> None:  # silence stderr
+        pass
+
+
+class MetricsServer:
+    """A background stdlib HTTP endpoint over one registry (+ trace).
+
+    ``port=0`` binds an ephemeral port (tests); ``server.port`` reports
+    the bound one.  ``close()`` shuts the server down and joins its
+    thread.
+    """
+
+    def __init__(
+        self,
+        registry: MetricRegistry,
+        trace: TraceLog | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        handler = type(
+            "_BoundMetricsHandler",
+            (_MetricsHandler,),
+            {"registry": registry, "trace": trace},
+        )
+        self._server = ThreadingHTTPServer((host, port), handler)
+        self.host = host
+        self.port = self._server.server_address[1]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+def start_metrics_server(
+    registry: MetricRegistry,
+    trace: TraceLog | None = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> MetricsServer:
+    return MetricsServer(registry, trace=trace, host=host, port=port)
+
+
+__all__ = [
+    "MetricsServer",
+    "render_prometheus",
+    "snapshot_json",
+    "start_metrics_server",
+]

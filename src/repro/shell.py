@@ -17,16 +17,20 @@ Useful for poking at the engine and demoing migrations by hand:
 
 Meta-commands: ``\\dt`` lists tables, ``\\d <table>`` describes one,
 ``\\explain <select>`` shows the plan, ``\\migrate <id> <ddl>`` submits
-a lazy migration, ``\\progress`` shows migration progress, ``\\q`` quits.
+a lazy migration, ``\\progress`` shows live migration progress,
+``\\metrics`` dumps the Prometheus text snapshot (``\\metrics json``
+for the JSON form), ``\\q`` quits.
 """
 
 from __future__ import annotations
 
 import sys
+import time
 
 from .core import BackgroundConfig, MigrationController, Strategy
 from .db import Database, Result
 from .errors import ReproError
+from .obs import Observability, render_prometheus, snapshot_json
 
 
 def format_result(result: Result) -> str:
@@ -55,7 +59,10 @@ def format_result(result: Result) -> str:
 
 class Shell:
     def __init__(self) -> None:
-        self.db = Database()
+        # The shell always runs instrumented: it is the demo surface for
+        # the observability layer (\\progress and \\metrics read it).
+        self.obs = Observability()
+        self.db = Database(obs=self.obs)
         self.session = self.db.connect()
         self.controller = MigrationController(self.db)
 
@@ -98,8 +105,62 @@ class Shell:
         if command == "\\progress":
             if self.controller.active is None:
                 return "(no migration submitted)"
-            return str(self.controller.active.progress())
+            return self._format_progress()
+        if command == "\\metrics":
+            if len(parts) > 1 and parts[1] == "json":
+                return snapshot_json(self.obs.registry, indent=2)
+            return render_prometheus(self.obs.registry)
         return f"unknown meta-command {command!r}"
+
+    def _format_progress(self) -> str:
+        """Live migration progress from the stats view: granule counts,
+        migration rate, contention signals, background lag."""
+        active = self.controller.active
+        progress = active.progress()
+        lines = [
+            f"migration: {progress.get('migration')}"
+            f"  complete: {progress.get('complete')}"
+        ]
+        stats = getattr(active, "stats", None)
+        snap = stats.snapshot() if stats is not None else {}
+        done = progress.get("granules_migrated", 0)
+        total = snap.get("granules_total")
+        if total:
+            pct = 100.0 * done / total
+            lines.append(f"granules:  {done}/{total} ({pct:.1f}%)")
+        else:
+            lines.append(f"granules:  {done} (total unknown: hashmap unit)")
+        tuples = progress.get("tuples_migrated", 0)
+        started = snap.get("started_at")
+        if started is not None:
+            ended = snap.get("completed_at") or time.monotonic()
+            elapsed = max(ended - started, 1e-9)
+            lines.append(
+                f"tuples:    {tuples} ({tuples / elapsed:.0f} tuples/s)"
+            )
+        else:
+            lines.append(f"tuples:    {tuples}")
+        lines.append(
+            f"contention: skip_waits={progress.get('skip_waits', 0)} "
+            f"aborts={progress.get('aborts', 0)} "
+            f"duplicates={progress.get('duplicates', 0)}"
+        )
+        bg = snap.get("background_started_at")
+        if bg is not None and started is not None:
+            lines.append(
+                f"background: started {bg - started:.1f}s after migration "
+                "(foreground had the head start)"
+            )
+        else:
+            lines.append("background: not started")
+        for unit in progress.get("units", []):
+            total_s = f"/{unit['total']}" if "total" in unit else ""
+            lines.append(
+                f"  unit {unit['unit']} [{unit['category']}]: "
+                f"{unit['migrated']}{total_s} migrated"
+                f"{' (complete)' if unit['complete'] else ''}"
+            )
+        return "\n".join(lines)
 
     def run(self) -> int:
         print("repro shell — BullFrog reproduction.  \\q to quit.")

@@ -123,6 +123,12 @@ class Transaction:
     def commit(self) -> None:
         self._check_active()
         faults = self._manager.faults
+        obs = self._manager.obs
+        if obs is not None and obs.active:
+            if obs.tracing_enabled:
+                obs.emit("txn.commit", txn_id=self.id, records=len(self._redo))
+            else:
+                obs.inc_txn_commit()
         try:
             if faults is not None and "txn.commit" in faults.watching:
                 faults.fire("txn.commit", txn_id=self.id)
@@ -151,6 +157,9 @@ class Transaction:
         for action in reversed(self._undo):
             action()
         faults = self._manager.faults
+        obs = self._manager.obs
+        if obs is not None and obs.active:
+            obs.emit("txn.abort", txn_id=self.id)
         if faults is not None and "txn.abort" in faults.watching:
             # Latency/callback only — FaultRule rejects raising actions
             # at txn.abort (an abort must not itself fail).
@@ -200,6 +209,9 @@ class TransactionManager:
         # Optional fault injector (repro.core.faults.FaultInjector);
         # None in production — commit/abort guard with ``is not None``.
         self.faults: Any = None
+        # Optional observability (repro.obs.Observability); same
+        # zero-cost-when-detached contract as faults.
+        self.obs: Any = None
         self._next_id = itertools.count(1)
         self._active: dict[int, Transaction] = {}
         self._latch = threading.Lock()

@@ -52,6 +52,9 @@ class RedoLog:
         # Optional fault injector (repro.core.faults.FaultInjector);
         # None in production.
         self.faults: Any = None
+        # Optional observability (repro.obs.Observability); same
+        # zero-cost-when-detached contract as faults.
+        self.obs: Any = None
 
     def append_batch(self, txn_id: int, entries: list[tuple[LogOp, Any]]) -> int:
         """Atomically append a transaction's records followed by COMMIT.
@@ -61,6 +64,9 @@ class RedoLog:
         the commit LSN.
         """
         faults = self.faults
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.wal_flush(txn_id, len(entries))
         if faults is not None and "wal.flush" in faults.watching:
             # Fired outside the latch (a LATENCY rule must not stall
             # every other committer); a crash here happens *before* the

@@ -1,8 +1,11 @@
 """Tests for the benchmark harness: metrics, driver, report, scenarios."""
 
+import statistics
 import time
 
 import pytest
+from hypothesis import given
+from hypothesis import strategies as st
 
 from repro.bench import (
     DriverConfig,
@@ -82,6 +85,41 @@ class TestMetrics:
         assert percentile(values, 50) == pytest.approx(50.0, abs=1)
         assert percentile(values, 99) == pytest.approx(99.0, abs=1)
         assert percentile([], 50) != percentile([], 50)  # NaN
+
+    def test_percentile_edges(self):
+        assert percentile([7.0], 0) == 7.0
+        assert percentile([7.0], 50) == 7.0
+        assert percentile([7.0], 100) == 7.0
+        values = [1.0, 2.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, -5) == 1.0  # clamps below
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 150) == 4.0  # clamps above
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 75) == 3.0  # interpolates between 2 and 4
+
+    @given(
+        values=st.lists(
+            st.floats(
+                min_value=-1e9,
+                max_value=1e9,
+                allow_nan=False,
+                allow_infinity=False,
+            ),
+            min_size=2,
+            max_size=60,
+        ),
+        k=st.integers(min_value=1, max_value=99),
+    )
+    def test_percentile_matches_statistics_quantiles(self, values, k):
+        # The docstring's contract: for integer percentiles 1..99 the
+        # inclusive (n-1)-rank interpolation agrees with the stdlib's
+        # method="inclusive" quantile cut points.
+        values.sort()
+        expected = statistics.quantiles(values, n=100, method="inclusive")
+        assert percentile(values, k) == pytest.approx(
+            expected[k - 1], rel=1e-9, abs=1e-9
+        )
 
     def test_cdf_points_monotonic(self):
         points = cdf_points([5.0, 1.0, 3.0, 2.0, 4.0], points=10)

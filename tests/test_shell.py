@@ -58,6 +58,21 @@ class TestMetaCommands:
     def test_progress_without_migration(self):
         assert "no migration" in Shell().handle_meta("\\progress")
 
+    def test_metrics_prometheus_text(self, shell):
+        out = shell.handle_meta("\\metrics")
+        assert "# TYPE repro_statements_total counter" in out
+        # The fixture already ran a CREATE and an INSERT through the
+        # shell's session, so the exact statement counters are live.
+        assert 'repro_statements_total{stmt="insert"} 1' in out
+
+    def test_metrics_json(self, shell):
+        import json
+
+        doc = json.loads(shell.handle_meta("\\metrics json"))
+        samples = doc["repro_statements_total"]["samples"]
+        by_stmt = {s["labels"]["stmt"]: s["value"] for s in samples}
+        assert by_stmt["insert"] == 1
+
     def test_unknown_meta(self, shell):
         assert "unknown" in shell.handle_meta("\\frobnicate")
 
