@@ -97,6 +97,7 @@ def _attach(db, engine, obs):
     db.obs = obs
     db.txns.obs = obs
     db.txns.wal.obs = obs
+    db.txns.locks.obs = obs
     db.executor.obs = obs
     engine.obs = obs
 
@@ -201,6 +202,67 @@ def test_enabled_metrics_are_cheap():
     )
 
 
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE: instrumentation is opt-in per statement
+# ----------------------------------------------------------------------
+def _measure_analyze():
+    """Interleaved blocks of plain SELECT vs EXPLAIN ANALYZE SELECT on
+    the same database/session (obs detached throughout).  This prices
+    what ANALYZE *adds* — plan cloning, per-``next()`` clock reads, the
+    interceptor timing — against the statement it wraps."""
+    db, engine, session = _setup()
+    _attach(db, engine, None)
+    execute = session.execute
+    ids = itertools.cycle(range(ROWS - 1))
+
+    def plain_block():
+        started = time.perf_counter()
+        for _ in range(BLOCK):
+            execute("SELECT v FROM left_part WHERE id = ?", [next(ids)])
+        return time.perf_counter() - started
+
+    def analyze_block():
+        started = time.perf_counter()
+        for _ in range(BLOCK):
+            execute("EXPLAIN ANALYZE SELECT v FROM left_part WHERE id = ?", [next(ids)])
+        return time.perf_counter() - started
+
+    for _ in range(2):  # warm both paths, discarded
+        plain_block()
+        analyze_block()
+    gc.collect()
+    gc.disable()
+    try:
+        plain_blocks: list[float] = []
+        analyze_blocks: list[float] = []
+        for pair in range(PAIRS // 2):
+            if pair % 2 == 0:
+                plain_blocks.append(plain_block())
+                analyze_blocks.append(analyze_block())
+            else:
+                analyze_blocks.append(analyze_block())
+                plain_blocks.append(plain_block())
+    finally:
+        gc.enable()
+    return plain_blocks, analyze_blocks
+
+
+def test_analyze_cost_is_per_statement_opt_in():
+    """EXPLAIN ANALYZE may cost whatever it costs on the statement it
+    wraps — the contract is only that the price is *opt-in*.  The loose
+    backstop here (instrumented run < 10x plain) catches pathological
+    regressions (e.g. accidental plan re-instrumentation per row, or
+    clock reads escaping into the uninstrumented path) without turning
+    a deliberate per-row timing feature into a flaky perf assertion."""
+    plain_blocks, analyze_blocks = _measure_analyze()
+    ratio = sum(analyze_blocks) / sum(plain_blocks)
+    print(
+        f"\nEXPLAIN ANALYZE cost: plain={sum(plain_blocks) * 1e3:.1f}ms "
+        f"analyze={sum(analyze_blocks) * 1e3:.1f}ms ratio={ratio:.2f}x"
+    )
+    assert ratio < 10.0, f"EXPLAIN ANALYZE ratio {ratio:.2f}x exceeds 10x backstop"
+
+
 if __name__ == "__main__":
     for make_obs, label in (
         (lambda: Observability(metrics=False, tracing=False), "disabled"),
@@ -216,3 +278,9 @@ if __name__ == "__main__":
             f"min-vs-min={floor * 100:+.2f}% "
             f"per-stmt={sum(base_blocks) / (PAIRS * BLOCK) * 1e6:.1f}us"
         )
+    plain_blocks, analyze_blocks = _measure_analyze()
+    print(
+        f"explain-analyze: plain={sum(plain_blocks) * 1e3:.2f}ms "
+        f"analyze={sum(analyze_blocks) * 1e3:.2f}ms "
+        f"ratio={sum(analyze_blocks) / sum(plain_blocks):.2f}x"
+    )

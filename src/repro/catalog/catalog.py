@@ -17,6 +17,7 @@ from typing import Any, Iterator
 from ..errors import (
     CheckViolation,
     DuplicateObjectError,
+    ExecutionError,
     SchemaVersionError,
     UniqueViolation,
     UnknownObjectError,
@@ -254,12 +255,36 @@ class View:
         self.internal = internal
 
 
+class VirtualTable:
+    """A read-only system view backed by a producer callable.
+
+    ``producer(ctx)`` returns an iterable of row tuples snapshotting
+    live engine state; ``types`` may contain ``None`` where no SQL type
+    is declared.  Virtual tables live in their own namespace entry but
+    collide with tables/views on name, like PostgreSQL's ``pg_catalog``
+    relations do in practice.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        column_names: tuple[str, ...],
+        types: tuple[Any, ...],
+        producer: Any,
+    ) -> None:
+        self.name = name
+        self.column_names = column_names
+        self.types = types
+        self.producer = producer
+
+
 class Catalog:
     """Thread-safe name registry with retired-table tracking."""
 
     def __init__(self, default_page_capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
         self._tables: dict[str, Table] = {}
         self._views: dict[str, View] = {}
+        self._virtual: dict[str, VirtualTable] = {}
         self._latch = threading.RLock()
         self.default_page_capacity = default_page_capacity
 
@@ -273,7 +298,11 @@ class Catalog:
         page_capacity: int | None = None,
     ) -> Table:
         with self._latch:
-            if schema.name in self._tables or schema.name in self._views:
+            if (
+                schema.name in self._tables
+                or schema.name in self._views
+                or schema.name in self._virtual
+            ):
                 if if_not_exists and schema.name in self._tables:
                     return self._tables[schema.name]
                 raise DuplicateObjectError(
@@ -294,7 +323,7 @@ class Catalog:
     def rename_table(self, old: str, new: str) -> None:
         with self._latch:
             table = self.table(old)
-            if new in self._tables or new in self._views:
+            if new in self._tables or new in self._views or new in self._virtual:
                 raise DuplicateObjectError(f"relation {new!r} already exists")
             table.schema = table.schema.with_name(new)
             table.heap.name = new
@@ -310,7 +339,12 @@ class Catalog:
 
     def table_checked(self, name: str, allow_retired: bool = False) -> Table:
         """Like :meth:`table` but rejects retired (old-schema) tables for
-        ordinary requests — the paper's big-flip rejection."""
+        ordinary requests — the paper's big-flip rejection.  Also the
+        choke point that keeps DML off the virtual system views: every
+        write path resolves its target here (the SELECT planner checks
+        ``has_virtual`` *before* calling this)."""
+        if self.has_virtual(name):
+            raise ExecutionError(f"{name!r} is a read-only system view")
         table = self.table(name)
         if table.retired and not allow_retired:
             raise SchemaVersionError(
@@ -340,7 +374,7 @@ class Catalog:
         self, name: str, query: ast.Select, internal: bool = False, or_replace: bool = False
     ) -> View:
         with self._latch:
-            if name in self._tables:
+            if name in self._tables or name in self._virtual:
                 raise DuplicateObjectError(f"relation {name!r} already exists")
             if name in self._views and not or_replace:
                 raise DuplicateObjectError(f"view {name!r} already exists")
@@ -370,6 +404,36 @@ class Catalog:
     def views(self) -> list[View]:
         with self._latch:
             return list(self._views.values())
+
+    # ------------------------------------------------------------------
+    # Virtual system views
+    # ------------------------------------------------------------------
+    def register_virtual(self, virtual: VirtualTable) -> VirtualTable:
+        with self._latch:
+            if (
+                virtual.name in self._tables
+                or virtual.name in self._views
+            ):
+                raise DuplicateObjectError(
+                    f"relation {virtual.name!r} already exists"
+                )
+            self._virtual[virtual.name] = virtual
+            return virtual
+
+    def virtual_table(self, name: str) -> VirtualTable:
+        with self._latch:
+            virtual = self._virtual.get(name)
+        if virtual is None:
+            raise UnknownObjectError(f"system view {name!r} does not exist")
+        return virtual
+
+    def has_virtual(self, name: str) -> bool:
+        with self._latch:
+            return name in self._virtual
+
+    def virtual_tables(self) -> list[VirtualTable]:
+        with self._latch:
+            return list(self._virtual.values())
 
     # ------------------------------------------------------------------
     # Indexes (global namespace, PostgreSQL-style)

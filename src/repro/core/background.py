@@ -44,6 +44,10 @@ class BackgroundMigrator:
         self.config = config
         self._stop = threading.Event()
         self._threads: list[threading.Thread] = []
+        # Per-unit passes completed, surfaced by engine.progress() and
+        # bullfrog_stat_migrations (int updates are atomic enough for a
+        # monitoring counter — no latch on the pass loop).
+        self.passes = 0
 
     def start(self) -> None:
         for i in range(self.config.threads):
@@ -144,6 +148,7 @@ class BackgroundMigrator:
                     # the claims; retry on the next round instead of
                     # letting the background thread die.
                     did_work = True
+                self.passes += 1
                 runtime.check_complete()
             self.engine._check_completion()
             if self.engine.is_complete:

@@ -317,6 +317,10 @@ class UnitRuntime:
         }
         if isinstance(self.tracker, MigrationBitmap):
             info["total"] = self.tracker.size
+            if self.tracker.size:
+                info["fraction"] = min(
+                    1.0, info["migrated"] / self.tracker.size
+                )
         return info
 
 
@@ -364,6 +368,11 @@ class LazyMigrationEngine:
         self._background: BackgroundMigrator | None = None
         self._complete_event = threading.Event()
         self._outputs_to_units: dict[str, UnitRuntime] = {}
+        # Self-register for introspection: the bullfrog_stat_migrations
+        # system view iterates the database's engines.
+        register = getattr(db, "register_migration_engine", None)
+        if register is not None:
+            register(self)
 
     # ==================================================================
     # Submission: the logical switch (section 2.1)
@@ -890,10 +899,19 @@ class LazyMigrationEngine:
             "migration": self.spec.migration_id if self.spec else None,
             "complete": self.is_complete,
             "granules_migrated": snapshot["granules_migrated"],
+            "granules_total": snapshot["granules_total"],
             "tuples_migrated": snapshot["tuples_migrated"],
             "skip_waits": snapshot["skip_waits"],
             "aborts": snapshot["migration_txn_aborts"],
             "duplicates": snapshot["duplicate_attempts"],
+            # Progress/ETA surface (PR 4): bitmap-derived completion
+            # fraction, EWMA throughput, and estimated time remaining.
+            "fraction": 1.0 if self.is_complete else self.stats.progress_fraction(),
+            "tuples_per_sec": self.stats.tuples_per_second(),
+            "eta_seconds": self.stats.eta_seconds(),
+            "background_passes": (
+                self._background.passes if self._background is not None else 0
+            ),
             "units": [runtime.progress() for runtime in self.units],
         }
 

@@ -20,11 +20,19 @@ cross-counter consistency comes from this latch).
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Any
 
 from ..obs.registry import MetricRegistry
+
+# Time constant for the progress-rate EWMA: alpha = 1 - exp(-dt/tau),
+# so irregular update intervals are weighted by how much wall time they
+# actually cover.  ~2 s means the rate reflects the last few seconds of
+# migration throughput — responsive enough for a live `\progress` view,
+# smooth enough that per-batch jitter does not whip the ETA around.
+_RATE_TAU_SECONDS = 2.0
 
 _COUNTERS: dict[str, tuple[str, str]] = {
     "granules_migrated": (
@@ -74,6 +82,31 @@ class MigrationStats:
             "bullfrog_migration_running",
             "1 while a migration is in progress, 0 once complete",
         )
+        # Progress/ETA surface (PR 4): bitmap-derived completion
+        # fraction plus EWMA throughput rates and the derived ETA.
+        self._progress_gauge = self.registry.gauge(
+            "bullfrog_migration_progress_fraction",
+            "completion fraction of the running migration (granules "
+            "migrated / granules planned); unset for hashmap units",
+        )
+        self._tuples_rate_gauge = self.registry.gauge(
+            "bullfrog_migration_tuples_per_second",
+            "EWMA migration throughput in output tuples per second",
+        )
+        self._eta_gauge = self.registry.gauge(
+            "bullfrog_migration_eta_seconds",
+            "estimated seconds until the running migration completes "
+            "(remaining granules / EWMA granule rate)",
+        )
+        # EWMA state, guarded by the stats latch like every mutator.
+        # Counts accumulate in the pending buckets until enough wall
+        # time has passed to form a stable instantaneous rate (folding
+        # sub-millisecond batches directly would blow the rate up).
+        self._rate_updated_at: float | None = None
+        self._tuples_rate = 0.0
+        self._granules_rate = 0.0
+        self._pending_tuples = 0
+        self._pending_granules = 0
 
     # ------------------------------------------------------------------
     # Registry-backed counter views
@@ -118,12 +151,18 @@ class MigrationStats:
             if self.started_at is None:
                 self.started_at = time.monotonic()
                 self._running.set(1)
+                # Rate baseline: the first ``add`` measures throughput
+                # from migration start, not from its own timestamp.
+                self._rate_updated_at = self.started_at
 
     def mark_completed(self) -> None:
         with self._latch:
             if self.completed_at is None:
                 self.completed_at = time.monotonic()
                 self._running.set(0)
+                self._eta_gauge.set(0.0)
+                if self.granules_total:
+                    self._progress_gauge.set(1.0)
 
     def mark_background_started(self) -> None:
         with self._latch:
@@ -134,6 +173,33 @@ class MigrationStats:
         with self._latch:
             self._cells["granules_migrated"].inc(granules)
             self._cells["tuples_migrated"].inc(tuples)
+            self._update_rates(granules, tuples)
+
+    def _update_rates(self, granules: int, tuples: int) -> None:
+        """Fold a batch into the EWMA throughput rates (latch held)."""
+        self._pending_granules += granules
+        self._pending_tuples += tuples
+        now = time.monotonic()
+        last = self._rate_updated_at
+        if last is None:
+            self._rate_updated_at = now
+            return
+        dt = now - last
+        if dt < 0.01:
+            return  # keep accumulating; too short for a stable rate
+        alpha = 1.0 - math.exp(-dt / _RATE_TAU_SECONDS)
+        self._granules_rate += alpha * (self._pending_granules / dt - self._granules_rate)
+        self._tuples_rate += alpha * (self._pending_tuples / dt - self._tuples_rate)
+        self._pending_granules = 0
+        self._pending_tuples = 0
+        self._rate_updated_at = now
+        self._tuples_rate_gauge.set(self._tuples_rate)
+        total = self.granules_total
+        if total:
+            self._progress_gauge.set(
+                min(1.0, self._read("granules_migrated") / total)
+            )
+        self._eta_gauge.set(self._eta_locked())
 
     def add_skip_wait(self, count: int = 1) -> None:
         with self._latch:
@@ -185,3 +251,32 @@ class MigrationStats:
             if total:
                 return min(1.0, self._read("granules_migrated") / total)
         return None
+
+    def tuples_per_second(self) -> float:
+        """EWMA migration throughput in output tuples/second."""
+        with self._latch:
+            return self._tuples_rate
+
+    def granules_per_second(self) -> float:
+        """EWMA migration throughput in granules/second."""
+        with self._latch:
+            return self._granules_rate
+
+    def eta_seconds(self) -> float | None:
+        """Estimated seconds to completion: remaining granules over the
+        EWMA granule rate.  ``None`` when the total is unknown (hashmap
+        units) or no throughput has been observed yet; ``0.0`` once the
+        migration completed."""
+        with self._latch:
+            return self._eta_locked()
+
+    def _eta_locked(self) -> float | None:
+        if self.completed_at is not None:
+            return 0.0
+        total = self.granules_total
+        if not total or self._granules_rate <= 0.0:
+            return None
+        remaining = total - self._read("granules_migrated")
+        if remaining <= 0:
+            return 0.0
+        return remaining / self._granules_rate

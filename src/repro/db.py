@@ -44,6 +44,7 @@ from .exec.expressions import RowLayout, compile_expr, evaluate_constant, predic
 from .exec.plan import ExecutionContext
 from .exec.planner import PlannedQuery, Planner
 from .obs import Observability
+from .obs.sysviews import register_system_views
 from .sql import ast_nodes as ast
 from .sql.parser import parse_statement
 from .storage.page import DEFAULT_PAGE_CAPACITY
@@ -101,6 +102,7 @@ class Database:
         if obs is not None:
             self.txns.obs = obs
             self.txns.wal.obs = obs
+            self.txns.locks.obs = obs
             self.executor.obs = obs
         self._epoch = 0
         self._parse_cache: dict[str, ast.Statement] = {}
@@ -108,6 +110,11 @@ class Database:
         self._cache_latch = threading.Lock()
         self._interceptor: StatementInterceptor | None = None
         self._row_hooks: dict[str, list] = {}
+        # Lazy-migration engines register themselves here so the
+        # ``bullfrog_stat_migrations`` system view can enumerate live
+        # progress without the views layer knowing about engine types.
+        self._engines: list[Any] = []
+        register_system_views(self)
 
     # ------------------------------------------------------------------
     # Sessions
@@ -120,6 +127,14 @@ class Database:
     # ------------------------------------------------------------------
     def set_statement_interceptor(self, interceptor: StatementInterceptor | None) -> None:
         self._interceptor = interceptor
+
+    def register_migration_engine(self, engine: Any) -> None:
+        """Track a migration engine for the introspection views."""
+        if engine not in self._engines:
+            self._engines.append(engine)
+
+    def migration_engines(self) -> list[Any]:
+        return list(self._engines)
 
     def add_row_hook(self, table_name: str, hook) -> None:
         self._row_hooks.setdefault(table_name, []).append(hook)
@@ -293,6 +308,8 @@ class Session:
     ) -> Result:
         ctx = self._context()
         ctx.params = params
+        if isinstance(stmt, ast.Explain):
+            return self._run_explain(stmt, params, ctx)
         if isinstance(stmt, ast.Select):
             if stmt.for_update:
                 prepared = None
@@ -369,6 +386,71 @@ class Session:
         if isinstance(stmt, ast.AlterTable):
             return self._alter_table(stmt, ctx)
         raise ExecutionError(f"unsupported statement {type(stmt).__name__}")
+
+    # ------------------------------------------------------------------
+    # EXPLAIN [ANALYZE]
+    # ------------------------------------------------------------------
+    def _run_explain(
+        self, stmt: ast.Explain, params: Sequence[Any], ctx: ExecutionContext
+    ) -> Result:
+        """Dispatch target for a parsed ``EXPLAIN [ANALYZE] SELECT``.
+
+        Both forms bypass the plan cache: ANALYZE wraps a throwaway
+        instrumented clone anyway, and the plain form is rare enough
+        that caching would only let an ``EXPLAIN`` pin a plan the next
+        real query then shares.
+
+        ``ast.Explain`` is deliberately absent from the interceptor's
+        isinstance tuple in ``_run_statement``; ANALYZE invokes the
+        interceptor *itself*, under a timer, so the migrate-stall cost
+        a client would have paid for this query shows up as its own
+        summary line instead of disappearing before planning.
+        """
+        query = stmt.query
+        if not stmt.analyze:
+            planned = self.db.planner.plan_select(query, self.allow_retired)
+            lines = planned.node.explain()
+            return Result(
+                "EXPLAIN",
+                rows=[(line,) for line in lines],
+                columns=["QUERY PLAN"],
+                rowcount=len(lines),
+            )
+
+        interceptor = self.db._interceptor
+        stall_seconds = 0.0
+        migrated: tuple[int, int] | None = None
+        if interceptor is not None and not self.internal:
+            engine = getattr(interceptor, "__self__", None)
+            stats = getattr(engine, "stats", None)
+            before = stats.snapshot() if stats is not None else None
+            start = time.perf_counter()
+            interceptor(self, query, params, None)
+            stall_seconds = time.perf_counter() - start
+            if before is not None:
+                after = stats.snapshot()
+                migrated = (
+                    after["granules_migrated"] - before["granules_migrated"],
+                    after["tuples_migrated"] - before["tuples_migrated"],
+                )
+
+        planned = self.db.planner.plan_select(query, self.allow_retired)
+        start = time.perf_counter()
+        _rows, root = self.db.executor.run_analyze(planned, ctx)
+        exec_seconds = time.perf_counter() - start
+        lines = root.explain()
+        lines.append(f"Execution Time: {exec_seconds * 1000.0:.3f} ms")
+        if interceptor is not None and not self.internal:
+            summary = f"Lazy Migration: stall={stall_seconds * 1000.0:.3f} ms"
+            if migrated is not None:
+                summary += f", granules=+{migrated[0]}, tuples=+{migrated[1]}"
+            lines.append(summary)
+        return Result(
+            "EXPLAIN",
+            rows=[(line,) for line in lines],
+            columns=["QUERY PLAN"],
+            rowcount=len(lines),
+        )
 
     # ------------------------------------------------------------------
     # DDL
@@ -505,6 +587,8 @@ class Session:
     # ------------------------------------------------------------------
     def explain(self, sql: str) -> str:
         stmt = self.db.parse(sql)
+        if isinstance(stmt, ast.Explain):
+            stmt = stmt.query
         if not isinstance(stmt, ast.Select):
             raise ExecutionError("EXPLAIN supports SELECT statements only")
         return self.db.planner.explain(stmt, self.allow_retired)

@@ -27,7 +27,7 @@ from ..sql import ast_nodes as ast
 from ..storage.tid import Tid
 from ..txn.locks import LockMode
 from .expressions import RowLayout, compile_expr, predicate_satisfied
-from .plan import ExecutionContext, PlanNode
+from .plan import AnalyzedNode, ExecutionContext, PlanNode, instrument_plan
 from .planner import PlannedQuery, Planner
 
 Row = tuple[Any, ...]
@@ -61,6 +61,20 @@ class Executor:
     # ==================================================================
     def run_select(self, planned: PlannedQuery, ctx: ExecutionContext) -> list[Row]:
         return list(planned.node.rows(ctx))
+
+    def run_analyze(
+        self, planned: PlannedQuery, ctx: ExecutionContext
+    ) -> tuple[list[Row], AnalyzedNode]:
+        """``EXPLAIN ANALYZE``: run an instrumented clone of the plan.
+
+        Returns the result rows (discarded by the caller, per Postgres
+        semantics) and the instrumented root whose ``explain()`` renders
+        per-node actual time/rows/loops.  The original plan object —
+        possibly shared via the session plan cache — is never touched.
+        """
+        root = instrument_plan(planned.node)
+        rows = list(root.rows(ctx))
+        return rows, root
 
     def prepare_select_for_update(
         self, stmt: ast.Select, allow_retired: bool

@@ -17,6 +17,23 @@ from .expressions import CompiledExpr, compare_values
 Row = tuple[Any, ...]
 
 
+class OperatorStats:
+    """Runtime counters for one plan node under ``EXPLAIN ANALYZE``.
+
+    ``seconds`` is inclusive wall time (the node plus everything below
+    it), matching PostgreSQL's ``actual time`` semantics; ``loops``
+    counts how many times the node's row stream was (re)opened, e.g.
+    once per outer row on the inner side of a nested-loop join.
+    """
+
+    __slots__ = ("rows", "loops", "seconds")
+
+    def __init__(self) -> None:
+        self.rows = 0
+        self.loops = 0
+        self.seconds = 0.0
+
+
 class CountStarAccumulator:
     __slots__ = ("count",)
 

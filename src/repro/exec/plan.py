@@ -16,6 +16,8 @@ MVCC snapshot reads.
 
 from __future__ import annotations
 
+import copy
+import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Sequence
 
@@ -30,6 +32,7 @@ from ..txn.locks import LockMode
 from ..txn.manager import Transaction
 from ..types import SqlType
 from .expressions import CompiledExpr, RowLayout, compare_values, predicate_satisfied
+from .operators import OperatorStats
 
 Row = tuple[Any, ...]
 
@@ -512,3 +515,100 @@ class LimitNode(PlanNode):
 
     def explain(self, indent: int = 0) -> list[str]:
         return ["  " * indent + "Limit"] + self.child.explain(indent + 1)
+
+
+class VirtualScanNode(PlanNode):
+    """Scan of a registered virtual system view (``bullfrog_stat_*``).
+
+    ``producer`` takes the :class:`ExecutionContext` and returns an
+    iterable of row tuples; it snapshots live engine/txn/lock state at
+    scan time, so every scan sees fresh data.  Virtual tables take no
+    locks and are read-only (the planner rejects DML against them).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        binding: str,
+        layout: RowLayout,
+        types: list[SqlType | None],
+        producer: Callable[[ExecutionContext], Any],
+    ) -> None:
+        self.name = name
+        self.binding = binding
+        self.layout = layout
+        self.types = types
+        self.producer = producer
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        yield from self.producer(ctx)
+
+    def explain(self, indent: int = 0) -> list[str]:
+        return ["  " * indent + f"Virtual Scan on {self.name} {self.binding}"]
+
+
+# ----------------------------------------------------------------------
+# EXPLAIN ANALYZE instrumentation
+# ----------------------------------------------------------------------
+
+_CHILD_ATTRS = ("child", "inner", "left", "right")
+
+
+class AnalyzedNode(PlanNode):
+    """Instrumented wrapper around a plan node for ``EXPLAIN ANALYZE``.
+
+    Counts rows, loops (stream re-opens, e.g. per outer row on the
+    inner side of a join), and inclusive wall time per node.  The
+    wrapped node is attribute-named ``target`` — deliberately distinct
+    from the child attributes scanned by :func:`instrument_plan` — and
+    is a shallow *clone* of the original, so cached shared plans are
+    never mutated by instrumentation.
+    """
+
+    def __init__(self, target: PlanNode) -> None:
+        self.target = target
+        self.layout = target.layout
+        self.types = target.types
+        self.stats = OperatorStats()
+
+    def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
+        stats = self.stats
+        stats.loops += 1
+        perf = time.perf_counter
+        start = perf()
+        inner = iter(self.target.rows(ctx))  # eager nodes (Sort) pay here
+        stats.seconds += perf() - start
+        while True:
+            start = perf()
+            try:
+                row = next(inner)
+            except StopIteration:
+                stats.seconds += perf() - start
+                return
+            stats.seconds += perf() - start
+            stats.rows += 1
+            yield row
+
+    def explain(self, indent: int = 0) -> list[str]:
+        lines = self.target.explain(indent)
+        stats = self.stats
+        lines[0] += (
+            f" (actual time={stats.seconds * 1000.0:.3f} ms"
+            f" rows={stats.rows} loops={stats.loops})"
+        )
+        return lines
+
+
+def instrument_plan(node: PlanNode) -> AnalyzedNode:
+    """Wrap a plan tree for ANALYZE without mutating the original.
+
+    Each node is shallow-copied and its child attributes are replaced by
+    instrumented wrappers, so plans held in the session plan cache stay
+    untouched and uninstrumented execution keeps zero overhead.
+    """
+    clone = copy.copy(node)
+    for attr in _CHILD_ATTRS:
+        child = getattr(clone, attr, None)
+        if isinstance(child, PlanNode):
+            setattr(clone, attr, instrument_plan(child))
+    return AnalyzedNode(clone)

@@ -80,6 +80,10 @@ class Planner:
     ):
         """Plan the qualifying-row scan for UPDATE/DELETE.  Returns a
         scan node exposing ``rows_with_tids``."""
+        if self.catalog.has_virtual(table_name):
+            raise ExecutionError(
+                f"{table_name!r} is a read-only system view"
+            )
         table = self.catalog.table_checked(table_name, allow_retired)
         binding = alias or table_name
         layout = RowLayout.for_table(binding, table.schema.column_names)
@@ -266,6 +270,18 @@ class Planner:
 
     def _plan_source(self, item: ast.FromItem, allow_retired: bool) -> _Source:
         if isinstance(item, ast.TableRef):
+            if self.catalog.has_virtual(item.name):
+                virtual = self.catalog.virtual_table(item.name)
+                binding = item.binding
+                layout = RowLayout.for_table(binding, list(virtual.column_names))
+                node = planlib.VirtualScanNode(
+                    virtual.name,
+                    binding,
+                    layout,
+                    list(virtual.types),
+                    virtual.producer,
+                )
+                return _Source(node, frozenset({binding}))
             table = self.catalog.table_checked(item.name, allow_retired)
             binding = item.binding
             layout = RowLayout.for_table(binding, table.schema.column_names)

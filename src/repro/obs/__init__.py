@@ -34,6 +34,7 @@ from .registry import (
 )
 from .trace import TraceEvent, TraceLog
 from .observability import Observability, POINT_COUNTERS
+from .sysviews import SYSTEM_VIEW_NAMES, register_system_views
 from .export import (
     MetricsServer,
     render_prometheus,
@@ -54,6 +55,8 @@ __all__ = [
     "TraceLog",
     "Observability",
     "POINT_COUNTERS",
+    "SYSTEM_VIEW_NAMES",
+    "register_system_views",
     "MetricsServer",
     "render_prometheus",
     "snapshot_json",

@@ -152,6 +152,26 @@ class Observability:
                 _ast.Update: self._stmt_incs["update"],
                 _ast.Delete: self._stmt_incs["delete"],
             }
+            self.lock_wait_latency = self.registry.histogram(
+                "repro_lock_wait_seconds",
+                "time spent blocked on lock acquisition (contended path "
+                "only; uncontended acquires are never observed)",
+                labelnames=("resource",),
+                buckets=DEFAULT_LATENCY_BUCKETS,
+            )
+            self._lock_wait_cells = {
+                cls: self.lock_wait_latency.labels(resource=cls).observe
+                for cls in ("table", "tuple", "other")
+            }
+            self.deadlocks_total = self.registry.counter(
+                "repro_deadlock_aborts_total",
+                "lock acquisitions aborted by deadlock handling "
+                "(DETECT victim or WAIT_DIE death)",
+            ).cell()
+            self.lock_timeouts_total = self.registry.counter(
+                "repro_lock_timeouts_total",
+                "lock acquisitions aborted by the lock-wait timeout",
+            ).cell()
             self._wip_cell = self.migrate_wip_latency.cell()
             self._wal_cells: tuple[Any, Any] | None = (
                 self._point_counters["wal.flush"],
@@ -203,6 +223,10 @@ class Observability:
             self.migrate_wip_latency = None
             self.wal_batch_records = None
             self.rows_written = None
+            self.lock_wait_latency = None
+            self._lock_wait_cells = {}
+            self.deadlocks_total = None
+            self.lock_timeouts_total = None
             self._rows_cells = {}
             self._stmt_cells = {}
             self._stmt_observes = {}
@@ -310,6 +334,30 @@ class Observability:
             self.trace.complete(
                 f"stmt.{kind}", end_us - seconds * 1e6, cat="exec", end_us=end_us
             )
+
+    # ------------------------------------------------------------------
+    # Lock-wait profiling (called by LockManager on the contended path)
+    # ------------------------------------------------------------------
+    def observe_lock_wait(self, cls: str, seconds: float) -> None:
+        observe = self._lock_wait_cells.get(cls)
+        if observe is not None:
+            observe(seconds)
+        if self.tracing_enabled:
+            end_us = self.trace.now_us()
+            self.trace.complete(
+                "lock.wait", end_us - seconds * 1e6, cat="txn",
+                args={"resource": cls}, end_us=end_us,
+            )
+
+    def count_deadlock(self) -> None:
+        cell = self.deadlocks_total
+        if cell is not None:
+            cell.inc()
+
+    def count_lock_timeout(self) -> None:
+        cell = self.lock_timeouts_total
+        if cell is not None:
+            cell.inc()
 
     def add_rows(self, op: str, count: int) -> None:
         """Row-count accounting from the executor write path; pre-bound

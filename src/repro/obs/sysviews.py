@@ -1,0 +1,242 @@
+"""SQL-queryable system views (``bullfrog_stat_*``).
+
+Each view is a :class:`~repro.catalog.catalog.VirtualTable` whose
+producer snapshots live engine/txn/lock state at scan time, so plain
+``SELECT``s (and the TPC-C driver) can join operational telemetry
+against data tables mid-migration:
+
+* ``bullfrog_stat_activity``   — in-flight transactions;
+* ``bullfrog_stat_migrations`` — one row per migration unit with
+  bitmap-derived completion fraction, EWMA tuples/sec, and ETA;
+* ``bullfrog_stat_locks``      — per-resource lock state + wait
+  profiling (cumulative wait time, blocker attribution, aborts);
+* ``bullfrog_stat_statements`` — per-kind statement counts/latency
+  from the attached :class:`~repro.obs.observability.Observability`
+  (empty when the database runs detached — the views themselves add no
+  instrumentation, they only read what already exists).
+
+Producers close over the :class:`~repro.db.Database` and read
+``db.obs``/``db.txns``/registered engines *live*, so re-attaching a
+different observability bundle (the overhead benchmark does this) is
+reflected on the next scan.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from ..catalog.catalog import VirtualTable
+from ..types import SqlType, TypeKind
+
+if TYPE_CHECKING:
+    from ..db import Database
+
+Row = tuple[Any, ...]
+
+_INT = SqlType(TypeKind.BIGINT)
+_FLOAT = SqlType(TypeKind.FLOAT)
+_TEXT = SqlType(TypeKind.TEXT)
+_BOOL = SqlType(TypeKind.BOOL)
+
+SYSTEM_VIEW_NAMES = (
+    "bullfrog_stat_activity",
+    "bullfrog_stat_migrations",
+    "bullfrog_stat_locks",
+    "bullfrog_stat_statements",
+)
+
+_STATEMENT_KINDS = ("select", "insert", "update", "delete", "ddl")
+
+
+def _activity_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        with db.txns._latch:
+            txns = list(db.txns._active.values())
+        rows = [
+            (txn.id, txn.state.value, len(txn._locks), len(txn._redo))
+            for txn in txns
+        ]
+        rows.sort()
+        return rows
+
+    return produce
+
+
+def _migrations_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        rows: list[Row] = []
+        for engine in db.migration_engines():
+            progress = engine.progress()
+            shared = (
+                progress["tuples_migrated"],
+                progress["tuples_per_sec"],
+                progress["eta_seconds"],
+                progress["skip_waits"],
+                progress["aborts"],
+                progress["background_passes"],
+            )
+            units = progress["units"]
+            if not units:
+                rows.append(
+                    (
+                        progress["migration"],
+                        None,
+                        None,
+                        progress["complete"],
+                        progress["granules_migrated"],
+                        progress["granules_total"],
+                        progress["fraction"],
+                    )
+                    + shared
+                )
+                continue
+            for unit in units:
+                rows.append(
+                    (
+                        progress["migration"],
+                        unit["unit"],
+                        unit["category"],
+                        unit["complete"],
+                        unit["migrated"],
+                        unit.get("total"),
+                        1.0 if unit["complete"] else unit.get("fraction"),
+                    )
+                    + shared
+                )
+        return rows
+
+    return produce
+
+
+def _locks_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        rows: list[Row] = []
+        for entry in db.txns.locks.snapshot():
+            rows.append(
+                (
+                    entry["resource_class"],
+                    entry["resource"],
+                    ",".join(str(t) for t in entry["holders"]),
+                    ",".join(entry["modes"]),
+                    entry["waiters"],
+                    entry["wait_count"],
+                    entry["wait_seconds"],
+                    entry["deadlock_aborts"],
+                    entry["timeouts"],
+                    ",".join(str(t) for t in entry["last_blockers"]),
+                )
+            )
+        rows.sort()
+        return rows
+
+    return produce
+
+
+def _statements_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        obs = db.obs  # read live: the bench swaps bundles in place
+        if obs is None or obs.statements_total is None:
+            return []
+        rows: list[Row] = []
+        for kind in _STATEMENT_KINDS:
+            calls = int(obs.statements_total.labels(stmt=kind).value)
+            if not calls:
+                continue
+            cell = obs.statement_latency.labels(stmt=kind)
+            sampled = cell.count
+            total_seconds = cell.sum
+            mean = total_seconds / sampled if sampled else None
+            rows.append((kind, calls, sampled, total_seconds, mean))
+        return rows
+
+    return produce
+
+
+def register_system_views(db: "Database") -> None:
+    """Register the four ``bullfrog_stat_*`` virtual tables with the
+    database's catalog.  Called once from ``Database.__init__``."""
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_activity",
+            ("txn_id", "state", "locks_held", "redo_records"),
+            (_INT, _TEXT, _INT, _INT),
+            _activity_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_migrations",
+            (
+                "migration",
+                "unit",
+                "category",
+                "complete",
+                "granules_migrated",
+                "granules_total",
+                "fraction",
+                "tuples_migrated",
+                "tuples_per_sec",
+                "eta_seconds",
+                "skip_waits",
+                "aborts",
+                "background_passes",
+            ),
+            (
+                _TEXT,
+                _TEXT,
+                _TEXT,
+                _BOOL,
+                _INT,
+                _INT,
+                _FLOAT,
+                _INT,
+                _FLOAT,
+                _FLOAT,
+                _INT,
+                _INT,
+                _INT,
+            ),
+            _migrations_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_locks",
+            (
+                "resource_class",
+                "resource",
+                "holders",
+                "modes",
+                "waiters",
+                "wait_count",
+                "wait_seconds",
+                "deadlock_aborts",
+                "timeouts",
+                "last_blockers",
+            ),
+            (
+                _TEXT,
+                _TEXT,
+                _TEXT,
+                _TEXT,
+                _INT,
+                _INT,
+                _FLOAT,
+                _INT,
+                _INT,
+                _TEXT,
+            ),
+            _locks_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_statements",
+            ("stmt", "calls", "sampled", "total_seconds", "mean_seconds"),
+            (_TEXT, _INT, _INT, _FLOAT, _FLOAT),
+            _statements_producer(db),
+        )
+    )
+
+
+__all__ = ["SYSTEM_VIEW_NAMES", "register_system_views"]

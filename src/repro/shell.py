@@ -125,9 +125,12 @@ class Shell:
         snap = stats.snapshot() if stats is not None else {}
         done = progress.get("granules_migrated", 0)
         total = snap.get("granules_total")
+        fraction = progress.get("fraction")
         if total:
             pct = 100.0 * done / total
             lines.append(f"granules:  {done}/{total} ({pct:.1f}%)")
+        elif fraction is not None:
+            lines.append(f"granules:  {done} ({100.0 * fraction:.1f}%)")
         else:
             lines.append(f"granules:  {done} (total unknown: hashmap unit)")
         tuples = progress.get("tuples_migrated", 0)
@@ -136,10 +139,18 @@ class Shell:
             ended = snap.get("completed_at") or time.monotonic()
             elapsed = max(ended - started, 1e-9)
             lines.append(
-                f"tuples:    {tuples} ({tuples / elapsed:.0f} tuples/s)"
+                f"tuples:    {tuples} ({tuples / elapsed:.0f} tuples/s avg, "
+                f"{progress.get('tuples_per_sec', 0.0):.0f} tuples/s now)"
             )
         else:
             lines.append(f"tuples:    {tuples}")
+        eta = progress.get("eta_seconds")
+        if progress.get("complete"):
+            lines.append("eta:       done")
+        elif eta is not None:
+            lines.append(f"eta:       ~{eta:.1f}s at current rate")
+        else:
+            lines.append("eta:       unknown (no throughput observed yet)")
         lines.append(
             f"contention: skip_waits={progress.get('skip_waits', 0)} "
             f"aborts={progress.get('aborts', 0)} "

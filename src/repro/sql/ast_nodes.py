@@ -363,6 +363,25 @@ class AlterTable:
 
 
 # ======================================================================
+# Introspection
+# ======================================================================
+
+
+@dataclass(frozen=True)
+class Explain:
+    """``EXPLAIN [ANALYZE] SELECT ...``.
+
+    Plain EXPLAIN renders the plan without executing it; ANALYZE runs
+    the query through an instrumented copy of the plan and annotates
+    each node with actual row counts, loop counts, and wall time (plus
+    the lazy-migration stall the statement triggered, if any).
+    """
+
+    query: Select
+    analyze: bool = False
+
+
+# ======================================================================
 # Transaction control
 # ======================================================================
 
@@ -394,6 +413,7 @@ Statement = (
     | DropView
     | DropIndex
     | AlterTable
+    | Explain
     | BeginTransaction
     | CommitTransaction
     | RollbackTransaction

@@ -152,6 +152,8 @@ class _Parser:
             return self.parse_drop()
         if keyword == "ALTER":
             return self.parse_alter()
+        if keyword == "EXPLAIN":
+            return self.parse_explain()
         if keyword == "BEGIN":
             self.advance()
             self.accept_keyword("TRANSACTION")
@@ -165,6 +167,19 @@ class _Parser:
             self.accept_keyword("TRANSACTION")
             return ast.RollbackTransaction()
         raise ParseError(f"unsupported statement starting with {keyword}")
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+    def parse_explain(self) -> ast.Explain:
+        self.expect_keyword("EXPLAIN")
+        analyze = self.accept_keyword("ANALYZE") is not None
+        if not self.peek_keyword("SELECT"):
+            raise ParseError(
+                "EXPLAIN supports SELECT statements only, found "
+                f"{self.peek().value!r}"
+            )
+        return ast.Explain(self.parse_select(), analyze=analyze)
 
     # ------------------------------------------------------------------
     # SELECT

@@ -43,6 +43,7 @@ KEYWORDS = frozenset(
     CONFLICT DO NOTHING
     ASC DESC
     COUNT SUM AVG MIN MAX
+    EXPLAIN ANALYZE
     """.split()
 )
 

@@ -26,7 +26,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from enum import Enum, IntEnum
-from typing import Hashable
+from typing import Any, Hashable
 
 from ..errors import DeadlockAvoided, LockTimeout
 
@@ -70,11 +70,31 @@ def supremum(a: LockMode, b: LockMode) -> LockMode:
 
 @dataclass
 class _LockEntry:
-    """State of one lockable resource."""
+    """State of one lockable resource.
+
+    Beyond the live lock state, each entry accumulates wait-profiling
+    counters (updated only on the contended path, under ``condition``):
+    cumulative wait time, wait events, aborts attributed to this
+    resource, and the holder set observed by the most recent waiter
+    (blocker attribution for ``bullfrog_stat_locks``).
+    """
 
     holders: dict[int, LockMode] = field(default_factory=dict)
     condition: threading.Condition = field(default_factory=threading.Condition)
     waiting: int = 0
+    wait_count: int = 0
+    wait_seconds: float = 0.0
+    deadlock_aborts: int = 0
+    timeouts: int = 0
+    last_blockers: tuple[int, ...] = ()
+
+
+def resource_class(resource: Hashable) -> str:
+    """Coarse resource class for histograms: ``table``, ``tuple``, or
+    ``other`` (the manager does not interpret keys beyond convention)."""
+    if isinstance(resource, tuple) and resource and resource[0] in ("table", "tuple"):
+        return resource[0]
+    return "other"
 
 
 class _WaitsForGraph:
@@ -124,6 +144,10 @@ class LockManager:
         self._entries: dict[Hashable, _LockEntry] = {}
         self._latch = threading.Lock()
         self._waits_for = _WaitsForGraph()
+        # Optional observability (repro.obs.Observability), set by the
+        # Database when one is attached; None keeps the uncontended
+        # acquire path free of any accounting.
+        self.obs: Any = None
 
     def _entry(self, resource: Hashable) -> _LockEntry:
         with self._latch:
@@ -132,6 +156,40 @@ class LockManager:
                 entry = _LockEntry()
                 self._entries[resource] = entry
             return entry
+
+    def _peek(self, resource: Hashable) -> _LockEntry | None:
+        """The entry for ``resource`` if one exists — unlike
+        :meth:`_entry`, read-only probes must not materialize entries as
+        a side effect (they would grow ``_entries`` unboundedly)."""
+        with self._latch:
+            return self._entries.get(resource)
+
+    def _record_wait(
+        self,
+        entry: _LockEntry,
+        resource: Hashable,
+        seconds: float,
+        blockers: tuple[int, ...],
+        deadlock: bool = False,
+        timeout: bool = False,
+    ) -> None:
+        """Account one finished wait (successful or aborted).  Called
+        with ``entry.condition`` held; only ever reached on the
+        contended path."""
+        entry.wait_count += 1
+        entry.wait_seconds += seconds
+        entry.last_blockers = blockers
+        if deadlock:
+            entry.deadlock_aborts += 1
+        if timeout:
+            entry.timeouts += 1
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.observe_lock_wait(resource_class(resource), seconds)
+            if deadlock:
+                obs.count_deadlock()
+            if timeout:
+                obs.count_lock_timeout()
 
     # ------------------------------------------------------------------
     # Acquire / release
@@ -153,6 +211,7 @@ class LockManager:
             target = mode if held is None else supremum(held, mode)
             deadline = None
             waited = False
+            wait_started = 0.0
             try:
                 while True:
                     conflicting = {
@@ -161,11 +220,31 @@ class LockManager:
                         if other != txn_id and not _COMPATIBLE[other_mode][target]
                     }
                     if not conflicting:
+                        if waited:
+                            self._record_wait(
+                                entry,
+                                resource,
+                                time.monotonic() - wait_started,
+                                entry.last_blockers,
+                            )
                         entry.holders[txn_id] = target
                         return True
+                    # Contended path: everything below (including the
+                    # profiling) is off the uncontended fast path.
+                    blockers = tuple(sorted(conflicting))
+                    if not waited:
+                        wait_started = time.monotonic()
+                    entry.last_blockers = blockers
                     if self.policy is DeadlockPolicy.WAIT_DIE:
                         # Only wait for strictly older holders.
                         if any(other < txn_id for other in conflicting):
+                            self._record_wait(
+                                entry,
+                                resource,
+                                time.monotonic() - wait_started,
+                                blockers,
+                                deadlock=True,
+                            )
                             raise DeadlockAvoided(
                                 f"transaction {txn_id} dies waiting for lock "
                                 f"on {resource!r} held by older transaction(s)"
@@ -173,6 +252,13 @@ class LockManager:
                     else:
                         if not waited:
                             if self._waits_for.would_deadlock(txn_id, conflicting):
+                                self._record_wait(
+                                    entry,
+                                    resource,
+                                    time.monotonic() - wait_started,
+                                    blockers,
+                                    deadlock=True,
+                                )
                                 raise DeadlockAvoided(
                                     f"deadlock detected: transaction {txn_id} "
                                     f"waiting on {resource!r} closes a cycle"
@@ -184,6 +270,13 @@ class LockManager:
                         deadline = time.monotonic() + self.timeout
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
+                        self._record_wait(
+                            entry,
+                            resource,
+                            time.monotonic() - wait_started,
+                            blockers,
+                            timeout=True,
+                        )
                         raise LockTimeout(
                             f"transaction {txn_id} timed out waiting for "
                             f"{target.name} lock on {resource!r}"
@@ -211,11 +304,55 @@ class LockManager:
     # Introspection (tests / stats)
     # ------------------------------------------------------------------
     def held_mode(self, txn_id: int, resource: Hashable) -> LockMode | None:
-        entry = self._entry(resource)
+        entry = self._peek(resource)
+        if entry is None:
+            return None
         with entry.condition:
             return entry.holders.get(txn_id)
 
     def waiter_count(self, resource: Hashable) -> int:
-        entry = self._entry(resource)
+        entry = self._peek(resource)
+        if entry is None:
+            return 0
         with entry.condition:
             return entry.waiting
+
+    def snapshot(self) -> list[dict[str, Any]]:
+        """Per-resource lock state + wait-profiling counters for
+        ``bullfrog_stat_locks``.
+
+        Entries that are idle and were never contended are skipped —
+        ``_entries`` never shrinks (tuple locks accumulate), so the
+        snapshot stays bounded by what is interesting.
+        """
+        with self._latch:
+            items = list(self._entries.items())
+        rows: list[dict[str, Any]] = []
+        for resource, entry in items:
+            with entry.condition:
+                holders = dict(entry.holders)
+                waiting = entry.waiting
+                wait_count = entry.wait_count
+                wait_seconds = entry.wait_seconds
+                deadlock_aborts = entry.deadlock_aborts
+                timeouts = entry.timeouts
+                last_blockers = entry.last_blockers
+            if not holders and not waiting and not wait_count and not (
+                deadlock_aborts or timeouts
+            ):
+                continue
+            rows.append(
+                {
+                    "resource_class": resource_class(resource),
+                    "resource": repr(resource),
+                    "holders": sorted(holders),
+                    "modes": [holders[t].name for t in sorted(holders)],
+                    "waiters": waiting,
+                    "wait_count": wait_count,
+                    "wait_seconds": wait_seconds,
+                    "deadlock_aborts": deadlock_aborts,
+                    "timeouts": timeouts,
+                    "last_blockers": list(last_blockers),
+                }
+            )
+        return rows
