@@ -1,0 +1,276 @@
+"""Protocol + loopback overhead of ``bullfrogd`` vs the embedded engine.
+
+Three measurements, written to ``results/net_bench.json`` (the CI
+``network`` job uploads it as an artifact):
+
+* **single-client latency** — the same point-SELECT / point-UPDATE mix
+  timed embedded (``db.connect()``) and networked (one socket client on
+  loopback).  The delta is the full service cost: frame encode/decode,
+  two loopback hops, and the server's dispatch loop.
+* **16-client scaling** — closed-loop aggregate throughput at 1, 4, 8,
+  and 16 socket clients against one server, showing how the threaded
+  server multiplexes sessions (the GIL bounds CPU parallelism; the
+  point is that adding clients must not *collapse* throughput).
+* **TPC-C-through-migration smoke** — 8 socket clients run the TPC-C
+  mix while a backwards-incompatible lazy SPLIT migration completes
+  underneath them; reports throughput, abort/connection-error counts,
+  and that the exactly-once invariants held at the end.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_net_overhead.py``)
+or under pytest (the CI smoke) — same code path, pytest just asserts
+the structural expectations instead of only printing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+
+from repro import Database
+from repro.bench.driver import DriverConfig, WorkloadDriver
+from repro.core import BackgroundConfig, MigrationController, Strategy
+from repro.net import BullfrogServer, NetworkTpccClient, ServerConfig, connect
+from repro.obs import Observability
+from repro.testing import InvariantChecker
+from repro.tpcc import (
+    SCENARIOS,
+    ScaleConfig,
+    SchemaVariant,
+    create_schema,
+    load_tpcc,
+)
+
+ROWS = 400
+LATENCY_OPS = 600
+SCALING_SECONDS = 2.0
+SCALING_CLIENTS = (1, 4, 8, 16)
+TPCC_SECONDS = 6.0
+TPCC_CLIENTS = 8
+
+TINY_SCALE = ScaleConfig(
+    warehouses=1,
+    districts_per_warehouse=2,
+    customers_per_district=20,
+    items=30,
+    initial_orders_per_district=20,
+)
+
+
+def _seed_kv(db: Database) -> None:
+    s = db.connect()
+    s.execute("CREATE TABLE kv (id INT PRIMARY KEY, v INT)")
+    for i in range(ROWS):
+        s.execute("INSERT INTO kv VALUES (?, ?)", (i, i))
+
+
+def _run_ops(execute, ops: int) -> list[float]:
+    """The measured mix: 3 point SELECTs + 1 point UPDATE per round."""
+    samples = []
+    for i in range(ops):
+        key = (i * 17) % ROWS
+        began = time.perf_counter()
+        if i % 4 == 3:
+            execute("UPDATE kv SET v = v + 1 WHERE id = ?", (key,))
+        else:
+            execute("SELECT v FROM kv WHERE id = ?", (key,))
+        samples.append(time.perf_counter() - began)
+    return samples
+
+
+def _latency_stats(samples: list[float]) -> dict:
+    samples = sorted(samples)
+    return {
+        "ops": len(samples),
+        "mean_us": statistics.fmean(samples) * 1e6,
+        "p50_us": samples[len(samples) // 2] * 1e6,
+        "p99_us": samples[int(len(samples) * 0.99)] * 1e6,
+    }
+
+
+def bench_single_client() -> dict:
+    db = Database()
+    _seed_kv(db)
+    session = db.connect()
+    _run_ops(session.execute, 100)  # warm caches on the shared db
+    embedded = _latency_stats(_run_ops(session.execute, LATENCY_OPS))
+
+    srv = BullfrogServer(db, ServerConfig(port=0)).start()
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        _run_ops(conn.execute, 100)
+        networked = _latency_stats(_run_ops(conn.execute, LATENCY_OPS))
+        conn.close()
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+    return {
+        "embedded": embedded,
+        "networked": networked,
+        "overhead_us_mean": networked["mean_us"] - embedded["mean_us"],
+        "overhead_ratio_mean": networked["mean_us"] / embedded["mean_us"],
+    }
+
+
+def bench_scaling() -> list[dict]:
+    db = Database()
+    _seed_kv(db)
+    srv = BullfrogServer(db, ServerConfig(port=0, max_connections=32)).start()
+    points = []
+    try:
+        for workers in SCALING_CLIENTS:
+            done = [0] * workers
+            stop = threading.Event()
+
+            def worker(index: int) -> None:
+                with connect("127.0.0.1", srv.port) as conn:
+                    i = index
+                    while not stop.is_set():
+                        conn.execute(
+                            "SELECT v FROM kv WHERE id = ?", ((i * 31) % ROWS,)
+                        )
+                        done[index] += 1
+                        i += 1
+
+            threads = [
+                threading.Thread(target=worker, args=(w,), daemon=True)
+                for w in range(workers)
+            ]
+            began = time.perf_counter()
+            for t in threads:
+                t.start()
+            time.sleep(SCALING_SECONDS)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            elapsed = time.perf_counter() - began
+            points.append(
+                {
+                    "clients": workers,
+                    "total_ops": sum(done),
+                    "ops_per_sec": sum(done) / elapsed,
+                }
+            )
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+    return points
+
+
+def bench_tpcc_through_migration() -> dict:
+    db = Database(obs=Observability())
+    session = db.connect()
+    create_schema(session)
+    load_tpcc(db, TINY_SCALE)
+    srv = BullfrogServer(db, ServerConfig(port=0, max_connections=32)).start()
+    controller = MigrationController(db)
+    scenario = SCENARIOS["split"]
+    try:
+        def make_client(index: int) -> NetworkTpccClient:
+            return NetworkTpccClient(
+                "127.0.0.1", srv.port, TINY_SCALE,
+                variant=SchemaVariant.BASE,
+                new_variant=scenario["variant"],
+                seed=1000 + index,
+            )
+
+        driver = WorkloadDriver(
+            make_client,
+            DriverConfig(duration=TPCC_SECONDS, rate=None,
+                         workers=TPCC_CLIENTS),
+        )
+
+        def on_start(drv: WorkloadDriver) -> None:
+            def flip() -> None:
+                time.sleep(1.0)
+                drv.mark("migration start")
+                controller.submit(
+                    "split", scenario["ddl"],
+                    strategy=Strategy.LAZY,
+                    background=BackgroundConfig(
+                        delay=0.5, chunk=64, interval=0.002
+                    ),
+                    big_flip=scenario["big_flip"],
+                )
+            threading.Thread(target=flip, daemon=True).start()
+
+        result = driver.run(on_start=on_start)
+        handle = controller.active
+        deadline = time.monotonic() + 30.0
+        while not handle.is_complete and time.monotonic() < deadline:
+            time.sleep(0.05)
+        report = InvariantChecker(controller.engine).check(
+            expect_complete=True, structural_only=True
+        )
+        return {
+            "clients": TPCC_CLIENTS,
+            "duration": result.duration,
+            "completed": result.completed,
+            "failed": result.failed,
+            "tps": result.overall_tps,
+            "errors": result.errors,
+            "connection_errors": result.connection_errors,
+            "reconnects": result.reconnects,
+            "migration_complete": handle.is_complete,
+            "invariant_violations": [
+                str(v) for v in report.violations
+            ],
+        }
+    finally:
+        srv.shutdown(drain_timeout=2.0)
+
+
+def run_all(out_path: str = "results/net_bench.json") -> dict:
+    results = {
+        "single_client": bench_single_client(),
+        "scaling": bench_scaling(),
+        "tpcc_migration": bench_tpcc_through_migration(),
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+    single = results["single_client"]
+    print(
+        f"\nsingle client: embedded {single['embedded']['mean_us']:.0f}us "
+        f"→ networked {single['networked']['mean_us']:.0f}us "
+        f"({single['overhead_ratio_mean']:.2f}x, "
+        f"+{single['overhead_us_mean']:.0f}us/op)"
+    )
+    for point in results["scaling"]:
+        print(
+            f"scaling: {point['clients']:>2} clients "
+            f"{point['ops_per_sec']:>8.0f} ops/s"
+        )
+    tpcc = results["tpcc_migration"]
+    print(
+        f"tpcc through migration: {tpcc['tps']:.1f} tps, "
+        f"{tpcc['completed']} committed, "
+        f"{tpcc['connection_errors']} connection errors, "
+        f"migration_complete={tpcc['migration_complete']}"
+    )
+    print(f"wrote {out_path}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (the CI network job)
+# ----------------------------------------------------------------------
+
+
+def test_net_overhead_bench():
+    results = run_all()
+    single = results["single_client"]
+    # The networked path must work and its cost must be bounded: the
+    # wire adds codec + 2 loopback hops, but never orders of magnitude
+    # (that would mean a stall — e.g. Nagle/delayed-ACK interaction).
+    assert single["overhead_ratio_mean"] < 50.0
+    assert all(p["total_ops"] > 0 for p in results["scaling"])
+    tpcc = results["tpcc_migration"]
+    assert tpcc["completed"] > 0
+    assert tpcc["migration_complete"] is True
+    assert tpcc["invariant_violations"] == []
+    assert "SchemaVersionError" not in tpcc["errors"]
+
+
+if __name__ == "__main__":
+    run_all()

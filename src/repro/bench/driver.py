@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Protocol
 
+from ..errors import NetworkError
 from .metrics import LatencyRecorder, ThroughputSeries
 
 
@@ -55,6 +56,12 @@ class DriverResult:
     errors: dict[str, int] = field(default_factory=dict)
     # (elapsed_seconds, sampler output) pairs from the coordinator loop.
     samples: list[tuple[float, Any]] = field(default_factory=list)
+    # Connection-level accounting for networked runs: a dropped socket
+    # is an infrastructure failure, not a TPC-C abort, and must not
+    # pollute ``failed``.  ``reconnects`` sums each client's
+    # ``reconnects`` attribute (if it has one) after the run.
+    connection_errors: int = 0
+    reconnects: int = 0
 
     @property
     def overall_tps(self) -> float:
@@ -94,7 +101,9 @@ class WorkloadDriver:
         self._stop = threading.Event()
         self._completed = 0
         self._failed = 0
+        self._connection_errors = 0
         self._errors: dict[str, int] = {}
+        self._clients: list[Any] = []
         self._count_latch = threading.Lock()
         self._arrival_counter = 0
         self._arrival_latch = threading.Lock()
@@ -149,6 +158,8 @@ class WorkloadDriver:
         for thread in threads:
             thread.join(timeout=30.0)
         duration = self.elapsed()
+        with self._count_latch:
+            clients = list(self._clients)
         return DriverResult(
             duration=self.config.duration,
             config=self.config,
@@ -159,11 +170,30 @@ class WorkloadDriver:
             events=sorted(self._events),
             errors=dict(self._errors),
             samples=samples,
+            connection_errors=self._connection_errors,
+            reconnects=sum(
+                getattr(client, "reconnects", 0) for client in clients
+            ),
         )
 
     # ------------------------------------------------------------------
     def _worker(self, index: int) -> None:
         client = self.make_client(index)
+        with self._count_latch:
+            self._clients.append(client)
+        try:
+            self._worker_loop(client)
+        finally:
+            # Networked clients hold sockets; embedded ones have no
+            # close() and are left alone.
+            close = getattr(client, "close", None)
+            if callable(close):
+                try:
+                    close()
+                except Exception:  # noqa: BLE001 - teardown is best-effort
+                    pass
+
+    def _worker_loop(self, client: ClientLike) -> None:
         closed_loop = self.config.rate is None
         while not self._stop.is_set():
             if closed_loop:
@@ -202,7 +232,10 @@ class WorkloadDriver:
     def _record_error(self, exc: Exception) -> None:
         name = type(exc).__name__
         with self._count_latch:
-            self._failed += 1
+            if isinstance(exc, NetworkError):
+                self._connection_errors += 1
+            else:
+                self._failed += 1
             self._errors[name] = self._errors.get(name, 0) + 1
 
 

@@ -134,9 +134,7 @@ class AdaptiveClient:
             return name, self.client.run(name)
         except SchemaVersionError:
             # Big flip landed mid-transaction: restart on the new schema.
-            if self.client.session.in_transaction:
-                self.client.session.rollback()
-            self.client.session._txn = None
+            self.client.session.reset()
             self.client.variant = self.new_variant
             return name, self.client.run(name)
 

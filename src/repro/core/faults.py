@@ -25,6 +25,13 @@ point                    where it fires
 ``txn.abort``            ``Transaction.abort``, after undo completed
 ``wal.flush``            ``RedoLog.append_batch``, before the batch is
                          appended (crash here = commit never durable)
+``net.accept``           ``bullfrogd`` accept loop, after ``accept()``
+                         returns but before admission control
+``net.read``             ``bullfrogd``, before reading the next client
+                         frame (ABORT here = the read "fails" and the
+                         server runs its abrupt-disconnect cleanup)
+``net.write``            ``bullfrogd``, before writing a response frame
+                         (ABORT = mid-response connection kill)
 ======================== ==============================================
 
 A :class:`FaultPlan` is a list of :class:`FaultRule`\\ s; each rule
@@ -81,6 +88,9 @@ FAULT_POINTS: frozenset[str] = frozenset(
         "txn.commit",
         "txn.abort",
         "wal.flush",
+        "net.accept",
+        "net.read",
+        "net.write",
     }
 )
 

@@ -36,6 +36,7 @@ from .errors import (
     DuplicateObjectError,
     ExecutionError,
     ReproError,
+    SessionClosed,
     TransactionError,
     UniqueViolation,
 )
@@ -187,6 +188,47 @@ class Session:
         # When True the statement interceptor is skipped — used by the
         # migration engines themselves to avoid recursion.
         self.internal = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Idempotent teardown: roll back any open transaction (its
+        locks are released by the abort) and refuse further statements.
+        This is the embedded half of the server's abrupt-disconnect
+        cleanup — ``bullfrogd`` calls it for every connection that
+        drops, however it drops."""
+        if self._closed:
+            return
+        self._closed = True
+        txn = self._txn
+        self._txn = None
+        if txn is not None and txn.is_active:
+            txn.abort()
+
+    def reset(self) -> None:
+        """Force-clear transaction state after an abort surfaced to the
+        client: roll back if a transaction is still live, then drop the
+        handle so the next statement starts clean.  Never raises."""
+        txn = self._txn
+        self._txn = None
+        if txn is not None and txn.is_active:
+            try:
+                txn.abort()
+            except Exception:  # noqa: BLE001 - reset is best-effort
+                pass
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
 
     # ------------------------------------------------------------------
     # Transactions
@@ -196,6 +238,8 @@ class Session:
         return self._txn is not None and self._txn.is_active
 
     def begin(self) -> Transaction:
+        if self._closed:
+            raise SessionClosed("session is closed")
         if self.in_transaction:
             raise TransactionError("a transaction is already in progress")
         self._txn = self.db.txns.begin()
@@ -223,6 +267,8 @@ class Session:
     # Statement execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        if self._closed:
+            raise SessionClosed("session is closed")
         stmt = self.db.parse(sql)
         return self.execute_statement(stmt, params, sql_text=sql)
 

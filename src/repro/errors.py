@@ -104,6 +104,47 @@ class LockTimeout(TransactionAborted):
     """A lock could not be acquired within the configured timeout."""
 
 
+class SessionClosed(ReproError):
+    """A statement was issued on a :class:`~repro.db.Session` (or a
+    network connection) after ``close()``."""
+
+
+class NetworkError(ReproError):
+    """Base class for errors raised by the network service layer
+    (:mod:`repro.net`).  The workload driver uses this class to
+    distinguish connection-level failures from transaction aborts."""
+
+
+class ProtocolError(NetworkError):
+    """The byte stream violated the wire protocol: unknown frame type,
+    oversized frame, truncated payload, or trailing garbage."""
+
+
+class ConnectionClosedError(NetworkError):
+    """The peer disconnected (or the connection was killed) while a
+    request was outstanding or before one could be sent."""
+
+
+class ServerBusyError(NetworkError):
+    """The server refused the connection: admission control is at
+    ``max_connections`` (SQLSTATE 53300)."""
+
+
+class ServerShutdownError(NetworkError):
+    """The server is shutting down and terminated this connection
+    (SQLSTATE 57P01)."""
+
+
+class StatementTimeoutError(NetworkError):
+    """The server killed the connection because a statement exceeded
+    the configured statement timeout (SQLSTATE 57014)."""
+
+
+class IdleTimeoutError(NetworkError):
+    """The server closed the connection after it sat idle longer than
+    the configured idle timeout (SQLSTATE 57P05)."""
+
+
 class MigrationError(ReproError):
     """Base class for errors in the BullFrog migration subsystem."""
 

@@ -1,0 +1,456 @@
+"""Blocking client library for ``bullfrogd``.
+
+:func:`connect` returns a :class:`Connection` whose ``execute()`` /
+``transaction()`` mirror the embedded :class:`~repro.db.Session` API
+and return the same :class:`~repro.db.Result` objects, so code written
+against the embedded engine (the TPC-C terminals, ``format_result`` in
+the shell) runs over a socket unchanged.
+
+Server errors arrive as structured frames carrying the
+:mod:`repro.errors` class name; the connection re-raises the matching
+class, so ``except TransactionAborted: retry`` works across the wire.
+Transaction state is **server-authoritative**: every COMPLETE/ERROR
+frame carries the session's ``in_transaction`` flag and the current
+schema epoch, which is how a client observes BullFrog's logical schema
+switch without any extra round trip.
+
+:class:`ConnectionPool` adds thread-safe pooling with a liveness check
+on acquire and reconnect-with-backoff when the check fails — the
+building block for "clients reconnecting across the migration" runs.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Sequence
+
+from ..db import Result
+from ..errors import (
+    ConnectionClosedError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+)
+from . import protocol
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 5433,
+    connect_timeout: float = 10.0,
+    client_name: str = "repro-client",
+) -> "Connection":
+    return Connection(host, port, connect_timeout=connect_timeout,
+                      client_name=client_name)
+
+
+class Connection:
+    """One socket to a ``bullfrogd``.  Not thread-safe (like a Session);
+    use one per worker or a :class:`ConnectionPool`."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        connect_timeout: float = 10.0,
+        client_name: str = "repro-client",
+    ) -> None:
+        self.host = host
+        self.port = port
+        self._closed = False
+        self._in_transaction = False
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=connect_timeout
+            )
+        except OSError as exc:
+            raise ConnectionClosedError(
+                f"cannot connect to {host}:{port}: {exc}"
+            ) from exc
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._stream = protocol.FrameStream(self._sock)
+        self.bytes_out = 0
+        self.bytes_in = 0
+        try:
+            self._send(protocol.encode_hello(client_name))
+            ftype, payload = self._recv()
+            if ftype == protocol.ERROR:
+                # Admission control: the server refused us with a
+                # structured frame before the welcome.
+                frame = protocol.decode_error(payload)
+                raise protocol.reconstruct_error(
+                    frame["error_class"], frame["sqlstate"], frame["message"]
+                )
+            if ftype != protocol.WELCOME:
+                raise ProtocolError(
+                    f"expected WELCOME, got frame type 0x{ftype:02x}"
+                )
+            welcome = protocol.decode_welcome(payload)
+        except BaseException:
+            self._sock.close()
+            self._closed = True
+            raise
+        if welcome["version"] != protocol.PROTOCOL_VERSION:
+            self._sock.close()
+            self._closed = True
+            raise ProtocolError(
+                f"server speaks protocol v{welcome['version']}, "
+                f"client v{protocol.PROTOCOL_VERSION}"
+            )
+        self.server_version: str = welcome["server_version"]
+        self.schema_epoch: int = welcome["schema_epoch"]
+        self.session_id: int = welcome["session_id"]
+        self._sock.settimeout(None)
+
+    # ------------------------------------------------------------------
+    # Low-level I/O
+    # ------------------------------------------------------------------
+    def _send(self, frame: bytes) -> None:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            self._stream.send_frame(frame)
+        except OSError as exc:
+            self._mark_broken()
+            raise ConnectionClosedError(f"send failed: {exc}") from exc
+        self.bytes_out += len(frame)
+
+    def _recv(self) -> tuple[int, bytes]:
+        if self._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            frame = self._stream.recv_frame()
+        except ProtocolError:
+            self._mark_broken()
+            raise
+        except socket.timeout as exc:
+            self._mark_broken()
+            raise ConnectionClosedError("read timed out") from exc
+        except OSError as exc:
+            self._mark_broken()
+            raise ConnectionClosedError(f"recv failed: {exc}") from exc
+        if frame is None:
+            self._mark_broken()
+            raise ConnectionClosedError("server closed the connection")
+        self.bytes_in += protocol.HEADER_SIZE + len(frame[1])
+        return frame
+
+    def _mark_broken(self) -> None:
+        self._closed = True
+        # A dead socket leaves transaction state unknowable; the server
+        # rolls the transaction back on its side.
+        self._in_transaction = False
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def _raise_error(self, payload: bytes) -> None:
+        frame = protocol.decode_error(payload)
+        self._in_transaction = frame["in_transaction"]
+        exc = protocol.reconstruct_error(
+            frame["error_class"], frame["sqlstate"], frame["message"]
+        )
+        if isinstance(exc, NetworkError) and not isinstance(exc, ProtocolError):
+            # Server-side kills (shutdown, busy, timeouts) terminate the
+            # connection right after this frame.
+            self._mark_broken()
+        raise exc
+
+    # ------------------------------------------------------------------
+    # Session-mirroring API
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._in_transaction
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        self._send(protocol.encode_query(sql, params))
+        columns: list[str] = []
+        rows: list[tuple] = []
+        tag = ""
+        while True:
+            ftype, payload = self._recv()
+            if ftype == protocol.ROW_HEADER:
+                header = protocol.decode_row_header(payload)
+                tag = header["tag"]
+                columns = header["columns"]
+            elif ftype == protocol.ROW_BATCH:
+                rows.extend(protocol.decode_row_batch(payload))
+            elif ftype == protocol.COMPLETE:
+                frame = protocol.decode_complete(payload)
+                self._in_transaction = frame["in_transaction"]
+                self.schema_epoch = frame["schema_epoch"]
+                return Result(
+                    statement=frame["tag"] or tag,
+                    rows=rows,
+                    columns=columns,
+                    rowcount=frame["rowcount"],
+                )
+            elif ftype == protocol.ERROR:
+                self._raise_error(payload)
+            else:
+                self._mark_broken()
+                raise ProtocolError(
+                    f"unexpected frame type 0x{ftype:02x} in query response"
+                )
+
+    def _txn_op(self, op: int) -> None:
+        self._send(protocol.encode_txn(op))
+        ftype, payload = self._recv()
+        if ftype == protocol.ERROR:
+            self._raise_error(payload)
+        if ftype != protocol.COMPLETE:
+            self._mark_broken()
+            raise ProtocolError(
+                f"unexpected frame type 0x{ftype:02x} in txn response"
+            )
+        frame = protocol.decode_complete(payload)
+        self._in_transaction = frame["in_transaction"]
+        self.schema_epoch = frame["schema_epoch"]
+
+    def begin(self) -> None:
+        self._txn_op(protocol.TXN_BEGIN)
+
+    def commit(self) -> None:
+        self._txn_op(protocol.TXN_COMMIT)
+
+    def rollback(self) -> None:
+        self._txn_op(protocol.TXN_ROLLBACK)
+
+    def transaction(self) -> "_ConnTxn":
+        """Context manager mirroring ``Session.transaction()``."""
+        return _ConnTxn(self)
+
+    def reset(self) -> None:
+        """Best-effort return to a clean no-transaction state (the
+        client-side half of abort-retry loops).  Never raises."""
+        if self._closed:
+            return
+        if self._in_transaction:
+            try:
+                self.rollback()
+            except (ReproError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Health + admin
+    # ------------------------------------------------------------------
+    def ping(self, timeout: float = 2.0) -> bool:
+        """Round-trip liveness probe (pool health checks)."""
+        if self._closed:
+            return False
+        try:
+            self._sock.settimeout(timeout)
+            try:
+                self._send(protocol.encode_ping())
+                ftype, payload = self._recv()
+            finally:
+                if not self._closed:
+                    self._sock.settimeout(None)
+        except (NetworkError, OSError):
+            return False
+        if ftype != protocol.PONG:
+            self._mark_broken()
+            return False
+        self.schema_epoch = protocol.decode_pong(payload)["schema_epoch"]
+        return True
+
+    def meta(self, command: str) -> str:
+        """Admin passthrough (``\\metrics`` / ``\\progress`` for the
+        remote shell)."""
+        self._send(protocol.encode_meta(command))
+        ftype, payload = self._recv()
+        if ftype == protocol.ERROR:
+            self._raise_error(payload)
+        if ftype != protocol.META_RESULT:
+            self._mark_broken()
+            raise ProtocolError(
+                f"unexpected frame type 0x{ftype:02x} in meta response"
+            )
+        return protocol.decode_meta_result(payload)["text"]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Idempotent: sends a clean goodbye if the socket still works."""
+        if self._closed:
+            return
+        try:
+            self._stream.send_frame(protocol.encode_close())
+        except OSError:
+            pass
+        self._mark_broken()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+class _ConnTxn:
+    def __init__(self, conn: Connection) -> None:
+        self.conn = conn
+
+    def __enter__(self) -> Connection:
+        self.conn.begin()
+        return self.conn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None:
+            if self.conn.in_transaction:
+                self.conn.commit()
+        else:
+            if self.conn.in_transaction and not self.conn.closed:
+                try:
+                    self.conn.rollback()
+                except (ReproError, OSError):
+                    pass
+        return False
+
+
+class ConnectionPool:
+    """Thread-safe pool of :class:`Connection`\\ s.
+
+    ``acquire()`` health-checks the pooled connection (one PING round
+    trip) and transparently replaces dead ones, reconnecting with
+    exponential backoff — so a pool survives a server restart or a
+    connection killed mid-migration without its callers seeing anything
+    but latency.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 5433,
+        size: int = 8,
+        connect_timeout: float = 10.0,
+        max_connect_attempts: int = 5,
+        backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        health_check: bool = True,
+        factory: Callable[[], Connection] | None = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        self.size = size
+        self.health_check = health_check
+        self.max_connect_attempts = max_connect_attempts
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self._factory = factory or (
+            lambda: Connection(host, port, connect_timeout=connect_timeout,
+                               client_name="repro-pool")
+        )
+        self._idle: list[Connection] = []
+        self._latch = threading.Lock()
+        self._slots = threading.Semaphore(size)
+        self._closed = False
+        self._created = 0
+        # Observable pool accounting (tests + driver reconnect stats).
+        # ``reconnects`` counts *replacement* connections only; filling
+        # the pool for the first time is not a reconnect.
+        self.reconnects = 0
+        self.health_check_failures = 0
+
+    # ------------------------------------------------------------------
+    def _connect_with_backoff(self) -> Connection:
+        delay = self.backoff
+        last: Exception | None = None
+        for attempt in range(self.max_connect_attempts):
+            try:
+                return self._factory()
+            except NetworkError as exc:
+                last = exc
+                if attempt + 1 == self.max_connect_attempts:
+                    break
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
+        assert last is not None
+        raise last
+
+    def acquire(self) -> "_PooledConnection":
+        """Context manager handing out a healthy connection::
+
+            with pool.acquire() as conn:
+                conn.execute("SELECT 1")
+        """
+        if self._closed:
+            raise ConnectionClosedError("pool is closed")
+        self._slots.acquire()
+        try:
+            conn: Connection | None = None
+            with self._latch:
+                if self._idle:
+                    conn = self._idle.pop()
+            if conn is not None and self.health_check:
+                if conn.closed or not conn.ping():
+                    with self._latch:
+                        self.health_check_failures += 1
+                    conn.close()
+                    conn = None
+            if conn is None:
+                conn = self._connect_with_backoff()
+                with self._latch:
+                    self._created += 1
+                    if self._created > self.size:
+                        self.reconnects += 1
+            return _PooledConnection(self, conn)
+        except BaseException:
+            self._slots.release()
+            raise
+
+    def _release(self, conn: Connection) -> None:
+        if conn.in_transaction:
+            # A connection must come back clean; a caller that leaked a
+            # transaction gets it rolled back here.
+            conn.reset()
+        with self._latch:
+            keep = (
+                not self._closed
+                and not conn.closed
+                and len(self._idle) < self.size
+            )
+            if keep:
+                self._idle.append(conn)
+        if not keep:
+            conn.close()
+        self._slots.release()
+
+    def close(self) -> None:
+        with self._latch:
+            self._closed = True
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class _PooledConnection:
+    """Checkout handle; returns the connection to the pool on exit."""
+
+    def __init__(self, pool: ConnectionPool, conn: Connection) -> None:
+        self.pool = pool
+        self.conn = conn
+        self._returned = False
+
+    def __enter__(self) -> Connection:
+        return self.conn
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.release()
+        return False
+
+    def release(self) -> None:
+        if self._returned:
+            return
+        self._returned = True
+        self.pool._release(self.conn)

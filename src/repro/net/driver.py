@@ -1,0 +1,126 @@
+"""Networked workload clients: TPC-C terminals over sockets.
+
+:class:`NetworkTpccClient` is the :class:`~repro.bench.driver.ClientLike`
+adapter the issue of record asks for: a TPC-C terminal whose session is
+a :class:`~repro.net.client.Connection`, so the existing
+:class:`~repro.bench.driver.WorkloadDriver` drives real socket traffic.
+
+Two behaviours matter under a live migration:
+
+* **Front-end restart across the big flip** — the server rejects
+  old-schema statements with :class:`SchemaVersionError`; the error
+  class survives the wire, so the terminal switches to the new-variant
+  transaction set and retries, with no server-side coordination at all
+  (the paper's section-1 story, now measured through a socket).
+* **Reconnect-with-backoff** — a dropped connection (server fault seam,
+  abrupt kill, shutdown) raises :class:`NetworkError`; the adapter
+  replaces its connection and re-raises so the driver books a
+  *connection error*, not a TPC-C abort.  ``reconnects`` is summed into
+  ``DriverResult.reconnects``.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import NetworkError, SchemaVersionError
+from ..tpcc.schema import ScaleConfig
+from ..tpcc.transactions import SchemaVariant, TpccClient
+from .client import Connection, connect
+
+
+class NetworkTpccClient:
+    """A socket-attached TPC-C terminal with front-end restart."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        scale: ScaleConfig,
+        variant: SchemaVariant = SchemaVariant.BASE,
+        new_variant: SchemaVariant | None = None,
+        seed: int | None = None,
+        hot_customers: int | None = None,
+        max_retries: int = 10,
+        reconnect_attempts: int = 5,
+        reconnect_backoff: float = 0.05,
+        backoff_cap: float = 1.0,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.new_variant = new_variant
+        self.reconnect_attempts = reconnect_attempts
+        self.reconnect_backoff = reconnect_backoff
+        self.backoff_cap = backoff_cap
+        self.connect_timeout = connect_timeout
+        self.reconnects = 0
+        conn = self._connect()
+        self.client = TpccClient(
+            None,
+            scale,
+            variant,
+            seed=seed,
+            hot_customers=hot_customers,
+            max_retries=max_retries,
+            session=conn,
+        )
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> Connection:
+        delay = self.reconnect_backoff
+        last: NetworkError | None = None
+        for attempt in range(self.reconnect_attempts):
+            try:
+                return connect(
+                    self.host, self.port,
+                    connect_timeout=self.connect_timeout,
+                    client_name="tpcc-terminal",
+                )
+            except NetworkError as exc:
+                last = exc
+                if attempt + 1 == self.reconnect_attempts:
+                    break
+                time.sleep(delay)
+                delay = min(delay * 2, self.backoff_cap)
+        assert last is not None
+        raise last
+
+    def _reconnect(self) -> None:
+        old = self.client.session
+        try:
+            old.close()
+        except Exception:  # noqa: BLE001 - the socket is already gone
+            pass
+        self.client.session = self._connect()
+        self.reconnects += 1
+
+    # ------------------------------------------------------------------
+    # ClientLike
+    # ------------------------------------------------------------------
+    def run_random(self) -> tuple[str, bool]:
+        name = self.client.pick_transaction()
+        try:
+            return name, self.client.run(name)
+        except SchemaVersionError:
+            # The logical switch landed: restart on the new schema.
+            self.client.session.reset()
+            if self.new_variant is not None:
+                self.client.variant = self.new_variant
+            return name, self.client.run(name)
+        except NetworkError:
+            # The connection died (injected fault, kill, shutdown).
+            # Replace it, then let the driver account the failure as a
+            # connection error rather than a transaction abort.
+            self._reconnect()
+            raise
+
+    @property
+    def aborts(self) -> int:
+        return self.client.aborts
+
+    def close(self) -> None:
+        try:
+            self.client.session.close()
+        except Exception:  # noqa: BLE001
+            pass

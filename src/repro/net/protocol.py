@@ -1,0 +1,646 @@
+"""The bullfrogd wire protocol: length-prefixed binary frames.
+
+Every message on the wire is one **frame**::
+
+    +------+----------------+---------------------+
+    | type | payload length | payload             |
+    | u8   | u32 big-endian | ``length`` bytes    |
+    +------+----------------+---------------------+
+
+Frames are self-delimiting, so a reader never needs lookahead beyond
+the 5-byte header, and a bounded ``MAX_FRAME`` means garbage input can
+never make a peer allocate unboundedly or block forever waiting for a
+length that was really line noise.
+
+Client-to-server frames: HELLO (handshake), QUERY (sql + bound
+params), TXN (begin/commit/rollback), META (admin passthrough for the
+remote shell), PING (pool health checks), CLOSE (clean goodbye).
+
+Server-to-client frames: WELCOME (protocol/server version + the
+current **schema epoch**, so clients can observe the logical switch),
+ROW_HEADER / ROW_BATCH / COMPLETE (result-set streaming in row
+batches), ERROR (structured: exception class name + SQLSTATE-like code
++ message + whether the session is still in a transaction), PONG,
+META_RESULT.
+
+Values use one tag byte per value and cover every
+:mod:`repro.types` value kind (NULL, int — with an arbitrary-precision
+escape hatch —, float, Decimal, str, bool, date, datetime).  The
+**ERROR frame carries the** :mod:`repro.errors` **class name**, and
+:func:`reconstruct_error` re-raises the matching class client-side, so
+``except TransactionAborted:`` retry loops work unchanged over a
+socket.
+
+All decode paths raise :class:`~repro.errors.ProtocolError` on
+truncated or malformed input — never ``struct.error``, never an
+over-read, never a hang.
+"""
+
+from __future__ import annotations
+
+import datetime
+import struct
+from decimal import Decimal, InvalidOperation
+from typing import Any, Sequence
+
+from .. import errors
+from ..errors import ProtocolError, ReproError
+
+PROTOCOL_VERSION = 1
+
+# An over-the-wire frame longer than this is treated as garbage rather
+# than something to buffer for: 16 MiB comfortably fits any batch the
+# server emits (it caps batches by row count well below this).
+MAX_FRAME = 16 * 1024 * 1024
+
+_HEADER = struct.Struct(">BI")
+HEADER_SIZE = _HEADER.size
+
+# ----------------------------------------------------------------------
+# Frame types
+# ----------------------------------------------------------------------
+
+# client -> server
+HELLO = 0x01
+QUERY = 0x02
+TXN = 0x03
+META = 0x04
+PING = 0x05
+CLOSE = 0x06
+
+# server -> client
+WELCOME = 0x81
+ROW_HEADER = 0x82
+ROW_BATCH = 0x83
+COMPLETE = 0x84
+ERROR = 0x85
+PONG = 0x86
+META_RESULT = 0x87
+
+FRAME_TYPES = frozenset(
+    {
+        HELLO, QUERY, TXN, META, PING, CLOSE,
+        WELCOME, ROW_HEADER, ROW_BATCH, COMPLETE, ERROR, PONG, META_RESULT,
+    }
+)
+
+# TXN ops
+TXN_BEGIN = 1
+TXN_COMMIT = 2
+TXN_ROLLBACK = 3
+
+# ----------------------------------------------------------------------
+# SQLSTATE-like codes
+# ----------------------------------------------------------------------
+
+# Most specific class first — the encoder walks the MRO, so subclasses
+# not listed here inherit their parent's code.
+SQLSTATE_BY_EXC: dict[type, str] = {
+    errors.TokenizeError: "42601",
+    errors.ParseError: "42601",
+    errors.UnknownObjectError: "42P01",
+    errors.DuplicateObjectError: "42P07",
+    errors.SchemaVersionError: "BF001",
+    errors.TypeError_: "42804",
+    errors.NotNullViolation: "23502",
+    errors.UniqueViolation: "23505",
+    errors.CheckViolation: "23514",
+    errors.ForeignKeyViolation: "23503",
+    errors.ConstraintViolation: "23000",
+    errors.DeadlockAvoided: "40P01",
+    errors.LockTimeout: "55P03",
+    errors.TransactionAborted: "40001",
+    errors.TransactionError: "25000",
+    errors.ExecutionError: "42000",
+    errors.MigrationError: "BF000",
+    errors.SessionClosed: "08003",
+    errors.ProtocolError: "08P01",
+    errors.ServerBusyError: "53300",
+    errors.ServerShutdownError: "57P01",
+    errors.StatementTimeoutError: "57014",
+    errors.IdleTimeoutError: "57P05",
+    errors.ConnectionClosedError: "08006",
+    errors.NetworkError: "08000",
+    errors.SqlError: "42601",
+    errors.CatalogError: "42P00",
+    errors.ReproError: "XX000",
+}
+
+
+def sqlstate_for(exc: BaseException) -> str:
+    for cls in type(exc).__mro__:
+        code = SQLSTATE_BY_EXC.get(cls)
+        if code is not None:
+            return code
+    return "XX000"
+
+
+def reconstruct_error(cls_name: str, sqlstate: str, message: str) -> ReproError:
+    """Rebuild the server's exception client-side.
+
+    The class is looked up by name in :mod:`repro.errors`; anything
+    unknown (or not instantiable from a bare message, like
+    ``TokenizeError``) degrades to the nearest constructible ancestor
+    and ultimately to :class:`ReproError`, keeping ``except``-clauses
+    over the base classes working.
+    """
+    cls = getattr(errors, cls_name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ReproError
+    for candidate in cls.__mro__:
+        if candidate is Exception:
+            break
+        try:
+            exc = candidate(message)  # type: ignore[call-arg]
+        except TypeError:
+            continue
+        exc.sqlstate = sqlstate  # type: ignore[attr-defined]
+        return exc
+    exc = ReproError(message)
+    exc.sqlstate = sqlstate  # type: ignore[attr-defined]
+    return exc
+
+
+# ======================================================================
+# Primitive writers
+# ======================================================================
+
+
+class _Writer:
+    __slots__ = ("parts",)
+
+    def __init__(self) -> None:
+        self.parts: list[bytes] = []
+
+    def u8(self, v: int) -> None:
+        self.parts.append(struct.pack(">B", v))
+
+    def u16(self, v: int) -> None:
+        self.parts.append(struct.pack(">H", v))
+
+    def u32(self, v: int) -> None:
+        self.parts.append(struct.pack(">I", v))
+
+    def i64(self, v: int) -> None:
+        self.parts.append(struct.pack(">q", v))
+
+    def f64(self, v: float) -> None:
+        self.parts.append(struct.pack(">d", v))
+
+    def str(self, s: str) -> None:
+        raw = s.encode("utf-8")
+        self.u32(len(raw))
+        self.parts.append(raw)
+
+    def getvalue(self) -> bytes:
+        return b"".join(self.parts)
+
+
+class _Reader:
+    """Bounded cursor over one frame payload.  Every read checks the
+    remaining length first, so truncated input raises
+    :class:`ProtocolError` instead of over-reading into the next frame
+    (or off the end of the buffer)."""
+
+    __slots__ = ("buf", "pos", "end")
+
+    def __init__(self, buf: bytes, pos: int = 0, end: int | None = None) -> None:
+        self.buf = buf
+        self.pos = pos
+        self.end = len(buf) if end is None else end
+
+    def _take(self, n: int) -> bytes:
+        if self.pos + n > self.end:
+            raise ProtocolError(
+                f"truncated payload: wanted {n} bytes, "
+                f"{self.end - self.pos} remain"
+            )
+        chunk = self.buf[self.pos : self.pos + n]
+        self.pos += n
+        return chunk
+
+    def u8(self) -> int:
+        return self._take(1)[0]
+
+    def u16(self) -> int:
+        return struct.unpack(">H", self._take(2))[0]
+
+    def u32(self) -> int:
+        return struct.unpack(">I", self._take(4))[0]
+
+    def i64(self) -> int:
+        return struct.unpack(">q", self._take(8))[0]
+
+    def f64(self) -> float:
+        return struct.unpack(">d", self._take(8))[0]
+
+    def str(self) -> str:
+        length = self.u32()
+        if length > self.end - self.pos:
+            raise ProtocolError(
+                f"truncated string: declared {length} bytes, "
+                f"{self.end - self.pos} remain"
+            )
+        try:
+            return self._take(length).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError(f"invalid UTF-8 in string field: {exc}") from exc
+
+    def expect_end(self) -> None:
+        if self.pos != self.end:
+            raise ProtocolError(
+                f"{self.end - self.pos} trailing bytes after payload"
+            )
+
+
+# ======================================================================
+# Value codec (one tag byte per value)
+# ======================================================================
+
+_TAG_NULL = ord("N")
+_TAG_INT = ord("q")       # fits a signed 64-bit
+_TAG_BIGNUM = ord("I")    # arbitrary-precision int, decimal text
+_TAG_FLOAT = ord("f")
+_TAG_DECIMAL = ord("d")
+_TAG_STR = ord("s")
+_TAG_BOOL = ord("b")
+_TAG_DATE = ord("D")
+_TAG_DATETIME = ord("T")
+
+_I64_MIN, _I64_MAX = -(2**63), 2**63 - 1
+
+
+def _write_value(w: _Writer, value: Any) -> None:
+    if value is None:
+        w.u8(_TAG_NULL)
+    elif value is True or value is False:
+        w.u8(_TAG_BOOL)
+        w.u8(1 if value else 0)
+    elif isinstance(value, int):
+        if _I64_MIN <= value <= _I64_MAX:
+            w.u8(_TAG_INT)
+            w.i64(value)
+        else:
+            w.u8(_TAG_BIGNUM)
+            w.str(str(value))
+    elif isinstance(value, float):
+        w.u8(_TAG_FLOAT)
+        w.f64(value)
+    elif isinstance(value, Decimal):
+        w.u8(_TAG_DECIMAL)
+        w.str(str(value))
+    elif isinstance(value, str):
+        w.u8(_TAG_STR)
+        w.str(value)
+    elif isinstance(value, datetime.datetime):
+        # datetime before date: datetime is a date subclass.
+        w.u8(_TAG_DATETIME)
+        w.str(value.isoformat())
+    elif isinstance(value, datetime.date):
+        w.u8(_TAG_DATE)
+        w.str(value.isoformat())
+    else:
+        raise ProtocolError(
+            f"cannot encode value of type {type(value).__name__!r}"
+        )
+
+
+def _read_value(r: _Reader) -> Any:
+    tag = r.u8()
+    if tag == _TAG_NULL:
+        return None
+    if tag == _TAG_BOOL:
+        return r.u8() != 0
+    if tag == _TAG_INT:
+        return r.i64()
+    if tag == _TAG_BIGNUM:
+        text = r.str()
+        try:
+            return int(text)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid bignum literal {text!r}") from exc
+    if tag == _TAG_FLOAT:
+        return r.f64()
+    if tag == _TAG_DECIMAL:
+        text = r.str()
+        try:
+            return Decimal(text)
+        except InvalidOperation as exc:
+            raise ProtocolError(f"invalid decimal literal {text!r}") from exc
+    if tag == _TAG_STR:
+        return r.str()
+    if tag == _TAG_DATE:
+        text = r.str()
+        try:
+            return datetime.date.fromisoformat(text)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid date literal {text!r}") from exc
+    if tag == _TAG_DATETIME:
+        text = r.str()
+        try:
+            return datetime.datetime.fromisoformat(text)
+        except ValueError as exc:
+            raise ProtocolError(f"invalid datetime literal {text!r}") from exc
+    raise ProtocolError(f"unknown value tag 0x{tag:02x}")
+
+
+def _write_row(w: _Writer, row: Sequence[Any]) -> None:
+    w.u32(len(row))
+    for value in row:
+        _write_value(w, value)
+
+
+def _read_row(r: _Reader) -> tuple:
+    count = r.u32()
+    if count > r.end - r.pos:
+        # Each value costs >= 1 byte, so a count beyond the remaining
+        # payload is garbage; reject before looping on it.
+        raise ProtocolError(f"row claims {count} values, payload too short")
+    return tuple(_read_value(r) for _ in range(count))
+
+
+# ======================================================================
+# Frame assembly / disassembly
+# ======================================================================
+
+
+def encode_frame(ftype: int, payload: bytes = b"") -> bytes:
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame payload of {len(payload)} bytes exceeds MAX_FRAME"
+        )
+    return _HEADER.pack(ftype, len(payload)) + payload
+
+
+def decode_frame(buf: bytes, pos: int = 0) -> tuple[int, bytes, int] | None:
+    """Try to peel one frame off ``buf`` starting at ``pos``.
+
+    Returns ``(ftype, payload, next_pos)`` or ``None`` when the buffer
+    does not yet hold a complete frame.  Raises :class:`ProtocolError`
+    for an unknown frame type or an over-limit length — garbage input
+    must fail fast, not make the reader wait for bytes that will never
+    arrive.
+    """
+    if len(buf) - pos < HEADER_SIZE:
+        return None
+    ftype, length = _HEADER.unpack_from(buf, pos)
+    if ftype not in FRAME_TYPES:
+        raise ProtocolError(f"unknown frame type 0x{ftype:02x}")
+    if length > MAX_FRAME:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    body_start = pos + HEADER_SIZE
+    if len(buf) - body_start < length:
+        return None
+    return ftype, bytes(buf[body_start : body_start + length]), body_start + length
+
+
+# ----------------------------------------------------------------------
+# Per-frame payload codecs.  Encoders return payload bytes; decoders
+# take payload bytes and return a dict, always calling ``expect_end``
+# so trailing garbage inside a well-framed payload is still rejected.
+# ----------------------------------------------------------------------
+
+
+def encode_hello(client_name: str = "repro", version: int = PROTOCOL_VERSION) -> bytes:
+    w = _Writer()
+    w.u16(version)
+    w.str(client_name)
+    return encode_frame(HELLO, w.getvalue())
+
+
+def decode_hello(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {"version": r.u16(), "client_name": r.str()}
+    r.expect_end()
+    return out
+
+
+def encode_welcome(
+    server_version: str, schema_epoch: int, session_id: int,
+    version: int = PROTOCOL_VERSION,
+) -> bytes:
+    w = _Writer()
+    w.u16(version)
+    w.str(server_version)
+    w.i64(schema_epoch)
+    w.i64(session_id)
+    return encode_frame(WELCOME, w.getvalue())
+
+
+def decode_welcome(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {
+        "version": r.u16(),
+        "server_version": r.str(),
+        "schema_epoch": r.i64(),
+        "session_id": r.i64(),
+    }
+    r.expect_end()
+    return out
+
+
+def encode_query(sql: str, params: Sequence[Any] = ()) -> bytes:
+    w = _Writer()
+    w.str(sql)
+    _write_row(w, tuple(params))
+    return encode_frame(QUERY, w.getvalue())
+
+
+def decode_query(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {"sql": r.str(), "params": _read_row(r)}
+    r.expect_end()
+    return out
+
+
+def encode_txn(op: int) -> bytes:
+    w = _Writer()
+    w.u8(op)
+    return encode_frame(TXN, w.getvalue())
+
+
+def decode_txn(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    op = r.u8()
+    r.expect_end()
+    if op not in (TXN_BEGIN, TXN_COMMIT, TXN_ROLLBACK):
+        raise ProtocolError(f"unknown TXN op {op}")
+    return {"op": op}
+
+
+def encode_meta(command: str) -> bytes:
+    w = _Writer()
+    w.str(command)
+    return encode_frame(META, w.getvalue())
+
+
+def decode_meta(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {"command": r.str()}
+    r.expect_end()
+    return out
+
+
+def encode_meta_result(text: str) -> bytes:
+    w = _Writer()
+    w.str(text)
+    return encode_frame(META_RESULT, w.getvalue())
+
+
+def decode_meta_result(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {"text": r.str()}
+    r.expect_end()
+    return out
+
+
+def encode_row_header(tag: str, columns: Sequence[str]) -> bytes:
+    w = _Writer()
+    w.str(tag)
+    w.u32(len(columns))
+    for name in columns:
+        w.str(name)
+    return encode_frame(ROW_HEADER, w.getvalue())
+
+
+def decode_row_header(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    tag = r.str()
+    count = r.u32()
+    if count > r.end - r.pos:
+        raise ProtocolError(
+            f"row header claims {count} columns, payload too short"
+        )
+    columns = [r.str() for _ in range(count)]
+    r.expect_end()
+    return {"tag": tag, "columns": columns}
+
+
+def encode_row_batch(rows: Sequence[Sequence[Any]]) -> bytes:
+    w = _Writer()
+    w.u32(len(rows))
+    for row in rows:
+        _write_row(w, row)
+    return encode_frame(ROW_BATCH, w.getvalue())
+
+
+def decode_row_batch(payload: bytes) -> list[tuple]:
+    r = _Reader(payload)
+    count = r.u32()
+    if count > r.end - r.pos:
+        raise ProtocolError(f"batch claims {count} rows, payload too short")
+    rows = [_read_row(r) for _ in range(count)]
+    r.expect_end()
+    return rows
+
+
+def encode_complete(
+    tag: str, rowcount: int, in_transaction: bool, schema_epoch: int
+) -> bytes:
+    w = _Writer()
+    w.str(tag)
+    w.i64(rowcount)
+    w.u8(1 if in_transaction else 0)
+    w.i64(schema_epoch)
+    return encode_frame(COMPLETE, w.getvalue())
+
+
+def decode_complete(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {
+        "tag": r.str(),
+        "rowcount": r.i64(),
+        "in_transaction": r.u8() != 0,
+        "schema_epoch": r.i64(),
+    }
+    r.expect_end()
+    return out
+
+
+def encode_error(exc: BaseException, in_transaction: bool) -> bytes:
+    w = _Writer()
+    w.str(type(exc).__name__)
+    w.str(sqlstate_for(exc))
+    w.str(str(exc))
+    w.u8(1 if in_transaction else 0)
+    return encode_frame(ERROR, w.getvalue())
+
+
+def decode_error(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {
+        "error_class": r.str(),
+        "sqlstate": r.str(),
+        "message": r.str(),
+        "in_transaction": r.u8() != 0,
+    }
+    r.expect_end()
+    return out
+
+
+def encode_ping() -> bytes:
+    return encode_frame(PING)
+
+
+def encode_pong(schema_epoch: int) -> bytes:
+    w = _Writer()
+    w.i64(schema_epoch)
+    return encode_frame(PONG, w.getvalue())
+
+
+def decode_pong(payload: bytes) -> dict[str, Any]:
+    r = _Reader(payload)
+    out = {"schema_epoch": r.i64()}
+    r.expect_end()
+    return out
+
+
+def encode_close() -> bytes:
+    return encode_frame(CLOSE)
+
+
+# ----------------------------------------------------------------------
+# Socket I/O helpers
+# ----------------------------------------------------------------------
+
+
+class FrameStream:
+    """Buffered frame reader/writer over a socket-like object.
+
+    ``recv_frame`` blocks until one complete frame is available (or the
+    peer closes / a socket timeout fires, which propagate as the
+    socket's own exceptions).  The internal buffer only ever holds
+    bytes the peer already framed, bounded by ``MAX_FRAME`` via
+    :func:`decode_frame`'s length check.
+    """
+
+    __slots__ = ("sock", "_buf")
+
+    def __init__(self, sock: Any) -> None:
+        self.sock = sock
+        self._buf = b""
+
+    def send_frame(self, frame: bytes) -> int:
+        self.sock.sendall(frame)
+        return len(frame)
+
+    def recv_frame(self) -> tuple[int, bytes] | None:
+        """Next frame, or ``None`` on clean EOF at a frame boundary.
+        EOF mid-frame raises :class:`ProtocolError`."""
+        while True:
+            decoded = decode_frame(self._buf)
+            if decoded is not None:
+                ftype, payload, consumed = decoded
+                self._buf = self._buf[consumed:]
+                return ftype, payload
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                if self._buf:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
+            self._buf += chunk
+
+    def bytes_buffered(self) -> int:
+        return len(self._buf)

@@ -1,0 +1,784 @@
+"""``bullfrogd``: the threaded socket server in front of a Database.
+
+One accept thread plus one handler thread per connection, each mapped
+to its own :class:`~repro.db.Session` — the same concurrency model the
+embedded engine already runs under (real threads against the strict-2PL
+lock manager), just with the client's thread replaced by a socket.
+
+Connection lifecycle guarantees (the part of "zero downtime" an
+in-process harness cannot exercise):
+
+* **Abrupt-disconnect cleanup** — any way a connection dies (reset,
+  EOF mid-frame, protocol garbage, injected read/write fault, timeout
+  kill) funnels into one cleanup path that rolls back the session's
+  open transaction and releases its locks via ``Session.close()``.
+  ``bullfrog_stat_activity`` / ``bullfrog_stat_locks`` must show
+  nothing left behind.
+* **Admission control** — beyond ``max_connections`` the server sends a
+  structured ``ServerBusyError`` frame (SQLSTATE 53300) and closes,
+  instead of silently queueing; the TCP accept backlog itself is
+  bounded by ``listen(backlog)``.
+* **Timeouts** — an idle connection (no frame for ``idle_timeout``) is
+  closed with an ``IdleTimeoutError`` frame; a statement running longer
+  than ``statement_timeout`` gets its connection killed by a watchdog
+  (the kill trips the disconnect cleanup, so the transaction rolls
+  back and no lock leaks).
+* **Graceful shutdown** — ``shutdown()`` stops accepting, immediately
+  closes idle out-of-transaction connections with a
+  ``ServerShutdownError`` frame, lets in-flight transactions drain
+  until ``drain_timeout``, then force-closes stragglers (their
+  transactions roll back through the same cleanup path).
+
+Fault seams ``net.accept`` / ``net.read`` / ``net.write`` follow the
+:mod:`repro.core.faults` contract (``is not None`` guard, ABORT at a
+net seam = the I/O "fails"), so the harness can kill connections
+mid-transaction and mid-migration.  Per-connection metrics live in the
+attached observability registry and the ``bullfrog_stat_network``
+system view.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from .. import __version__ as _SERVER_VERSION
+from ..catalog.catalog import VirtualTable
+from ..db import Database, Result, Session
+from ..errors import (
+    IdleTimeoutError,
+    ProtocolError,
+    ReproError,
+    ServerBusyError,
+    ServerShutdownError,
+    StatementTimeoutError,
+)
+from ..obs.registry import NULL_METRIC
+from ..types import SqlType, TypeKind
+from . import protocol
+
+
+@dataclass
+class ServerConfig:
+    host: str = "127.0.0.1"
+    port: int = 5433  # 0 = ephemeral (tests)
+    max_connections: int = 64
+    backlog: int = 16  # bounded TCP accept queue
+    idle_timeout: float | None = None
+    statement_timeout: float | None = None
+    drain_timeout: float = 5.0
+    batch_rows: int = 256  # result-set streaming granularity
+
+
+class _Connection:
+    """Server-side bookkeeping for one client socket."""
+
+    __slots__ = (
+        "id", "sock", "stream", "addr", "session", "state", "doomed",
+        "connected_at", "last_activity", "statements", "transactions",
+        "bytes_in", "bytes_out", "write_lock", "thread",
+    )
+
+    def __init__(self, conn_id: int, sock: socket.socket, addr: Any,
+                 session: Session) -> None:
+        self.id = conn_id
+        self.sock = sock
+        self.stream = protocol.FrameStream(sock)
+        self.addr = addr
+        self.session = session
+        self.state = "idle"  # idle | active | closing
+        # Set (under write_lock) by a killer — statement-timeout
+        # watchdog or shutdown — to the exception that should explain
+        # the kill; suppresses any late result frames.
+        self.doomed: BaseException | None = None
+        self.connected_at = time.monotonic()
+        self.last_activity = self.connected_at
+        self.statements = 0
+        self.transactions = 0
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.write_lock = threading.Lock()
+        self.thread: threading.Thread | None = None
+
+
+class BullfrogServer:
+    """A BullFrog database served over TCP."""
+
+    def __init__(
+        self,
+        db: Database,
+        config: ServerConfig | None = None,
+        faults: Any = None,
+    ) -> None:
+        self.db = db
+        self.config = config or ServerConfig()
+        # Network fault seams follow the core contract: ``None`` by
+        # default, one ``is not None`` guard per seam.
+        self.faults = faults
+        self._listen_sock: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: dict[int, _Connection] = {}
+        self._conns_latch = threading.Lock()
+        self._next_conn_id = 0
+        self._running = False
+        self._draining = threading.Event()
+        self.port: int | None = None
+        self._init_metrics()
+        self._register_network_view()
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def _init_metrics(self) -> None:
+        obs = self.db.obs
+        if obs is None or not obs.metrics_enabled:
+            null = NULL_METRIC
+            self._m_accepted = null
+            self._m_rejected = null
+            self._m_active = null
+            self._m_bytes_in = null
+            self._m_bytes_out = null
+            self._m_disconnects = null
+            self._rt_cells = {}
+            self._rt_fallback = null
+            return
+        registry = obs.registry
+        self._m_accepted = registry.counter(
+            "repro_net_connections_accepted_total",
+            "client connections admitted by bullfrogd",
+        ).cell()
+        self._m_rejected = registry.counter(
+            "repro_net_connections_rejected_total",
+            "client connections refused (admission control / shutdown)",
+            labelnames=("reason",),
+        )
+        self._m_active = registry.gauge(
+            "repro_net_active_connections",
+            "currently open client connections",
+        ).cell()
+        bytes_total = registry.counter(
+            "repro_net_bytes_total",
+            "protocol bytes moved by bullfrogd",
+            labelnames=("direction",),
+        )
+        self._m_bytes_in = bytes_total.labels(direction="in")
+        self._m_bytes_out = bytes_total.labels(direction="out")
+        self._m_disconnects = registry.counter(
+            "repro_net_disconnects_total",
+            "connection teardowns by cause",
+            labelnames=("cause",),
+        )
+        rt = registry.histogram(
+            "repro_net_request_seconds",
+            "server-side protocol round trip (frame decoded -> last "
+            "response byte handed to the kernel)",
+            labelnames=("kind",),
+        )
+        self._rt_cells = {
+            kind: rt.labels(kind=kind).observe
+            for kind in ("query", "txn", "meta", "ping")
+        }
+        self._rt_fallback = rt
+
+    # ------------------------------------------------------------------
+    # bullfrog_stat_network
+    # ------------------------------------------------------------------
+    def _register_network_view(self) -> None:
+        _INT = SqlType(TypeKind.BIGINT)
+        _FLOAT = SqlType(TypeKind.FLOAT)
+        _TEXT = SqlType(TypeKind.TEXT)
+        _BOOL = SqlType(TypeKind.BOOL)
+
+        def produce(ctx: Any) -> list[tuple]:
+            now = time.monotonic()
+            with self._conns_latch:
+                conns = list(self._conns.values())
+            rows = [
+                (
+                    conn.id,
+                    f"{conn.addr[0]}:{conn.addr[1]}" if conn.addr else "?",
+                    conn.state,
+                    now - conn.connected_at,
+                    now - conn.last_activity,
+                    conn.session.in_transaction,
+                    conn.statements,
+                    conn.transactions,
+                    conn.bytes_in,
+                    conn.bytes_out,
+                )
+                for conn in conns
+            ]
+            rows.sort()
+            return rows
+
+        # Overwrites any previous registration (server restart on the
+        # same Database), exactly like re-registering a producer.
+        self.db.catalog._virtual["bullfrog_stat_network"] = VirtualTable(
+            "bullfrog_stat_network",
+            (
+                "conn_id", "peer", "state", "connected_seconds",
+                "idle_seconds", "in_transaction", "statements",
+                "transactions", "bytes_in", "bytes_out",
+            ),
+            (_INT, _TEXT, _TEXT, _FLOAT, _FLOAT, _BOOL, _INT, _INT,
+             _INT, _INT),
+            produce,
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "BullfrogServer":
+        if self._running:
+            return self
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((self.config.host, self.config.port))
+        sock.listen(self.config.backlog)
+        # Poll-style accept: closing a listening socket from another
+        # thread does not reliably wake a blocked accept(), so the loop
+        # wakes on its own to notice shutdown.
+        sock.settimeout(0.2)
+        self._listen_sock = sock
+        self.port = sock.getsockname()[1]
+        self._running = True
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True, name="bullfrogd-accept"
+        )
+        self._accept_thread.start()
+        return self
+
+    def __enter__(self) -> "BullfrogServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.shutdown()
+        return False
+
+    @property
+    def address(self) -> tuple[str, int]:
+        assert self.port is not None, "server not started"
+        return (self.config.host, self.port)
+
+    def active_connections(self) -> int:
+        with self._conns_latch:
+            return len(self._conns)
+
+    # ------------------------------------------------------------------
+    # Accept loop + admission control
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listen_sock is not None
+        while self._running:
+            try:
+                sock, addr = self._listen_sock.accept()
+            except socket.timeout:
+                continue  # poll tick: re-check _running
+            except OSError:
+                return  # listen socket closed by shutdown()
+            sock.settimeout(None)  # undo any inherited accept timeout
+            faults = self.faults
+            if faults is not None and "net.accept" in faults.watching:
+                try:
+                    faults.fire("net.accept", addr=addr)
+                except Exception:
+                    # Injected accept failure: the connection is dropped
+                    # before admission, exactly like a dying client.
+                    self._m_rejected.labels(reason="fault").inc()
+                    sock.close()
+                    continue
+            obs = self.db.obs
+            if obs is not None and obs.active:
+                obs.count("net.accept")
+            if self._draining.is_set():
+                self._refuse(sock, ServerShutdownError("server is shutting down"))
+                self._m_rejected.labels(reason="shutdown").inc()
+                continue
+            with self._conns_latch:
+                admitted = len(self._conns) < self.config.max_connections
+                if admitted:
+                    self._next_conn_id += 1
+                    conn_id = self._next_conn_id
+            if not admitted:
+                self._refuse(
+                    sock,
+                    ServerBusyError(
+                        f"server busy: max_connections "
+                        f"({self.config.max_connections}) reached"
+                    ),
+                )
+                self._m_rejected.labels(reason="busy").inc()
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(conn_id, sock, addr, self.db.connect())
+            with self._conns_latch:
+                self._conns[conn_id] = conn
+            self._m_accepted.inc()
+            self._m_active.inc()
+            thread = threading.Thread(
+                target=self._serve, args=(conn,), daemon=True,
+                name=f"bullfrogd-conn-{conn_id}",
+            )
+            conn.thread = thread
+            thread.start()
+
+    def _refuse(self, sock: socket.socket, exc: ReproError) -> None:
+        """Reject a pre-admission socket with a clean error frame."""
+        try:
+            sock.sendall(protocol.encode_error(exc, in_transaction=False))
+        except OSError:
+            pass
+        finally:
+            sock.close()
+
+    # ------------------------------------------------------------------
+    # Per-connection handler
+    # ------------------------------------------------------------------
+    def _serve(self, conn: _Connection) -> None:
+        cause = "client_close"
+        try:
+            # Client-initiated handshake: the first frame must be a
+            # HELLO; the WELCOME answers it (version + epoch + id).
+            frame = self._read_frame(conn)
+            if frame is None:
+                cause = "eof"
+                return
+            ftype, payload = frame
+            if ftype != protocol.HELLO:
+                raise protocol.ProtocolError(
+                    f"expected HELLO, got frame type 0x{ftype:02x}"
+                )
+            protocol.decode_hello(payload)
+            self._send(conn, protocol.encode_welcome(
+                _SERVER_VERSION, self.db.epoch, conn.id
+            ))
+            conn.last_activity = time.monotonic()
+            while True:
+                frame = self._read_frame(conn)
+                if frame is None:
+                    cause = "eof"
+                    return
+                conn.last_activity = time.monotonic()
+                ftype, payload = frame
+                if ftype == protocol.CLOSE:
+                    return
+                began = time.monotonic()
+                conn.state = "active"
+                try:
+                    kind = self._dispatch(conn, ftype, payload)
+                finally:
+                    conn.state = "closing" if conn.doomed is not None else "idle"
+                observe = self._rt_cells.get(kind)
+                if observe is not None:
+                    observe(time.monotonic() - began)
+                if conn.doomed is not None:
+                    cause = "killed"
+                    return
+                if (
+                    self._draining.is_set()
+                    and not conn.session.in_transaction
+                ):
+                    # Drain point: this connection's transaction (if
+                    # any) just finished; retire it politely.
+                    self._try_send(conn, protocol.encode_error(
+                        ServerShutdownError("server is shutting down"),
+                        in_transaction=False,
+                    ))
+                    cause = "shutdown"
+                    return
+        except protocol.ProtocolError as exc:
+            # Garbage or truncated input: answer with a structured
+            # 08P01 frame if the socket still works, then hang up.
+            self._try_send(conn, protocol.encode_error(
+                exc, conn.session.in_transaction
+            ))
+            cause = "protocol_error"
+        except _IdleTimeout:
+            self._try_send(conn, protocol.encode_error(
+                IdleTimeoutError(
+                    f"idle timeout ({self.config.idle_timeout}s) exceeded"
+                ),
+                conn.session.in_transaction,
+            ))
+            cause = "idle_timeout"
+        except OSError:
+            cause = "abrupt_disconnect"
+        except Exception as exc:  # noqa: BLE001 - last-resort server guard
+            self._try_send(conn, protocol.encode_error(
+                exc, conn.session.in_transaction
+            ))
+            cause = "internal_error"
+        finally:
+            if conn.doomed is not None:
+                cause = "killed"
+            self._cleanup(conn, cause)
+
+    def _cleanup(self, conn: _Connection, cause: str) -> None:
+        """The single disconnect path: roll back, release, deregister.
+        ``Session.close()`` aborts any open transaction, which releases
+        every lock the connection held."""
+        conn.state = "closing"
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        conn.session.close()
+        with self._conns_latch:
+            self._conns.pop(conn.id, None)
+        self._m_active.dec()
+        self._m_disconnects.labels(cause=cause).inc()
+
+    # ------------------------------------------------------------------
+    # Frame I/O with seams, timeouts and byte accounting
+    # ------------------------------------------------------------------
+    def _read_frame(self, conn: _Connection) -> tuple[int, bytes] | None:
+        faults = self.faults
+        if faults is not None and "net.read" in faults.watching:
+            try:
+                faults.fire("net.read", conn_id=conn.id)
+            except Exception as exc:  # SimulatedCrash (BaseException) passes
+                # An injected ABORT here means "the read failed":
+                # surface it as an I/O error so the handler runs its
+                # abrupt-disconnect cleanup, exactly like a dead peer.
+                raise OSError(f"injected read failure: {exc}") from exc
+        obs = self.db.obs
+        if obs is not None and obs.active:
+            obs.count("net.read")
+        conn.sock.settimeout(self.config.idle_timeout)
+        try:
+            frame = conn.stream.recv_frame()
+        except socket.timeout as exc:
+            raise _IdleTimeout() from exc
+        finally:
+            try:
+                conn.sock.settimeout(None)
+            except OSError:
+                pass
+        if frame is not None:
+            size = protocol.HEADER_SIZE + len(frame[1])
+            conn.bytes_in += size
+            self._m_bytes_in.inc(size)
+        return frame
+
+    def _send(self, conn: _Connection, frame: bytes) -> None:
+        faults = self.faults
+        if faults is not None and "net.write" in faults.watching:
+            try:
+                faults.fire("net.write", conn_id=conn.id)
+            except Exception as exc:  # SimulatedCrash (BaseException) passes
+                raise OSError(f"injected write failure: {exc}") from exc
+        obs = self.db.obs
+        if obs is not None and obs.active:
+            obs.count("net.write")
+        with conn.write_lock:
+            if conn.doomed is not None:
+                raise OSError("connection was killed")
+            conn.sock.sendall(frame)
+        conn.bytes_out += len(frame)
+        self._m_bytes_out.inc(len(frame))
+
+    def _try_send(self, conn: _Connection, frame: bytes) -> None:
+        try:
+            self._send(conn, frame)
+        except OSError:
+            pass
+
+    def _kill(self, conn: _Connection, exc: BaseException) -> None:
+        """Doom a connection from another thread (watchdog/shutdown):
+        mark it, push a best-effort error frame, sever the socket.  The
+        handler thread then unwinds through its normal cleanup."""
+        with conn.write_lock:
+            if conn.doomed is not None:
+                return
+            conn.doomed = exc
+            try:
+                conn.sock.sendall(protocol.encode_error(
+                    exc, conn.session.in_transaction
+                ))
+            except OSError:
+                pass
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # Request dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, conn: _Connection, ftype: int, payload: bytes) -> str:
+        if ftype == protocol.QUERY:
+            frame = protocol.decode_query(payload)
+            self._run_query(conn, frame["sql"], frame["params"])
+            return "query"
+        if ftype == protocol.TXN:
+            op = protocol.decode_txn(payload)["op"]
+            self._run_txn(conn, op)
+            return "txn"
+        if ftype == protocol.META:
+            command = protocol.decode_meta(payload)["command"]
+            try:
+                text = self._run_meta(command)
+            except ReproError as exc:
+                self._send(conn, protocol.encode_error(
+                    exc, conn.session.in_transaction
+                ))
+                return "meta"
+            self._send(conn, protocol.encode_meta_result(text))
+            return "meta"
+        if ftype == protocol.PING:
+            self._send(conn, protocol.encode_pong(self.db.epoch))
+            return "ping"
+        if ftype == protocol.HELLO:
+            # A second handshake is harmless; re-welcome.
+            protocol.decode_hello(payload)
+            self._send(conn, protocol.encode_welcome(
+                _SERVER_VERSION, self.db.epoch, conn.id
+            ))
+            return "meta"
+        raise ProtocolError(f"unexpected frame type 0x{ftype:02x} from client")
+
+    def _run_query(self, conn: _Connection, sql: str, params: tuple) -> None:
+        conn.statements += 1
+        watchdog: threading.Timer | None = None
+        if self.config.statement_timeout is not None:
+            watchdog = threading.Timer(
+                self.config.statement_timeout,
+                self._kill,
+                (
+                    conn,
+                    StatementTimeoutError(
+                        f"statement exceeded statement_timeout "
+                        f"({self.config.statement_timeout}s); "
+                        "connection terminated"
+                    ),
+                ),
+            )
+            watchdog.daemon = True
+            watchdog.start()
+        try:
+            result = conn.session.execute(sql, params)
+        except ReproError as exc:
+            if conn.doomed is None:
+                self._send(conn, protocol.encode_error(
+                    exc, conn.session.in_transaction
+                ))
+            return
+        finally:
+            if watchdog is not None:
+                watchdog.cancel()
+        if conn.doomed is not None:
+            return
+        self._send_result(conn, result)
+
+    def _send_result(self, conn: _Connection, result: Result) -> None:
+        if result.columns:
+            self._send(conn, protocol.encode_row_header(
+                result.statement, result.columns
+            ))
+            batch = self.config.batch_rows
+            rows = result.rows
+            for start in range(0, len(rows), batch):
+                self._send(conn, protocol.encode_row_batch(
+                    rows[start : start + batch]
+                ))
+        self._send(conn, protocol.encode_complete(
+            result.statement,
+            result.rowcount,
+            conn.session.in_transaction,
+            self.db.epoch,
+        ))
+
+    def _run_txn(self, conn: _Connection, op: int) -> None:
+        session = conn.session
+        try:
+            if op == protocol.TXN_BEGIN:
+                session.begin()
+                tag = "BEGIN"
+            elif op == protocol.TXN_COMMIT:
+                session.commit()
+                conn.transactions += 1
+                tag = "COMMIT"
+            else:
+                session.rollback()
+                conn.transactions += 1
+                tag = "ROLLBACK"
+        except ReproError as exc:
+            self._send(conn, protocol.encode_error(
+                exc, session.in_transaction
+            ))
+            return
+        self._send(conn, protocol.encode_complete(
+            tag, 0, session.in_transaction, self.db.epoch
+        ))
+
+    # ------------------------------------------------------------------
+    # META passthrough (remote shell support)
+    # ------------------------------------------------------------------
+    def _run_meta(self, command: str) -> str:
+        parts = command.split(None, 1)
+        name = parts[0] if parts else ""
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == "metrics":
+            obs = self.db.obs
+            if obs is None or not obs.metrics_enabled:
+                return "(observability detached)"
+            from ..obs import render_prometheus, snapshot_json
+
+            if arg == "json":
+                return snapshot_json(obs.registry, indent=2)
+            return render_prometheus(obs.registry)
+        if name == "progress":
+            return self._format_progress()
+        if name == "tables":
+            lines = [
+                f"  {t.schema.name}{' (retired)' if t.retired else ''}"
+                f"  [{len(t)} rows]"
+                for t in self.db.catalog.tables()
+            ]
+            return "\n".join(lines) or "(no tables)"
+        if name == "describe" and arg:
+            table = self.db.catalog.table(arg)
+            lines = [
+                f"  {c.name}  {c.type.render()}"
+                + ("  NOT NULL" if c.not_null else "")
+                for c in table.schema.columns
+            ]
+            if table.schema.primary_key:
+                lines.append(
+                    "  PRIMARY KEY "
+                    f"({', '.join(table.schema.primary_key.columns)})"
+                )
+            for index_name in table.indexes:
+                lines.append(f"  INDEX {index_name}")
+            return "\n".join(lines)
+        raise ProtocolError(f"unknown meta command {command!r}")
+
+    def _format_progress(self) -> str:
+        engines = self.db.migration_engines()
+        if not engines:
+            return "(no migration submitted)"
+        lines: list[str] = []
+        for engine in engines:
+            progress = engine.progress()
+            lines.append(
+                f"migration: {progress.get('migration')}"
+                f"  complete: {progress.get('complete')}"
+            )
+            fraction = progress.get("fraction")
+            if fraction is not None:
+                lines.append(
+                    f"granules:  {progress.get('granules_migrated', 0)} "
+                    f"({100.0 * fraction:.1f}%)"
+                )
+            lines.append(
+                f"tuples:    {progress.get('tuples_migrated', 0)} "
+                f"({progress.get('tuples_per_sec', 0.0):.0f} tuples/s now)"
+            )
+            eta = progress.get("eta_seconds")
+            if progress.get("complete"):
+                lines.append("eta:       done")
+            elif eta is not None:
+                lines.append(f"eta:       ~{eta:.1f}s at current rate")
+            else:
+                lines.append("eta:       unknown")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, drain_timeout: float | None = None) -> dict[str, int]:
+        """Stop accepting, drain, then abort stragglers.
+
+        Returns ``{"drained": n, "aborted": m}`` — how many connections
+        retired cleanly (closed on their own, or at a statement
+        boundary outside a transaction) versus force-killed at the
+        deadline with their transactions rolled back.
+        """
+        if not self._running:
+            return {"drained": 0, "aborted": 0}
+        self._running = False
+        self._draining.set()
+        # Census first: every connection alive at this instant either
+        # drains (self-retires at a statement boundary, or is killed
+        # while idle with no transaction) or is aborted at the
+        # deadline.  Handlers start retiring the moment ``_draining``
+        # is set, so counting any later under-reports ``drained``.
+        with self._conns_latch:
+            census = len(self._conns)
+        deadline = time.monotonic() + (
+            self.config.drain_timeout if drain_timeout is None else drain_timeout
+        )
+        if self._listen_sock is not None:
+            try:
+                self._listen_sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+        # Phase 1: idle connections outside a transaction have nothing
+        # to drain; retire them immediately.
+        with self._conns_latch:
+            conns = list(self._conns.values())
+        shutdown_exc = ServerShutdownError("server is shutting down")
+        for conn in conns:
+            if conn.state == "idle" and not conn.session.in_transaction:
+                self._kill(conn, shutdown_exc)
+
+        # Phase 2: wait for in-flight work to reach a statement
+        # boundary with no open transaction (handler threads retire
+        # themselves at that point — see ``_serve``).
+        while time.monotonic() < deadline:
+            with self._conns_latch:
+                remaining = list(self._conns.values())
+            if not remaining:
+                break
+            for conn in remaining:
+                # A connection that went idle-without-txn since phase 1
+                # (e.g. its COMMIT landed) may be parked in recv again.
+                if conn.state == "idle" and not conn.session.in_transaction:
+                    self._kill(conn, shutdown_exc)
+            time.sleep(0.01)
+
+        # Phase 3: the deadline passed — abort stragglers.
+        with self._conns_latch:
+            stragglers = list(self._conns.values())
+        aborted = len(stragglers)
+        for conn in stragglers:
+            self._kill(
+                conn,
+                ServerShutdownError(
+                    "server shutdown deadline reached; transaction aborted"
+                ),
+            )
+        threads = [c.thread for c in stragglers if c.thread is not None]
+        with self._conns_latch:
+            survivors = list(self._conns.values())
+        for conn in survivors:
+            if conn.thread is not None and conn.thread not in threads:
+                threads.append(conn.thread)
+        for thread in threads:
+            thread.join(timeout=5.0)
+        # Any connection cleaned up by its own handler before the
+        # deadline counts as drained.
+        drained = max(0, census - aborted)
+        self._draining.clear()
+        return {"drained": drained, "aborted": aborted}
+
+
+class _IdleTimeout(Exception):
+    """Internal marker: the idle-timeout read deadline fired."""
+
+
+def serve(
+    db: Database, config: ServerConfig | None = None, faults: Any = None
+) -> BullfrogServer:
+    """Start a server and return it (non-blocking)."""
+    return BullfrogServer(db, config, faults=faults).start()

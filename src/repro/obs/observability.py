@@ -50,6 +50,19 @@ POINT_COUNTERS: dict[str, tuple[str, str]] = {
     "txn.commit": ("repro_txn_commits_total", "transaction commits"),
     "txn.abort": ("repro_txn_aborts_total", "transaction aborts"),
     "wal.flush": ("repro_wal_batches_total", "WAL redo batches appended"),
+    "net.accept": (
+        "repro_net_accept_rounds_total",
+        "bullfrogd accept-loop rounds (one per inbound connection, "
+        "pre-admission)",
+    ),
+    "net.read": (
+        "repro_net_frames_read_total",
+        "protocol frames read from clients by bullfrogd",
+    ),
+    "net.write": (
+        "repro_net_frames_written_total",
+        "protocol frames written to clients by bullfrogd",
+    ),
 }
 
 

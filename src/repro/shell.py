@@ -20,10 +20,17 @@ Meta-commands: ``\\dt`` lists tables, ``\\d <table>`` describes one,
 a lazy migration, ``\\progress`` shows live migration progress,
 ``\\metrics`` dumps the Prometheus text snapshot (``\\metrics json``
 for the JSON form), ``\\q`` quits.
+
+``python -m repro --connect HOST:PORT`` attaches the same shell to a
+running ``bullfrogd`` instead of an embedded database: SQL travels over
+the wire and ``\\dt``/``\\d``/``\\progress``/``\\metrics`` become
+server-side META requests, so ``\\metrics`` reports the *server's*
+registry (including its ``repro_net_*`` connection metrics).
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -58,7 +65,22 @@ def format_result(result: Result) -> str:
 
 
 class Shell:
-    def __init__(self) -> None:
+    def __init__(self, connect_to: str | None = None) -> None:
+        self.remote = None
+        if connect_to is not None:
+            # Remote mode: the "session" is a net.Connection — it has
+            # the same execute() -> Result surface, so the REPL loop and
+            # format_result work unchanged.  Meta-commands that need the
+            # catalog/registry become server-side META requests.
+            from .net.client import connect as net_connect
+
+            host, _, port = connect_to.rpartition(":")
+            self.remote = net_connect(host or "127.0.0.1", int(port or 5433))
+            self.session = self.remote
+            self.obs = None
+            self.db = None
+            self.controller = None
+            return
         # The shell always runs instrumented: it is the demo surface for
         # the observability layer (\\progress and \\metrics read it).
         self.obs = Observability()
@@ -71,6 +93,8 @@ class Shell:
         command = parts[0]
         if command == "\\q":
             raise EOFError
+        if self.remote is not None:
+            return self._handle_remote_meta(line, parts)
         if command == "\\dt":
             tables = [
                 f"  {t.schema.name}{' (retired)' if t.retired else ''}"
@@ -110,6 +134,29 @@ class Shell:
             if len(parts) > 1 and parts[1] == "json":
                 return snapshot_json(self.obs.registry, indent=2)
             return render_prometheus(self.obs.registry)
+        return f"unknown meta-command {command!r}"
+
+    def _handle_remote_meta(self, line: str, parts: list[str]) -> str | None:
+        """Server-side passthrough for the connected shell: the data a
+        meta-command needs (catalog, migration engines, metric registry)
+        lives in the server process, so ask *it*."""
+        assert self.remote is not None
+        command = parts[0]
+        if command == "\\dt":
+            return self.remote.meta("tables")
+        if command == "\\d" and len(parts) > 1:
+            return self.remote.meta(f"describe {parts[1]}")
+        if command == "\\explain" and len(parts) > 1:
+            result = self.session.execute("EXPLAIN " + line.split(None, 1)[1])
+            return "\n".join(str(row[0]) for row in result.rows)
+        if command == "\\progress":
+            return self.remote.meta("progress")
+        if command == "\\metrics":
+            if len(parts) > 1 and parts[1] == "json":
+                return self.remote.meta("metrics json")
+            return self.remote.meta("metrics")
+        if command == "\\migrate":
+            return "\\migrate is not available over --connect (run DDL as SQL)"
         return f"unknown meta-command {command!r}"
 
     def _format_progress(self) -> str:
@@ -174,7 +221,14 @@ class Shell:
         return "\n".join(lines)
 
     def run(self) -> int:
-        print("repro shell — BullFrog reproduction.  \\q to quit.")
+        if self.remote is not None:
+            print(
+                "repro shell — connected to bullfrogd "
+                f"(server {self.remote.server_version}, "
+                f"epoch {self.remote.schema_epoch}).  \\q to quit."
+            )
+        else:
+            print("repro shell — BullFrog reproduction.  \\q to quit.")
         buffer = ""
         while True:
             prompt = "repro> " if not buffer else "  ...> "
@@ -207,8 +261,21 @@ class Shell:
                 print(f"error: {exc}")
 
 
-def main() -> int:
-    return Shell().run()
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro", description="interactive BullFrog SQL shell"
+    )
+    parser.add_argument(
+        "--connect", metavar="HOST:PORT", default=None,
+        help="attach to a running bullfrogd instead of an embedded database",
+    )
+    args = parser.parse_args(argv)
+    shell = Shell(connect_to=args.connect)
+    try:
+        return shell.run()
+    finally:
+        if shell.remote is not None:
+            shell.remote.close()
 
 
 if __name__ == "__main__":

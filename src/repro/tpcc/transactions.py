@@ -26,6 +26,7 @@ import random
 from datetime import datetime
 from decimal import Decimal
 from enum import Enum
+from typing import Any
 
 from ..db import Database, Session
 from ..errors import TransactionAborted
@@ -57,7 +58,7 @@ class TpccClient:
 
     def __init__(
         self,
-        db: Database,
+        db: Database | None,
         scale: ScaleConfig,
         variant: SchemaVariant = SchemaVariant.BASE,
         seed: int | None = None,
@@ -65,6 +66,7 @@ class TpccClient:
         customer_stride: tuple[int, int] | None = None,
         max_retries: int = 10,
         rollback_rate: float = 0.01,
+        session: Session | Any = None,
     ) -> None:
         self.db = db
         self.scale = scale
@@ -80,7 +82,14 @@ class TpccClient:
         self._stride_position = 0
         self.max_retries = max_retries
         self.rollback_rate = rollback_rate
-        self.session: Session = db.connect()
+        # The terminal only needs something with the Session statement
+        # API (execute/transaction/rollback/reset) — a
+        # ``repro.net.Connection`` drops in for socket-attached runs.
+        if session is None:
+            if db is None:
+                raise ValueError("TpccClient needs a db or a session")
+            session = db.connect()
+        self.session: Session = session
         self.aborts = 0
 
     # ------------------------------------------------------------------
@@ -105,12 +114,7 @@ class TpccClient:
                 return True
             except TransactionAborted:
                 self.aborts += 1
-                if self.session.in_transaction:
-                    try:
-                        self.session.rollback()
-                    except Exception:
-                        pass
-                self.session._txn = None
+                self.session.reset()
                 continue
         return False
 

@@ -1,0 +1,754 @@
+"""Integration tests for ``bullfrogd``: server, client, pool, and the
+networked TPC-C path through a live lazy migration.
+
+Every test runs a real server on an ephemeral loopback port — no mocks
+between the client library and the session layer, so these exercise
+the same code paths as ``python -m repro.net``.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import Database
+from repro.core import (
+    BackgroundConfig,
+    FaultAction,
+    FaultInjector,
+    FaultPlan,
+    FaultRule,
+    MigrationController,
+    Strategy,
+)
+from repro.db import Session
+from repro.errors import (
+    ConnectionClosedError,
+    IdleTimeoutError,
+    NetworkError,
+    ProtocolError,
+    ReproError,
+    SchemaVersionError,
+    ServerBusyError,
+    ServerShutdownError,
+    SessionClosed,
+    UniqueViolation,
+)
+from repro.net import (
+    BullfrogServer,
+    ConnectionPool,
+    NetworkTpccClient,
+    ServerConfig,
+    connect,
+)
+from repro.net import protocol
+from repro.obs import Observability
+from repro.testing import InvariantChecker
+from repro.tpcc import SCENARIOS, SchemaVariant, create_schema, load_tpcc
+
+from .conftest import TINY_SCALE
+
+
+# ----------------------------------------------------------------------
+# Harness
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture
+def server():
+    """A running server over a fresh instrumented database; yields
+    ``(db, server)`` and guarantees shutdown."""
+    db = Database(obs=Observability())
+    srv = BullfrogServer(db, ServerConfig(port=0)).start()
+    try:
+        yield db, srv
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def start_server(db=None, **cfg):
+    db = db or Database(obs=Observability())
+    faults = cfg.pop("faults", None)
+    srv = BullfrogServer(db, ServerConfig(port=0, **cfg), faults=faults)
+    return db, srv.start()
+
+
+def seed_table(conn):
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+    conn.execute("INSERT INTO t VALUES (?, ?)", (1, "one"))
+    conn.execute("INSERT INTO t VALUES (?, ?)", (2, "two"))
+
+
+def active_txn_count(db):
+    """ACTIVE transactions that own work (locks or redo).  The reading
+    statement itself shows up in the view as an empty ACTIVE txn, so
+    plain row-counting would never reach zero."""
+    s = db.connect()
+    rows = s.execute("SELECT * FROM bullfrog_stat_activity").dicts()
+    return sum(1 for r in rows if r["locks_held"] or r["redo_records"])
+
+
+def held_lock_count(db):
+    s = db.connect()
+    rows = s.execute("SELECT * FROM bullfrog_stat_locks").dicts()
+    return sum(1 for r in rows if r["holders"])
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# Session lifecycle satellites (close/reset/context manager)
+# ----------------------------------------------------------------------
+
+
+def test_session_close_is_idempotent(db):
+    session = db.connect()
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    session.close()
+    session.close()  # second close is a no-op
+    assert session.closed
+    with pytest.raises(SessionClosed):
+        session.execute("SELECT * FROM t")
+    with pytest.raises(SessionClosed):
+        session.begin()
+
+
+def test_session_close_aborts_open_transaction(db):
+    session = db.connect()
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    session.execute("INSERT INTO t VALUES (1, 10)")
+    session.begin()
+    session.execute("UPDATE t SET v = 99 WHERE id = 1")
+    session.close()
+    assert active_txn_count(db) == 0
+    assert held_lock_count(db) == 0
+    other = db.connect()
+    assert other.execute("SELECT v FROM t WHERE id = 1").rows == [(10,)]
+
+
+def test_session_context_manager(db):
+    with db.connect() as session:
+        session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    assert session.closed
+
+
+def test_session_reset_clears_transaction(db):
+    session = db.connect()
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    session.execute("INSERT INTO t VALUES (1, 10)")
+    session.begin()
+    session.execute("UPDATE t SET v = 99 WHERE id = 1")
+    session.reset()
+    assert not session.in_transaction
+    assert session.execute("SELECT v FROM t WHERE id = 1").rows == [(10,)]
+    session.reset()  # idempotent outside a transaction too
+
+
+# ----------------------------------------------------------------------
+# Basic round trips
+# ----------------------------------------------------------------------
+
+
+def test_query_roundtrip_over_socket(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        assert conn.session_id > 0
+        seed_table(conn)
+        result = conn.execute("SELECT * FROM t WHERE id = ?", (1,))
+        assert result.statement == "SELECT"
+        assert result.columns == ["id", "v"]
+        assert result.rows == [(1, "one")]
+        conn.execute("INSERT INTO t VALUES (?, ?)", (3, None))
+        assert conn.execute(
+            "SELECT v FROM t WHERE id = 3"
+        ).rows == [(None,)]
+
+
+def test_large_result_streams_in_batches(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        conn.execute("CREATE TABLE big (id INT PRIMARY KEY, v TEXT)")
+        with conn.transaction():
+            for i in range(700):  # > batch_rows=256 → several ROW_BATCHes
+                conn.execute("INSERT INTO big VALUES (?, ?)", (i, f"v{i}"))
+        result = conn.execute("SELECT * FROM big")
+        assert len(result.rows) == 700
+        assert sorted(r[0] for r in result.rows) == list(range(700))
+
+
+def test_typed_errors_survive_the_wire(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        with pytest.raises(UniqueViolation) as info:
+            conn.execute("INSERT INTO t VALUES (1, 'dup')")
+        assert info.value.sqlstate == "23505"
+        # An error must not poison the connection.
+        assert conn.execute("SELECT COUNT(*) FROM t").rows == [(2,)]
+        with pytest.raises(ReproError):
+            conn.execute("SELECT FROM WHERE !!!")
+        assert conn.ping()
+
+
+def test_transactions_are_server_authoritative(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        conn.begin()
+        assert conn.in_transaction
+        conn.execute("UPDATE t SET v = 'changed' WHERE id = 1")
+        conn.rollback()
+        assert not conn.in_transaction
+        assert conn.execute(
+            "SELECT v FROM t WHERE id = 1"
+        ).rows == [("one",)]
+        with conn.transaction():
+            conn.execute("UPDATE t SET v = 'committed' WHERE id = 1")
+        assert conn.execute(
+            "SELECT v FROM t WHERE id = 1"
+        ).rows == [("committed",)]
+
+
+def test_transaction_context_manager_rolls_back_on_error(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        with pytest.raises(UniqueViolation):
+            with conn.transaction():
+                conn.execute("UPDATE t SET v = 'x' WHERE id = 1")
+                conn.execute("INSERT INTO t VALUES (2, 'dup')")
+        assert not conn.in_transaction
+        assert conn.execute(
+            "SELECT v FROM t WHERE id = 1"
+        ).rows == [("one",)]
+
+
+def test_meta_passthrough(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        assert "t" in conn.meta("tables")
+        assert "id" in conn.meta("describe t")
+        assert "repro_net_connections_accepted_total" in conn.meta("metrics")
+        assert '"repro_net' in conn.meta("metrics json")
+        assert "no migration" in conn.meta("progress")
+        with pytest.raises(ProtocolError):
+            conn.meta("no-such-command")
+
+
+def test_schema_epoch_piggybacks_on_responses(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        epoch0 = conn.schema_epoch
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")  # bumps epoch
+        assert conn.schema_epoch > epoch0
+
+
+# ----------------------------------------------------------------------
+# Admission control + lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_admission_control_rejects_with_busy_frame():
+    db, srv = start_server(max_connections=2)
+    try:
+        c1 = connect("127.0.0.1", srv.port)
+        c2 = connect("127.0.0.1", srv.port)
+        with pytest.raises(ServerBusyError):
+            connect("127.0.0.1", srv.port)
+        c1.close()
+        # A freed slot admits again (deregistration is async).
+        assert wait_until(lambda: srv.active_connections() < 2)
+        c3 = connect("127.0.0.1", srv.port)
+        c3.close()
+        c2.close()
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def test_abrupt_disconnect_releases_locks_and_txns(server):
+    """A client killed mid-transaction must leave no ACTIVE transaction
+    and no held locks behind (ISSUE acceptance criterion)."""
+    db, srv = server
+    conn = connect("127.0.0.1", srv.port)
+    seed_table(conn)
+    conn.begin()
+    conn.execute("UPDATE t SET v = 'dirty' WHERE id = 1")
+    assert active_txn_count(db) == 1
+    assert held_lock_count(db) > 0
+    conn._sock.close()  # abrupt: no CLOSE frame, no rollback
+    assert wait_until(
+        lambda: active_txn_count(db) == 0 and held_lock_count(db) == 0
+    )
+    # The row is untouched and writable by others.
+    other = db.connect()
+    assert other.execute("SELECT v FROM t WHERE id = 1").rows == [("one",)]
+    other.execute("UPDATE t SET v = 'mine' WHERE id = 1")
+
+
+def test_network_stat_view(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        rows = conn.execute("SELECT * FROM bullfrog_stat_network").dicts()
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["conn_id"] == conn.session_id
+        assert row["statements"] >= 3
+        assert row["bytes_in"] > 0 and row["bytes_out"] > 0
+    assert wait_until(lambda: srv.active_connections() == 0)
+    local = db.connect()
+    assert local.execute("SELECT * FROM bullfrog_stat_network").rows == []
+
+
+def test_idle_timeout_reaps_connection():
+    db, srv = start_server(idle_timeout=0.15)
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        time.sleep(0.5)
+        with pytest.raises((IdleTimeoutError, ConnectionClosedError)):
+            conn.execute("SELECT * FROM t")
+        assert conn.closed
+        assert wait_until(lambda: srv.active_connections() == 0)
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def test_statement_timeout_kills_connection():
+    db, srv = start_server(statement_timeout=0.1)
+    session = db.connect()
+    session.execute("CREATE TABLE big (id INT PRIMARY KEY, v INT)")
+    for i in range(800):
+        session.execute("INSERT INTO big VALUES (?, ?)", (i, i))
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        # A quick statement is fine under the timeout...
+        conn.execute("SELECT COUNT(*) FROM big WHERE id = 1")
+        # ...but a quadratic self-join (~0.7s at 800 rows) is not.
+        with pytest.raises(
+            (ReproError, ConnectionClosedError)
+        ):
+            conn.execute(
+                "SELECT COUNT(*) FROM big a JOIN big b ON a.v < b.v"
+            )
+            pytest.fail("statement survived the timeout")  # pragma: no cover
+        assert wait_until(lambda: active_txn_count(db) == 0)
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Graceful shutdown
+# ----------------------------------------------------------------------
+
+
+def test_graceful_shutdown_drains_within_deadline():
+    """Regression for the drain semantics: an in-flight transaction that
+    commits promptly is *drained* (not aborted), and shutdown() returns
+    well before the deadline."""
+    db, srv = start_server()
+    conn = connect("127.0.0.1", srv.port)
+    seed_table(conn)
+    conn.begin()
+    conn.execute("UPDATE t SET v = 'draining' WHERE id = 1")
+
+    outcome = {}
+
+    def shut():
+        outcome.update(srv.shutdown(drain_timeout=5.0))
+
+    shutter = threading.Thread(target=shut)
+    shutter.start()
+    time.sleep(0.2)  # let shutdown enter its drain phase
+    conn.execute("UPDATE t SET v = 'done' WHERE id = 2")
+    conn.commit()  # the drain point: server retires us after this
+    began = time.monotonic()
+    shutter.join(timeout=5.0)
+    assert not shutter.is_alive()
+    assert time.monotonic() - began < 4.0  # returned well before deadline
+    assert outcome == {"drained": 1, "aborted": 0}
+    # The committed work survived; nothing leaked.
+    local = db.connect()
+    assert local.execute("SELECT v FROM t WHERE id = 1").rows == [("draining",)]
+    assert active_txn_count(db) == 0
+
+
+def test_shutdown_aborts_stragglers_and_refuses_new_connections():
+    db, srv = start_server()
+    conn = connect("127.0.0.1", srv.port)
+    seed_table(conn)
+    conn.begin()
+    conn.execute("UPDATE t SET v = 'stuck' WHERE id = 1")
+    # Never commits: the straggler must be force-aborted at the deadline.
+    outcome = srv.shutdown(drain_timeout=0.3)
+    assert outcome["aborted"] == 1
+    assert active_txn_count(db) == 0 and held_lock_count(db) == 0
+    local = db.connect()
+    assert local.execute("SELECT v FROM t WHERE id = 1").rows == [("one",)]
+    with pytest.raises((ServerShutdownError, ConnectionClosedError)):
+        connect("127.0.0.1", srv.port)
+
+
+def test_draining_server_retires_idle_connection():
+    db, srv = start_server()
+    conn = connect("127.0.0.1", srv.port)
+    conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    outcome = srv.shutdown(drain_timeout=2.0)
+    assert outcome["aborted"] == 0
+    with pytest.raises((ServerShutdownError, ConnectionClosedError)):
+        conn.execute("SELECT * FROM t")
+
+
+# ----------------------------------------------------------------------
+# Pool: health checks + reconnect-with-backoff
+# ----------------------------------------------------------------------
+
+
+def test_pool_roundtrip_and_reuse(server):
+    db, srv = server
+    pool = ConnectionPool("127.0.0.1", srv.port, size=2)
+    try:
+        with pool.acquire() as conn:
+            seed_table(conn)
+            first_id = conn.session_id
+        with pool.acquire() as conn:
+            assert conn.session_id == first_id  # same pooled socket
+            assert conn.execute("SELECT COUNT(*) FROM t").rows == [(2,)]
+        assert pool.reconnects == 0
+    finally:
+        pool.close()
+
+
+def test_pool_health_check_replaces_dead_connection(server):
+    db, srv = server
+    pool = ConnectionPool("127.0.0.1", srv.port, size=1, backoff=0.01)
+    try:
+        with pool.acquire() as conn:
+            conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        # Kill the pooled connection's socket behind the pool's back.
+        conn._sock.close()
+        with pool.acquire() as conn2:
+            assert conn2.execute("SELECT * FROM t").rows == []
+        assert pool.health_check_failures == 1
+        assert pool.reconnects == 1
+    finally:
+        pool.close()
+
+
+def test_pool_rolls_back_leaked_transactions(server):
+    db, srv = server
+    pool = ConnectionPool("127.0.0.1", srv.port, size=1)
+    try:
+        with pool.acquire() as conn:
+            seed_table(conn)
+            conn.begin()
+            conn.execute("UPDATE t SET v = 'leak' WHERE id = 1")
+            # exits without commit/rollback → pool must reset it
+        with pool.acquire() as conn:
+            assert not conn.in_transaction
+            assert conn.execute(
+                "SELECT v FROM t WHERE id = 1"
+            ).rows == [("one",)]
+    finally:
+        pool.close()
+
+
+def test_pool_connect_backoff_gives_up_cleanly():
+    # Nothing listens on this port: grab one and close it immediately.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    pool = ConnectionPool(
+        "127.0.0.1", dead_port, size=1,
+        max_connect_attempts=2, backoff=0.01, connect_timeout=0.2,
+    )
+    with pytest.raises(ConnectionClosedError):
+        pool.acquire()
+    pool.close()
+
+
+# ----------------------------------------------------------------------
+# Fault seams
+# ----------------------------------------------------------------------
+
+
+def test_net_read_fault_kills_connection_and_cleans_up():
+    # Reads before the doomed one: HELLO + 3 seed statements + BEGIN +
+    # UPDATE = 6; the rule fires on the 7th frame read.
+    faults = FaultInjector(FaultPlan([
+        FaultRule(point="net.read", action=FaultAction.ABORT, after=6),
+    ]))
+    db, srv = start_server(faults=faults)
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        seed_table(conn)
+        conn.begin()
+        conn.execute("UPDATE t SET v = 'doomed' WHERE id = 1")
+        with pytest.raises(ReproError):
+            conn.execute("SELECT * FROM t")
+            conn.execute("SELECT * FROM t")
+        assert faults.fired("net.read") == 1
+        # Server ran its disconnect cleanup: txn rolled back, locks gone.
+        assert wait_until(
+            lambda: active_txn_count(db) == 0 and held_lock_count(db) == 0
+        )
+        local = db.connect()
+        assert local.execute(
+            "SELECT v FROM t WHERE id = 1"
+        ).rows == [("one",)]
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def test_net_write_fault_mid_response():
+    faults = FaultInjector(FaultPlan([
+        FaultRule(point="net.write", action=FaultAction.ABORT, after=4),
+    ]))
+    db, srv = start_server(faults=faults)
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        with pytest.raises((ReproError, ConnectionClosedError)):
+            for _ in range(10):
+                conn.execute("SELECT 1")
+        assert faults.fired("net.write") == 1
+        assert wait_until(lambda: srv.active_connections() == 0)
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def test_net_accept_fault_rejects_connection():
+    faults = FaultInjector(FaultPlan([
+        FaultRule(point="net.accept", action=FaultAction.ABORT),
+    ]))
+    db, srv = start_server(faults=faults)
+    try:
+        with pytest.raises((NetworkError, OSError)):
+            connect("127.0.0.1", srv.port, connect_timeout=1.0)
+        # The server survives and accepts the next connection.
+        with connect("127.0.0.1", srv.port) as conn:
+            conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# Networked TPC-C through a live lazy migration (the acceptance run)
+# ----------------------------------------------------------------------
+
+
+def _loaded_tpcc_server():
+    db = Database(obs=Observability())
+    session = db.connect()
+    create_schema(session)
+    load_tpcc(db, TINY_SCALE)
+    srv = BullfrogServer(db, ServerConfig(port=0)).start()
+    return db, srv
+
+
+@pytest.mark.slow
+def test_sixteen_clients_through_live_migration():
+    """≥16 concurrent socket clients sustain TPC-C while a
+    backwards-incompatible lazy migration (customer split, big flip)
+    completes underneath them.  Afterwards: exactly-once invariants
+    hold, and no request failed because of the schema switch."""
+    from repro.bench.driver import DriverConfig, WorkloadDriver
+
+    db, srv = _loaded_tpcc_server()
+    controller = MigrationController(db)
+    scenario = SCENARIOS["split"]
+    try:
+        def make_client(index):
+            return NetworkTpccClient(
+                "127.0.0.1", srv.port, TINY_SCALE,
+                variant=SchemaVariant.BASE,
+                new_variant=scenario["variant"],
+                seed=100 + index,
+            )
+
+        driver = WorkloadDriver(
+            make_client, DriverConfig(duration=6.0, rate=None, workers=16)
+        )
+
+        def on_start(drv):
+            def flip():
+                time.sleep(1.0)
+                controller.submit(
+                    "split", scenario["ddl"],
+                    strategy=Strategy.LAZY,
+                    background=BackgroundConfig(
+                        delay=0.5, chunk=64, interval=0.002
+                    ),
+                    big_flip=scenario["big_flip"],
+                )
+                drv.mark("migration start")
+            threading.Thread(target=flip, daemon=True).start()
+
+        result = driver.run(on_start=on_start)
+        assert result.completed > 50  # the fleet actually sustained load
+        # Zero failed requests attributable to the schema switch: every
+        # SchemaVersionError is absorbed by the front-end restart.
+        assert "SchemaVersionError" not in result.errors
+        assert result.connection_errors == 0
+
+        # Drive the migration to completion, then check exactly-once.
+        handle = controller.active
+        assert wait_until(lambda: handle.is_complete, timeout=30.0)
+        report = InvariantChecker(controller.engine).check(
+            expect_complete=True, structural_only=True
+        )
+        assert not report.violations, report.violations
+
+        # No leaked server-side state once the clients hang up.
+        assert wait_until(lambda: srv.active_connections() == 0)
+        assert active_txn_count(db) == 0 and held_lock_count(db) == 0
+    finally:
+        srv.shutdown(drain_timeout=2.0)
+
+
+@pytest.mark.slow
+def test_killed_clients_mid_migration_leak_nothing():
+    """Connections killed mid-transaction *while the migration runs*
+    (net.read ABORT faults) leave no locks or ACTIVE transactions, and
+    the migration still completes exactly-once."""
+    faults = FaultInjector(FaultPlan([
+        FaultRule(
+            point="net.read", action=FaultAction.ABORT,
+            after=40, times=6,
+        ),
+    ]))
+    db = Database(obs=Observability())
+    session = db.connect()
+    create_schema(session)
+    load_tpcc(db, TINY_SCALE)
+    srv = BullfrogServer(db, ServerConfig(port=0), faults=faults).start()
+    controller = MigrationController(db)
+    scenario = SCENARIOS["split"]
+    try:
+        controller.submit(
+            "split", scenario["ddl"],
+            strategy=Strategy.LAZY,
+            background=BackgroundConfig(delay=0.2, chunk=64, interval=0.002),
+            big_flip=scenario["big_flip"],
+        )
+
+        def worker(index, errors):
+            try:
+                client = NetworkTpccClient(
+                    "127.0.0.1", srv.port, TINY_SCALE,
+                    variant=scenario["variant"],
+                    seed=200 + index,
+                )
+                for _ in range(25):
+                    try:
+                        client.run_random()
+                    except NetworkError:
+                        pass  # killed + reconnected; keep going
+                client.close()
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        errors: list = []
+        threads = [
+            threading.Thread(target=worker, args=(i, errors))
+            for i in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert not errors, errors
+        assert faults.fired("net.read") > 0  # kills actually happened
+
+        handle = controller.active
+        assert wait_until(lambda: handle.is_complete, timeout=30.0)
+        assert wait_until(
+            lambda: active_txn_count(db) == 0 and held_lock_count(db) == 0
+        )
+        report = InvariantChecker(controller.engine).check(
+            expect_complete=True, structural_only=True
+        )
+        assert not report.violations, report.violations
+    finally:
+        srv.shutdown(drain_timeout=2.0)
+
+
+def test_driver_books_connection_errors_separately():
+    """NetworkError from a client counts as a connection error, not a
+    failed transaction, and reconnects are summed into the result."""
+    from repro.bench.driver import DriverConfig, WorkloadDriver
+
+    class FlakyClient:
+        def __init__(self):
+            self.calls = 0
+            self.reconnects = 0
+
+        def run_random(self):
+            self.calls += 1
+            if self.calls == 2:
+                self.reconnects += 1
+                raise ConnectionClosedError("socket dropped")
+            if self.calls == 4:
+                raise ValueError("a real failure")
+            return "new_order", True
+
+    driver = WorkloadDriver(
+        lambda index: FlakyClient(),
+        DriverConfig(duration=0.4, rate=None, workers=1),
+    )
+    result = driver.run()
+    assert result.connection_errors >= 1
+    assert result.reconnects >= 1
+    assert result.errors.get("ConnectionClosedError", 0) >= 1
+    assert result.errors.get("ValueError", 0) >= 1
+    # the ValueError landed in failed, the network error did not
+    assert result.failed >= 1
+
+
+# ----------------------------------------------------------------------
+# Remote shell
+# ----------------------------------------------------------------------
+
+
+def test_shell_connect_mode(server):
+    from repro.shell import Shell, format_result
+
+    db, srv = server
+    shell = Shell(connect_to=f"127.0.0.1:{srv.port}")
+    try:
+        shell.session.execute("CREATE TABLE t (id INT PRIMARY KEY, v TEXT)")
+        shell.session.execute("INSERT INTO t VALUES (1, 'hello')")
+        out = format_result(shell.session.execute("SELECT * FROM t"))
+        assert "hello" in out and "(1 row)" in out
+        assert "t" in shell.handle_meta("\\dt")
+        assert "id" in shell.handle_meta("\\d t")
+        assert "repro_net_connections_accepted_total" in (
+            shell.handle_meta("\\metrics")
+        )
+        assert "no migration" in shell.handle_meta("\\progress")
+        assert "SeqScan" in shell.handle_meta(
+            "\\explain SELECT * FROM t WHERE id = 1"
+        ) or "Scan" in shell.handle_meta(
+            "\\explain SELECT * FROM t WHERE id = 1"
+        )
+        assert "--connect" in shell.handle_meta("\\migrate x CREATE TABLE y")
+    finally:
+        shell.remote.close()
+
+
+def test_shell_embedded_mode_unchanged():
+    from repro.shell import Shell
+
+    shell = Shell()
+    assert shell.remote is None
+    shell.session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    assert "t" in shell.handle_meta("\\dt")
