@@ -15,7 +15,14 @@
 ``python -m repro.net --port 5433`` runs a standalone server.
 """
 
-from .client import Connection, ConnectionPool, connect
+from .client import (
+    Connection,
+    ConnectionPool,
+    Pipeline,
+    PreparedStatement,
+    connect,
+    decorrelated_jitter,
+)
 from .driver import NetworkTpccClient
 from .protocol import PROTOCOL_VERSION
 from .server import BullfrogServer, ServerConfig, serve
@@ -26,7 +33,10 @@ __all__ = [
     "ConnectionPool",
     "NetworkTpccClient",
     "PROTOCOL_VERSION",
+    "Pipeline",
+    "PreparedStatement",
     "ServerConfig",
     "connect",
+    "decorrelated_jitter",
     "serve",
 ]

@@ -6,6 +6,23 @@ and return the same :class:`~repro.db.Result` objects, so code written
 against the embedded engine (the TPC-C terminals, ``format_result`` in
 the shell) runs over a socket unchanged.
 
+Two hot-path features come from the PARSE/BIND/EXECUTE protocol
+extension:
+
+* **Prepared statements** — ``conn.prepare(sql)`` parses once
+  server-side and returns a :class:`PreparedStatement`; executing it
+  skips the SQL tokenizer and parser entirely.  Passing
+  ``auto_prepare=N`` to :func:`connect` turns on an implicit
+  per-connection statement cache: ``execute()`` transparently prepares
+  the first N distinct SQL strings it sees and runs them prepared from
+  then on — parameterized workloads (the TPC-C terminals use ``?``
+  placeholders throughout) get the fast path without changing a line.
+* **Pipelining** — ``conn.pipeline()`` queues many requests, writes
+  them as one batch, and only then reads the replies, collapsing N
+  round trips into one.  The server answers strictly in request order;
+  engine errors come back embedded per-operation (the connection
+  survives them), while a transport error aborts the whole drain.
+
 Server errors arrive as structured frames carrying the
 :mod:`repro.errors` class name; the connection re-raises the matching
 class, so ``except TransactionAborted: retry`` works across the wire.
@@ -15,16 +32,18 @@ schema epoch, which is how a client observes BullFrog's logical schema
 switch without any extra round trip.
 
 :class:`ConnectionPool` adds thread-safe pooling with a liveness check
-on acquire and reconnect-with-backoff when the check fails — the
-building block for "clients reconnecting across the migration" runs.
+on acquire and reconnect with decorrelated-jitter backoff when the
+check fails — the building block for "clients reconnecting across the
+migration" runs.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
-from typing import Any, Callable, Sequence
+from typing import Any, Callable, Iterator, Sequence
 
 from ..db import Result
 from ..errors import (
@@ -36,14 +55,33 @@ from ..errors import (
 from . import protocol
 
 
+def decorrelated_jitter(
+    base: float, cap: float, rng: random.Random | None = None
+) -> Iterator[float]:
+    """Yield AWS-style decorrelated-jitter delays: each draw is
+    ``min(cap, uniform(base, 3 * previous))``, starting from ``base``.
+
+    Unlike deterministic exponential backoff, concurrent clients that
+    fail at the same instant (a server restart kills a whole pool) draw
+    *different* delays from the very first retry, so they do not stampede
+    the listener in lockstep when it comes back.
+    """
+    uniform = (rng or random).uniform
+    delay = base
+    while True:
+        delay = min(cap, uniform(base, delay * 3))
+        yield delay
+
+
 def connect(
     host: str = "127.0.0.1",
     port: int = 5433,
     connect_timeout: float = 10.0,
     client_name: str = "repro-client",
+    auto_prepare: int = 0,
 ) -> "Connection":
     return Connection(host, port, connect_timeout=connect_timeout,
-                      client_name=client_name)
+                      client_name=client_name, auto_prepare=auto_prepare)
 
 
 class Connection:
@@ -56,11 +94,15 @@ class Connection:
         port: int,
         connect_timeout: float = 10.0,
         client_name: str = "repro-client",
+        auto_prepare: int = 0,
     ) -> None:
         self.host = host
         self.port = port
         self._closed = False
         self._in_transaction = False
+        self._auto_prepare = auto_prepare
+        self._stmt_cache: dict[str, PreparedStatement] = {}
+        self._next_ps = 0
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -142,12 +184,16 @@ class Connection:
         # A dead socket leaves transaction state unknowable; the server
         # rolls the transaction back on its side.
         self._in_transaction = False
+        self._stmt_cache.clear()
         try:
             self._sock.close()
         except OSError:
             pass
 
     def _raise_error(self, payload: bytes) -> None:
+        raise self._decode_error(payload)
+
+    def _decode_error(self, payload: bytes) -> ReproError:
         frame = protocol.decode_error(payload)
         self._in_transaction = frame["in_transaction"]
         exc = protocol.reconstruct_error(
@@ -157,7 +203,7 @@ class Connection:
             # Server-side kills (shutdown, busy, timeouts) terminate the
             # connection right after this frame.
             self._mark_broken()
-        raise exc
+        return exc
 
     # ------------------------------------------------------------------
     # Session-mirroring API
@@ -171,7 +217,20 @@ class Connection:
         return self._in_transaction
 
     def execute(self, sql: str, params: Sequence[Any] = ()) -> Result:
+        if self._auto_prepare > 0:
+            ps = self._stmt_cache.get(sql)
+            if ps is None and len(self._stmt_cache) < self._auto_prepare:
+                # Implicit statement cache (the asyncpg idiom): the
+                # first sighting of a SQL string pays one PARSE round
+                # trip; every later execution skips the parser.
+                ps = self.prepare(sql)
+                self._stmt_cache[sql] = ps
+            if ps is not None:
+                return self.execute_prepared(ps, params)
         self._send(protocol.encode_query(sql, params))
+        return self._read_query_response()
+
+    def _read_query_response(self) -> Result:
         columns: list[str] = []
         rows: list[tuple] = []
         tag = ""
@@ -200,6 +259,66 @@ class Connection:
                 raise ProtocolError(
                     f"unexpected frame type 0x{ftype:02x} in query response"
                 )
+
+    # ------------------------------------------------------------------
+    # Prepared statements
+    # ------------------------------------------------------------------
+    def prepare(self, sql: str, name: str | None = None) -> "PreparedStatement":
+        """Parse ``sql`` once on the server; the returned handle
+        executes by name with bound parameters, skipping the parser."""
+        if name is None:
+            self._next_ps += 1
+            name = f"ps_{self.session_id}_{self._next_ps}"
+        self._send(protocol.encode_parse(name, sql))
+        ftype, payload = self._recv()
+        if ftype == protocol.ERROR:
+            self._raise_error(payload)
+        if ftype != protocol.PARSE_OK:
+            self._mark_broken()
+            raise ProtocolError(
+                f"unexpected frame type 0x{ftype:02x} in parse response"
+            )
+        return PreparedStatement(self, name, sql)
+
+    def execute_prepared(
+        self,
+        statement: "PreparedStatement | str",
+        params: Sequence[Any] | None = (),
+    ) -> Result:
+        """Run a prepared statement.  ``params=None`` executes the
+        portal most recently bound with :meth:`bind` (or no params)."""
+        name = statement if isinstance(statement, str) else statement.name
+        self._send(protocol.encode_execute(name, params))
+        return self._read_query_response()
+
+    def bind(self, statement: "PreparedStatement | str",
+             params: Sequence[Any]) -> None:
+        """Stash a parameter row server-side (a portal);
+        ``execute_prepared(name, params=None)`` runs it."""
+        name = statement if isinstance(statement, str) else statement.name
+        self._send(protocol.encode_bind(name, params))
+        ftype, payload = self._recv()
+        if ftype == protocol.ERROR:
+            self._raise_error(payload)
+        if ftype != protocol.BIND_OK:
+            self._mark_broken()
+            raise ProtocolError(
+                f"unexpected frame type 0x{ftype:02x} in bind response"
+            )
+
+    # ------------------------------------------------------------------
+    # Pipelining
+    # ------------------------------------------------------------------
+    def pipeline(self) -> "Pipeline":
+        """Batch API: queue requests, write them all, then drain the
+        replies::
+
+            pipe = conn.pipeline()
+            pipe.execute("SELECT * FROM t WHERE k = ?", [1])
+            pipe.execute_prepared(ps, [2])
+            results = pipe.sync()   # [Result | ReproError, ...]
+        """
+        return Pipeline(self)
 
     def _txn_op(self, op: int) -> None:
         self._send(protocol.encode_txn(op))
@@ -297,6 +416,167 @@ class Connection:
         return False
 
 
+class PreparedStatement:
+    """Client handle to a server-side parsed statement."""
+
+    __slots__ = ("conn", "name", "sql")
+
+    def __init__(self, conn: Connection, name: str, sql: str) -> None:
+        self.conn = conn
+        self.name = name
+        self.sql = sql
+
+    def execute(self, params: Sequence[Any] | None = ()) -> Result:
+        return self.conn.execute_prepared(self, params)
+
+    def bind(self, params: Sequence[Any]) -> None:
+        self.conn.bind(self, params)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PreparedStatement({self.name!r}, {self.sql!r})"
+
+
+class Pipeline:
+    """Queue N requests, write them as one batch, read N replies.
+
+    The server processes a connection's frames strictly in order and
+    answers in the same order, so ``sync()`` maps reply *i* to queued
+    request *i*.  Engine errors (constraint violation, abort, schema
+    version) are **embedded** in the result list as exception
+    instances — the connection stays usable, later replies still
+    arrive.  Transport errors (dead socket, server kill) raise and
+    break the connection, exactly like serial execution.
+    """
+
+    def __init__(self, conn: Connection) -> None:
+        self._conn = conn
+        self._buf = bytearray()
+        self._ops: list[str] = []  # "query" | "txn" (reply shapes)
+        self.results: list[Result | ReproError] | None = None
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> int:
+        """Queue a QUERY; returns its index into ``sync()``'s list."""
+        self._buf += protocol.encode_query(sql, params)
+        self._ops.append("query")
+        return len(self._ops) - 1
+
+    def execute_prepared(
+        self,
+        statement: PreparedStatement | str,
+        params: Sequence[Any] | None = (),
+    ) -> int:
+        name = statement if isinstance(statement, str) else statement.name
+        self._buf += protocol.encode_execute(name, params)
+        self._ops.append("query")
+        return len(self._ops) - 1
+
+    def begin(self) -> int:
+        self._buf += protocol.encode_txn(protocol.TXN_BEGIN)
+        self._ops.append("txn")
+        return len(self._ops) - 1
+
+    def commit(self) -> int:
+        self._buf += protocol.encode_txn(protocol.TXN_COMMIT)
+        self._ops.append("txn")
+        return len(self._ops) - 1
+
+    def rollback(self) -> int:
+        self._buf += protocol.encode_txn(protocol.TXN_ROLLBACK)
+        self._ops.append("txn")
+        return len(self._ops) - 1
+
+    def sync(self) -> list[Result | ReproError]:
+        """Flush every queued frame in one write, then read one reply
+        per request, in order."""
+        conn = self._conn
+        ops, self._ops = self._ops, []
+        buf, self._buf = self._buf, bytearray()
+        if not ops:
+            self.results = []
+            return self.results
+        if conn._closed:
+            raise ConnectionClosedError("connection is closed")
+        try:
+            conn._sock.sendall(buf)
+        except OSError as exc:
+            conn._mark_broken()
+            raise ConnectionClosedError(f"send failed: {exc}") from exc
+        conn.bytes_out += len(buf)
+        results: list[Result | ReproError] = []
+        for kind in ops:
+            if kind == "txn":
+                results.append(self._read_txn_reply())
+            else:
+                results.append(self._read_query_reply())
+        self.results = results
+        return results
+
+    def _read_query_reply(self) -> Result | ReproError:
+        conn = self._conn
+        columns: list[str] = []
+        rows: list[tuple] = []
+        tag = ""
+        while True:
+            ftype, payload = conn._recv()
+            if ftype == protocol.ROW_HEADER:
+                header = protocol.decode_row_header(payload)
+                tag = header["tag"]
+                columns = header["columns"]
+            elif ftype == protocol.ROW_BATCH:
+                rows.extend(protocol.decode_row_batch(payload))
+            elif ftype == protocol.COMPLETE:
+                frame = protocol.decode_complete(payload)
+                conn._in_transaction = frame["in_transaction"]
+                conn.schema_epoch = frame["schema_epoch"]
+                return Result(
+                    statement=frame["tag"] or tag,
+                    rows=rows,
+                    columns=columns,
+                    rowcount=frame["rowcount"],
+                )
+            elif ftype == protocol.ERROR:
+                exc = conn._decode_error(payload)
+                if conn._closed:
+                    # The server killed the connection after this
+                    # frame: nothing further will arrive.
+                    raise exc
+                return exc
+            else:
+                conn._mark_broken()
+                raise ProtocolError(
+                    f"unexpected frame type 0x{ftype:02x} in pipeline reply"
+                )
+
+    def _read_txn_reply(self) -> Result | ReproError:
+        conn = self._conn
+        ftype, payload = conn._recv()
+        if ftype == protocol.ERROR:
+            exc = conn._decode_error(payload)
+            if conn._closed:
+                raise exc
+            return exc
+        if ftype != protocol.COMPLETE:
+            conn._mark_broken()
+            raise ProtocolError(
+                f"unexpected frame type 0x{ftype:02x} in pipeline txn reply"
+            )
+        frame = protocol.decode_complete(payload)
+        conn._in_transaction = frame["in_transaction"]
+        conn.schema_epoch = frame["schema_epoch"]
+        return Result(statement=frame["tag"], rowcount=frame["rowcount"])
+
+    def __enter__(self) -> "Pipeline":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is None and self._ops:
+            self.sync()
+        return False
+
+
 class _ConnTxn:
     def __init__(self, conn: Connection) -> None:
         self.conn = conn
@@ -323,9 +603,10 @@ class ConnectionPool:
 
     ``acquire()`` health-checks the pooled connection (one PING round
     trip) and transparently replaces dead ones, reconnecting with
-    exponential backoff — so a pool survives a server restart or a
-    connection killed mid-migration without its callers seeing anything
-    but latency.
+    decorrelated-jitter backoff — so a pool survives a server restart
+    or a connection killed mid-migration without its callers seeing
+    anything but latency, and without every worker hammering the
+    listener in lockstep when it comes back.
     """
 
     def __init__(
@@ -338,6 +619,7 @@ class ConnectionPool:
         backoff: float = 0.05,
         backoff_cap: float = 1.0,
         health_check: bool = True,
+        auto_prepare: int = 0,
         factory: Callable[[], Connection] | None = None,
     ) -> None:
         if size < 1:
@@ -349,12 +631,14 @@ class ConnectionPool:
         self.backoff_cap = backoff_cap
         self._factory = factory or (
             lambda: Connection(host, port, connect_timeout=connect_timeout,
-                               client_name="repro-pool")
+                               client_name="repro-pool",
+                               auto_prepare=auto_prepare)
         )
         self._idle: list[Connection] = []
         self._latch = threading.Lock()
         self._slots = threading.Semaphore(size)
         self._closed = False
+        self._close_wakeup = threading.Event()
         self._created = 0
         # Observable pool accounting (tests + driver reconnect stats).
         # ``reconnects`` counts *replacement* connections only; filling
@@ -364,17 +648,22 @@ class ConnectionPool:
 
     # ------------------------------------------------------------------
     def _connect_with_backoff(self) -> Connection:
-        delay = self.backoff
+        delays = decorrelated_jitter(self.backoff, self.backoff_cap)
         last: Exception | None = None
         for attempt in range(self.max_connect_attempts):
+            if self._closed:
+                raise ConnectionClosedError("pool is closed")
             try:
                 return self._factory()
             except NetworkError as exc:
                 last = exc
                 if attempt + 1 == self.max_connect_attempts:
                     break
-                time.sleep(delay)
-                delay = min(delay * 2, self.backoff_cap)
+                # close() sets the event, so a backoff sleep ends the
+                # moment the pool shuts down instead of running its
+                # full schedule against a dead pool.
+                if self._close_wakeup.wait(next(delays)):
+                    raise ConnectionClosedError("pool is closed") from exc
         assert last is not None
         raise last
 
@@ -404,32 +693,53 @@ class ConnectionPool:
                     self._created += 1
                     if self._created > self.size:
                         self.reconnects += 1
+            # ``close()`` may have raced the connect above: a pool that
+            # is closed must never hand out (and thereby leak) a fresh
+            # connection.
+            if self._closed:
+                conn.close()
+                raise ConnectionClosedError("pool is closed")
             return _PooledConnection(self, conn)
         except BaseException:
             self._slots.release()
             raise
 
     def _release(self, conn: Connection) -> None:
-        if conn.in_transaction:
-            # A connection must come back clean; a caller that leaked a
-            # transaction gets it rolled back here.
-            conn.reset()
-        with self._latch:
-            keep = (
-                not self._closed
-                and not conn.closed
-                and len(self._idle) < self.size
-            )
-            if keep:
-                self._idle.append(conn)
-        if not keep:
-            conn.close()
-        self._slots.release()
+        # The slot must come back no matter what happens to the
+        # connection — a reset/close failure that leaked the semaphore
+        # would shrink the pool forever and eventually deadlock
+        # ``acquire()``.
+        try:
+            if conn.in_transaction:
+                # A connection must come back clean; a caller that
+                # leaked a transaction gets it rolled back here.
+                try:
+                    conn.reset()
+                except (ReproError, OSError):
+                    pass
+            with self._latch:
+                keep = (
+                    not self._closed
+                    and not conn.closed
+                    and not conn.in_transaction
+                    and len(self._idle) < self.size
+                )
+                if keep:
+                    self._idle.append(conn)
+            if not keep:
+                try:
+                    conn.close()
+                except (ReproError, OSError):
+                    pass
+        finally:
+            self._slots.release()
 
     def close(self) -> None:
         with self._latch:
             self._closed = True
             idle, self._idle = self._idle, []
+        # Wake any acquire() sleeping in a reconnect backoff.
+        self._close_wakeup.set()
         for conn in idle:
             conn.close()
 

@@ -26,7 +26,7 @@ import time
 from ..errors import NetworkError, SchemaVersionError
 from ..tpcc.schema import ScaleConfig
 from ..tpcc.transactions import SchemaVariant, TpccClient
-from .client import Connection, connect
+from .client import Connection, connect, decorrelated_jitter
 
 
 class NetworkTpccClient:
@@ -46,6 +46,7 @@ class NetworkTpccClient:
         reconnect_backoff: float = 0.05,
         backoff_cap: float = 1.0,
         connect_timeout: float = 10.0,
+        auto_prepare: int = 128,
     ) -> None:
         self.host = host
         self.port = port
@@ -54,6 +55,7 @@ class NetworkTpccClient:
         self.reconnect_backoff = reconnect_backoff
         self.backoff_cap = backoff_cap
         self.connect_timeout = connect_timeout
+        self.auto_prepare = auto_prepare
         self.reconnects = 0
         conn = self._connect()
         self.client = TpccClient(
@@ -68,7 +70,9 @@ class NetworkTpccClient:
 
     # ------------------------------------------------------------------
     def _connect(self) -> Connection:
-        delay = self.reconnect_backoff
+        # Decorrelated jitter: terminals dropped by the same server
+        # restart retry on different schedules instead of stampeding.
+        delays = decorrelated_jitter(self.reconnect_backoff, self.backoff_cap)
         last: NetworkError | None = None
         for attempt in range(self.reconnect_attempts):
             try:
@@ -76,13 +80,13 @@ class NetworkTpccClient:
                     self.host, self.port,
                     connect_timeout=self.connect_timeout,
                     client_name="tpcc-terminal",
+                    auto_prepare=self.auto_prepare,
                 )
             except NetworkError as exc:
                 last = exc
                 if attempt + 1 == self.reconnect_attempts:
                     break
-                time.sleep(delay)
-                delay = min(delay * 2, self.backoff_cap)
+                time.sleep(next(delays))
         assert last is not None
         raise last
 

@@ -1,49 +1,84 @@
-"""``bullfrogd``: the threaded socket server in front of a Database.
+"""``bullfrogd``: an event-loop socket server in front of a Database.
 
-One accept thread plus one handler thread per connection, each mapped
-to its own :class:`~repro.db.Session` — the same concurrency model the
-embedded engine already runs under (real threads against the strict-2PL
-lock manager), just with the client's thread replaced by a socket.
+One I/O thread multiplexes **every** socket through a
+:mod:`selectors` event loop — accepts, reads (frame reassembly from a
+per-connection input buffer), and writes (per-connection outbound
+buffers, flushed opportunistically from workers and drained by the
+loop when the kernel buffer fills).  Decoded frames are queued per
+connection and executed by a small worker pool; a connection is
+dispatched to at most one worker at a time, so statements on its
+dedicated :class:`~repro.db.Session` stay strictly ordered even when
+the client **pipelines** many frames before reading a single reply.
+Idle connections cost one selector registration and a few KB — no
+thread — which is what lets one ``bullfrogd`` hold thousands of parked
+clients.
 
-Connection lifecycle guarantees (the part of "zero downtime" an
-in-process harness cannot exercise):
+Connection affinity keeps the hot path fast: while a worker owns a
+connection, the connection's selector READ interest is switched off
+and the worker reads the socket directly, lingering ``_HOT_POLL``
+seconds after draining the inbox in case the next frame is already in
+flight.  A chatty terminal therefore runs request → reply on a single
+thread (no selector round trip, no cross-thread queue handoff, ~the
+latency of a thread-per-connection server), while parked connections
+still cost only a selector slot.  Workers never linger when other
+connections are waiting for a worker, so affinity cannot starve the
+pool.
+
+The worker pool is elastic: ``workers`` threads are permanent, and
+when every worker is blocked (strict-2PL lock waits can park a worker
+mid-statement while the lock holder's COMMIT frame sits queued behind
+it) the server spawns transient workers up to ``max_workers`` so
+pipelined frames keep draining; transients exit after
+``worker_keepalive`` seconds idle.
+
+Prepared statements: PARSE caches the parsed AST server-side, keyed
+per connection; EXECUTE binds parameters (inline, or from a BIND
+portal) and runs :meth:`Session.execute_statement` directly — no SQL
+text, no tokenizer, no parser on the hot path.  Cached statements
+record the schema epoch they were parsed under and transparently
+re-parse after a migration's logical switch bumps the epoch; execution
+against a retired table still raises ``SchemaVersionError``, so the
+paper's front-end-restart story is unchanged for prepared clients.
+
+Connection lifecycle guarantees (unchanged from the threaded server):
 
 * **Abrupt-disconnect cleanup** — any way a connection dies (reset,
   EOF mid-frame, protocol garbage, injected read/write fault, timeout
-  kill) funnels into one cleanup path that rolls back the session's
+  kill) funnels into one retire path that rolls back the session's
   open transaction and releases its locks via ``Session.close()``.
-  ``bullfrog_stat_activity`` / ``bullfrog_stat_locks`` must show
-  nothing left behind.
-* **Admission control** — beyond ``max_connections`` the server sends a
-  structured ``ServerBusyError`` frame (SQLSTATE 53300) and closes,
-  instead of silently queueing; the TCP accept backlog itself is
-  bounded by ``listen(backlog)``.
-* **Timeouts** — an idle connection (no frame for ``idle_timeout``) is
-  closed with an ``IdleTimeoutError`` frame; a statement running longer
-  than ``statement_timeout`` gets its connection killed by a watchdog
-  (the kill trips the disconnect cleanup, so the transaction rolls
-  back and no lock leaks).
+* **Admission control** — beyond ``max_connections`` the server sends
+  a structured ``ServerBusyError`` frame (SQLSTATE 53300) and closes.
+* **Timeouts** — an idle connection (no frame for ``idle_timeout``,
+  and nothing queued or executing) is closed with an
+  ``IdleTimeoutError`` frame by the loop's bookkeeping tick; a
+  statement running longer than ``statement_timeout`` gets its
+  connection killed by a watchdog timer.
 * **Graceful shutdown** — ``shutdown()`` stops accepting, immediately
-  closes idle out-of-transaction connections with a
+  retires idle out-of-transaction connections with a
   ``ServerShutdownError`` frame, lets in-flight transactions drain
-  until ``drain_timeout``, then force-closes stragglers (their
-  transactions roll back through the same cleanup path).
+  until ``drain_timeout`` (workers retire their connection at the
+  first statement boundary outside a transaction), then force-closes
+  stragglers.
 
 Fault seams ``net.accept`` / ``net.read`` / ``net.write`` follow the
 :mod:`repro.core.faults` contract (``is not None`` guard, ABORT at a
-net seam = the I/O "fails"), so the harness can kill connections
-mid-transaction and mid-migration.  Per-connection metrics live in the
-attached observability registry and the ``bullfrog_stat_network``
-system view.
+net seam = the I/O "fails"); ``net.read`` fires once per decoded
+frame, ``net.write`` once per response frame.  Per-connection metrics
+live in the attached observability registry and the
+``bullfrog_stat_network`` system view.
 """
 
 from __future__ import annotations
 
+import queue
+import select
+import selectors
 import socket
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from .. import __version__ as _SERVER_VERSION
 from ..catalog.catalog import VirtualTable
@@ -57,8 +92,23 @@ from ..errors import (
     StatementTimeoutError,
 )
 from ..obs.registry import NULL_METRIC
+from ..sql import ast_nodes as ast
 from ..types import SqlType, TypeKind
 from . import protocol
+
+_RECV_CHUNK = 65536
+
+# How long a worker lingers on its connection's socket after draining
+# the inbox, hoping the next frame is already in flight.  A hit keeps
+# the whole request on one thread (no selector round trip, no queue
+# handoff) — chatty connections get thread-per-connection latency while
+# parked ones cost only a selector slot.
+_HOT_POLL = 0.0005
+
+# Replies are flushed once per statement boundary, not once per frame;
+# this caps how much reply data may accumulate before an inline flush
+# (large result sets stream in HIWAT-sized writes).
+_FLUSH_HIWAT = 262144
 
 
 @dataclass
@@ -71,28 +121,54 @@ class ServerConfig:
     statement_timeout: float | None = None
     drain_timeout: float = 5.0
     batch_rows: int = 256  # result-set streaming granularity
+    workers: int = 4  # permanent execution workers
+    max_workers: int = 64  # elastic ceiling (lock waits park workers)
+    worker_keepalive: float = 10.0  # transient worker idle lifetime
+    max_prepared: int = 1024  # per-connection prepared-statement cap
+    tick: float = 0.05  # event-loop bookkeeping cadence
+
+
+class _Prepared:
+    """One server-side prepared statement (per connection)."""
+
+    __slots__ = ("name", "sql", "stmt", "epoch")
+
+    def __init__(self, name: str, sql: str, stmt: ast.Statement,
+                 epoch: int) -> None:
+        self.name = name
+        self.sql = sql
+        self.stmt = stmt
+        self.epoch = epoch
 
 
 class _Connection:
-    """Server-side bookkeeping for one client socket."""
+    """Server-side bookkeeping for one client socket.
+
+    ``lock`` guards the scheduling state (``inbox`` / ``scheduled`` /
+    ``eof`` / ``retired``); ``out_lock`` guards the outbound buffer and
+    ``doomed``.  ``inbuf`` is touched only by whichever thread is
+    allowed to read the socket right now: the I/O thread while the
+    connection is parked (READ interest on), or the owning worker on
+    the hot path (READ interest off).  ``sel_mask`` is the current
+    selector interest and is touched only by the I/O thread.
+    """
 
     __slots__ = (
-        "id", "sock", "stream", "addr", "session", "state", "doomed",
+        "id", "sock", "addr", "session", "state", "doomed",
         "connected_at", "last_activity", "statements", "transactions",
-        "bytes_in", "bytes_out", "write_lock", "thread",
+        "bytes_in", "bytes_out",
+        "inbuf", "inbox", "scheduled", "eof", "eof_cause", "retired",
+        "greeted", "prepared", "portals", "lock",
+        "out_lock", "outbuf", "want_write", "sel_mask",
     )
 
     def __init__(self, conn_id: int, sock: socket.socket, addr: Any,
                  session: Session) -> None:
         self.id = conn_id
         self.sock = sock
-        self.stream = protocol.FrameStream(sock)
         self.addr = addr
         self.session = session
         self.state = "idle"  # idle | active | closing
-        # Set (under write_lock) by a killer — statement-timeout
-        # watchdog or shutdown — to the exception that should explain
-        # the kill; suppresses any late result frames.
         self.doomed: BaseException | None = None
         self.connected_at = time.monotonic()
         self.last_activity = self.connected_at
@@ -100,8 +176,20 @@ class _Connection:
         self.transactions = 0
         self.bytes_in = 0
         self.bytes_out = 0
-        self.write_lock = threading.Lock()
-        self.thread: threading.Thread | None = None
+        self.inbuf = bytearray()
+        self.inbox: deque[tuple[int, bytes]] = deque()
+        self.scheduled = False
+        self.eof = False
+        self.eof_cause = "eof"
+        self.retired = False
+        self.greeted = False
+        self.prepared: dict[str, _Prepared] = {}
+        self.portals: dict[str, tuple] = {}
+        self.lock = threading.Lock()
+        self.out_lock = threading.Lock()
+        self.outbuf = bytearray()
+        self.want_write = False
+        self.sel_mask = 0  # current selector interest; I/O thread only
 
 
 class BullfrogServer:
@@ -119,11 +207,20 @@ class BullfrogServer:
         # default, one ``is not None`` guard per seam.
         self.faults = faults
         self._listen_sock: socket.socket | None = None
-        self._accept_thread: threading.Thread | None = None
+        self._selector: selectors.BaseSelector | None = None
+        self._waker_r: socket.socket | None = None
+        self._waker_w: socket.socket | None = None
+        self._io_thread: threading.Thread | None = None
+        self._ioq: deque[tuple] = deque()  # cross-thread selector requests
+        self._work_queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._worker_latch = threading.Lock()
+        self._worker_threads: list[threading.Thread] = []
+        self._idle_workers = 0  # heuristic; GIL-atomic +=/-=, no latch
         self._conns: dict[int, _Connection] = {}
         self._conns_latch = threading.Lock()
         self._next_conn_id = 0
         self._running = False
+        self._io_running = False
         self._draining = threading.Event()
         self.port: int | None = None
         self._init_metrics()
@@ -179,7 +276,8 @@ class BullfrogServer:
         )
         self._rt_cells = {
             kind: rt.labels(kind=kind).observe
-            for kind in ("query", "txn", "meta", "ping")
+            for kind in ("query", "txn", "meta", "ping",
+                         "parse", "bind", "execute")
         }
         self._rt_fallback = rt
 
@@ -235,20 +333,32 @@ class BullfrogServer:
         if self._running:
             return self
         sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
-        sock.bind((self.config.host, self.config.port))
-        sock.listen(self.config.backlog)
-        # Poll-style accept: closing a listening socket from another
-        # thread does not reliably wake a blocked accept(), so the loop
-        # wakes on its own to notice shutdown.
-        sock.settimeout(0.2)
+        try:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            sock.bind((self.config.host, self.config.port))
+            sock.listen(self.config.backlog)
+            sock.setblocking(False)
+        except OSError:
+            # A failed bind (port in use) must not leak the socket.
+            sock.close()
+            raise
         self._listen_sock = sock
         self.port = sock.getsockname()[1]
+        self._selector = selectors.DefaultSelector()
+        self._selector.register(sock, selectors.EVENT_READ, "listen")
+        self._waker_r, self._waker_w = socket.socketpair()
+        self._waker_r.setblocking(False)
+        self._waker_w.setblocking(False)
+        self._selector.register(self._waker_r, selectors.EVENT_READ, "waker")
         self._running = True
-        self._accept_thread = threading.Thread(
-            target=self._accept_loop, daemon=True, name="bullfrogd-accept"
+        self._io_running = True
+        self._io_thread = threading.Thread(
+            target=self._io_loop, daemon=True, name="bullfrogd-io"
         )
-        self._accept_thread.start()
+        self._io_thread.start()
+        with self._worker_latch:
+            for i in range(self.config.workers):
+                self._spawn_worker_locked(transient=False)
         return self
 
     def __enter__(self) -> "BullfrogServer":
@@ -267,19 +377,144 @@ class BullfrogServer:
         with self._conns_latch:
             return len(self._conns)
 
+    def io_thread_count(self) -> int:
+        """How many threads multiplex sockets (always 1: the loop)."""
+        return 1 if self._io_running else 0
+
+    def worker_count(self) -> int:
+        with self._worker_latch:
+            return len(self._worker_threads)
+
+    def _wake(self) -> None:
+        waker = self._waker_w
+        if waker is None:
+            return
+        try:
+            waker.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # pipe already full = loop already waking
+
     # ------------------------------------------------------------------
-    # Accept loop + admission control
+    # Event loop (the single I/O thread)
     # ------------------------------------------------------------------
-    def _accept_loop(self) -> None:
+    def _io_loop(self) -> None:
+        sel = self._selector
+        assert sel is not None
+        next_tick = time.monotonic()
+        while self._io_running:
+            try:
+                events = sel.select(self.config.tick)
+            except OSError:
+                events = []
+            for key, mask in events:
+                tag = key.data
+                if tag == "waker":
+                    try:
+                        while self._waker_r.recv(4096):  # type: ignore[union-attr]
+                            pass
+                    except (BlockingIOError, OSError):
+                        pass
+                elif tag == "listen":
+                    self._handle_accept()
+                else:
+                    conn: _Connection = tag
+                    if conn.retired:
+                        continue
+                    if mask & selectors.EVENT_WRITE:
+                        self._handle_writable(conn)
+                    if mask & selectors.EVENT_READ and not conn.retired:
+                        self._handle_readable(conn)
+            self._drain_ioq()
+            now = time.monotonic()
+            if now >= next_tick:
+                next_tick = now + self.config.tick
+                self._check_idle_timeouts(now)
+
+    def _drain_ioq(self) -> None:
+        """Apply selector mutations requested by other threads — all
+        register/modify/unregister calls happen on the I/O thread."""
+        sel = self._selector
+        assert sel is not None
+        while True:
+            try:
+                req = self._ioq.popleft()
+            except IndexError:
+                return
+            op = req[0]
+            if op == "want_write":
+                conn = req[1]
+                if conn.retired or conn.want_write:
+                    continue
+                self._sel_update(conn, conn.sel_mask | selectors.EVENT_WRITE)
+                conn.want_write = True
+            elif op == "resume_read":
+                # A worker parked its connection: hand the socket back
+                # to the event loop.  Level-triggered readiness means
+                # any bytes that arrived while ownership was in flight
+                # surface on the very next select().
+                conn = req[1]
+                if conn.retired:
+                    continue
+                self._sel_update(conn, conn.sel_mask | selectors.EVENT_READ)
+            elif op == "close":
+                conn = req[1]
+                with conn.out_lock:
+                    try:
+                        self._flush_out_locked(conn)
+                    except OSError:
+                        pass
+                self._sel_update(conn, 0)
+                try:
+                    conn.sock.close()
+                except OSError:
+                    pass
+            elif op == "stop_accept":
+                if self._listen_sock is not None:
+                    try:
+                        sel.unregister(self._listen_sock)
+                    except (KeyError, ValueError, OSError):
+                        pass
+                    try:
+                        self._listen_sock.close()
+                    except OSError:
+                        pass
+
+    def _sel_update(self, conn: _Connection, mask: int) -> None:
+        """Move one socket to a new selector interest set (I/O thread
+        only).  ``mask`` 0 means unregistered — the state of a socket
+        whose owning worker is reading it directly.  On any selector
+        error the socket is forced out of the selector; the close path
+        cleans up the fd."""
+        sel = self._selector
+        if sel is None or conn.sel_mask == mask:
+            return
+        try:
+            if mask == 0:
+                sel.unregister(conn.sock)
+            elif conn.sel_mask == 0:
+                sel.register(conn.sock, mask, conn)
+            else:
+                sel.modify(conn.sock, mask, conn)
+            conn.sel_mask = mask
+        except (KeyError, ValueError, OSError):
+            conn.sel_mask = 0
+            try:
+                sel.unregister(conn.sock)
+            except (KeyError, ValueError, OSError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Accept + admission control
+    # ------------------------------------------------------------------
+    def _handle_accept(self) -> None:
         assert self._listen_sock is not None
-        while self._running:
+        while True:
             try:
                 sock, addr = self._listen_sock.accept()
-            except socket.timeout:
-                continue  # poll tick: re-check _running
+            except (BlockingIOError, InterruptedError):
+                return
             except OSError:
                 return  # listen socket closed by shutdown()
-            sock.settimeout(None)  # undo any inherited accept timeout
             faults = self.faults
             if faults is not None and "net.accept" in faults.watching:
                 try:
@@ -313,20 +548,17 @@ class BullfrogServer:
                 self._m_rejected.labels(reason="busy").inc()
                 continue
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            sock.setblocking(False)
             conn = _Connection(conn_id, sock, addr, self.db.connect())
             with self._conns_latch:
                 self._conns[conn_id] = conn
+            self._sel_update(conn, selectors.EVENT_READ)
             self._m_accepted.inc()
             self._m_active.inc()
-            thread = threading.Thread(
-                target=self._serve, args=(conn,), daemon=True,
-                name=f"bullfrogd-conn-{conn_id}",
-            )
-            conn.thread = thread
-            thread.start()
 
     def _refuse(self, sock: socket.socket, exc: ReproError) -> None:
-        """Reject a pre-admission socket with a clean error frame."""
+        """Reject a pre-admission socket with a clean error frame (the
+        accepted socket is still in blocking mode here)."""
         try:
             sock.sendall(protocol.encode_error(exc, in_transaction=False))
         except OSError:
@@ -335,135 +567,138 @@ class BullfrogServer:
             sock.close()
 
     # ------------------------------------------------------------------
-    # Per-connection handler
+    # Read path: frame reassembly + per-frame fault seam
     # ------------------------------------------------------------------
-    def _serve(self, conn: _Connection) -> None:
-        cause = "client_close"
+    def _handle_readable(self, conn: _Connection) -> None:
         try:
-            # Client-initiated handshake: the first frame must be a
-            # HELLO; the WELCOME answers it (version + epoch + id).
-            frame = self._read_frame(conn)
-            if frame is None:
-                cause = "eof"
-                return
-            ftype, payload = frame
-            if ftype != protocol.HELLO:
-                raise protocol.ProtocolError(
-                    f"expected HELLO, got frame type 0x{ftype:02x}"
-                )
-            protocol.decode_hello(payload)
-            self._send(conn, protocol.encode_welcome(
-                _SERVER_VERSION, self.db.epoch, conn.id
-            ))
-            conn.last_activity = time.monotonic()
             while True:
-                frame = self._read_frame(conn)
-                if frame is None:
-                    cause = "eof"
+                chunk = conn.sock.recv(_RECV_CHUNK)
+                if not chunk:
+                    cause = "protocol_error" if conn.inbuf else "eof"
+                    self._on_disconnect(conn, cause)
                     return
-                conn.last_activity = time.monotonic()
-                ftype, payload = frame
-                if ftype == protocol.CLOSE:
-                    return
-                began = time.monotonic()
-                conn.state = "active"
-                try:
-                    kind = self._dispatch(conn, ftype, payload)
-                finally:
-                    conn.state = "closing" if conn.doomed is not None else "idle"
-                observe = self._rt_cells.get(kind)
-                if observe is not None:
-                    observe(time.monotonic() - began)
-                if conn.doomed is not None:
-                    cause = "killed"
-                    return
-                if (
-                    self._draining.is_set()
-                    and not conn.session.in_transaction
-                ):
-                    # Drain point: this connection's transaction (if
-                    # any) just finished; retire it politely.
-                    self._try_send(conn, protocol.encode_error(
-                        ServerShutdownError("server is shutting down"),
-                        in_transaction=False,
-                    ))
-                    cause = "shutdown"
-                    return
-        except protocol.ProtocolError as exc:
-            # Garbage or truncated input: answer with a structured
-            # 08P01 frame if the socket still works, then hang up.
-            self._try_send(conn, protocol.encode_error(
-                exc, conn.session.in_transaction
-            ))
-            cause = "protocol_error"
-        except _IdleTimeout:
-            self._try_send(conn, protocol.encode_error(
-                IdleTimeoutError(
-                    f"idle timeout ({self.config.idle_timeout}s) exceeded"
-                ),
-                conn.session.in_transaction,
-            ))
-            cause = "idle_timeout"
-        except OSError:
-            cause = "abrupt_disconnect"
-        except Exception as exc:  # noqa: BLE001 - last-resort server guard
-            self._try_send(conn, protocol.encode_error(
-                exc, conn.session.in_transaction
-            ))
-            cause = "internal_error"
-        finally:
-            if conn.doomed is not None:
-                cause = "killed"
-            self._cleanup(conn, cause)
-
-    def _cleanup(self, conn: _Connection, cause: str) -> None:
-        """The single disconnect path: roll back, release, deregister.
-        ``Session.close()`` aborts any open transaction, which releases
-        every lock the connection held."""
-        conn.state = "closing"
-        try:
-            conn.sock.close()
-        except OSError:
+                conn.inbuf += chunk
+                if len(chunk) < _RECV_CHUNK:
+                    break
+        except (BlockingIOError, InterruptedError):
             pass
-        conn.session.close()
-        with self._conns_latch:
-            self._conns.pop(conn.id, None)
-        self._m_active.dec()
-        self._m_disconnects.labels(cause=cause).inc()
+        except OSError:
+            self._on_disconnect(conn, "abrupt_disconnect")
+            return
+        self._pump_frames(conn)
 
-    # ------------------------------------------------------------------
-    # Frame I/O with seams, timeouts and byte accounting
-    # ------------------------------------------------------------------
-    def _read_frame(self, conn: _Connection) -> tuple[int, bytes] | None:
+    def _pump_frames(self, conn: _Connection) -> None:
+        """Decode every complete frame out of the input buffer, firing
+        the ``net.read`` seam once per frame, then hand the batch to
+        the worker pool."""
+        frames: list[tuple[int, bytes]] = []
+        pos = 0
+        died = False
         faults = self.faults
-        if faults is not None and "net.read" in faults.watching:
-            try:
-                faults.fire("net.read", conn_id=conn.id)
-            except Exception as exc:  # SimulatedCrash (BaseException) passes
-                # An injected ABORT here means "the read failed":
-                # surface it as an I/O error so the handler runs its
-                # abrupt-disconnect cleanup, exactly like a dead peer.
-                raise OSError(f"injected read failure: {exc}") from exc
         obs = self.db.obs
-        if obs is not None and obs.active:
-            obs.count("net.read")
-        conn.sock.settimeout(self.config.idle_timeout)
         try:
-            frame = conn.stream.recv_frame()
-        except socket.timeout as exc:
-            raise _IdleTimeout() from exc
-        finally:
-            try:
-                conn.sock.settimeout(None)
-            except OSError:
-                pass
-        if frame is not None:
-            size = protocol.HEADER_SIZE + len(frame[1])
+            while True:
+                decoded = protocol.decode_frame(conn.inbuf, pos)
+                if decoded is None:
+                    break
+                ftype, payload, pos = decoded
+                if faults is not None and "net.read" in faults.watching:
+                    try:
+                        faults.fire("net.read", conn_id=conn.id)
+                    except Exception:
+                        # Injected ABORT = "this read failed": frames
+                        # already decoded still execute, then the
+                        # connection dies like a reset peer.
+                        died = True
+                        break
+                if obs is not None and obs.active:
+                    obs.count("net.read")
+                frames.append((ftype, payload))
+        except ProtocolError as exc:
+            # Garbage framing: answer with a structured 08P01 frame if
+            # the socket still works, then hang up.
+            del conn.inbuf[:pos]
+            self._send_best_effort(conn, protocol.encode_error(
+                exc, conn.session.in_transaction
+            ))
+            self._on_disconnect(conn, "protocol_error")
+            return
+        del conn.inbuf[:pos]
+        if frames:
+            conn.last_activity = time.monotonic()
+            size = sum(protocol.HEADER_SIZE + len(p) for _, p in frames)
             conn.bytes_in += size
             self._m_bytes_in.inc(size)
-        return frame
+            with conn.lock:
+                conn.inbox.extend(frames)
+                newly = not conn.scheduled and not conn.retired
+                if newly:
+                    conn.scheduled = True
+            if newly:
+                # Only the I/O thread can newly-schedule a connection
+                # (a worker pumping on the hot path already owns it),
+                # so mutating the selector here is safe.  READ interest
+                # goes dark *before* the worker can see the connection
+                # on the queue — from here until _park, the worker is
+                # the only thread reading this socket.
+                self._sel_update(conn, conn.sel_mask & ~selectors.EVENT_READ)
+                self._work_queue.put(conn)
+                self._maybe_spawn_worker()
+        if died:
+            self._on_disconnect(conn, "abrupt_disconnect")
+
+    def _on_disconnect(self, conn: _Connection, cause: str) -> None:
+        """The socket is gone (EOF, reset, injected fault).  If no
+        worker owns the connection, retire it now; otherwise the worker
+        retires it at its next statement boundary."""
+        with conn.lock:
+            if conn.retired:
+                return
+            conn.eof = True
+            conn.eof_cause = cause
+            owner = not conn.scheduled
+            if owner:
+                conn.retired = True
+        if owner:
+            self._do_retire(conn, "killed" if conn.doomed is not None else cause)
+
+    # ------------------------------------------------------------------
+    # Write path
+    # ------------------------------------------------------------------
+    def _flush_out_locked(self, conn: _Connection) -> None:
+        """Drain as much outbound buffer as the kernel will take.
+        Caller holds ``out_lock``.  Raises OSError on a dead socket."""
+        while conn.outbuf:
+            mv = memoryview(conn.outbuf)
+            try:
+                n = conn.sock.send(mv)
+            except (BlockingIOError, InterruptedError):
+                return
+            finally:
+                mv.release()
+            if n <= 0:
+                return
+            del conn.outbuf[:n]
+
+    def _handle_writable(self, conn: _Connection) -> None:
+        try:
+            with conn.out_lock:
+                self._flush_out_locked(conn)
+                drained = not conn.outbuf
+        except OSError:
+            self._on_disconnect(conn, "abrupt_disconnect")
+            return
+        if drained and conn.want_write:
+            self._sel_update(conn, conn.sel_mask & ~selectors.EVENT_WRITE)
+            conn.want_write = False
 
     def _send(self, conn: _Connection, frame: bytes) -> None:
+        """Queue one response frame.  Replies accumulate in the
+        outbound buffer and are flushed at the next statement boundary
+        (``_flush_conn``), so one write syscall covers a whole reply —
+        or a whole pipelined batch of replies; the high-water mark
+        bounds buffering for huge result sets.  Raises OSError when the
+        connection is dead/killed."""
         faults = self.faults
         if faults is not None and "net.write" in faults.watching:
             try:
@@ -473,50 +708,351 @@ class BullfrogServer:
         obs = self.db.obs
         if obs is not None and obs.active:
             obs.count("net.write")
-        with conn.write_lock:
+        with conn.out_lock:
             if conn.doomed is not None:
                 raise OSError("connection was killed")
-            conn.sock.sendall(frame)
+            conn.outbuf += frame
+            if len(conn.outbuf) >= _FLUSH_HIWAT:
+                self._flush_out_locked(conn)
         conn.bytes_out += len(frame)
         self._m_bytes_out.inc(len(frame))
+
+    def _flush_conn(self, conn: _Connection) -> None:
+        """Hand buffered replies to the kernel; if it cannot take them
+        all, arm the event loop's WRITE path to drain the rest.  Raises
+        OSError on a dead socket."""
+        with conn.out_lock:
+            if conn.doomed is not None:
+                return
+            self._flush_out_locked(conn)
+            pending = bool(conn.outbuf)
+        if pending and not conn.want_write:
+            self._ioq.append(("want_write", conn))
+            self._wake()
 
     def _try_send(self, conn: _Connection, frame: bytes) -> None:
         try:
             self._send(conn, frame)
+            self._flush_conn(conn)
         except OSError:
             pass
 
-    def _kill(self, conn: _Connection, exc: BaseException) -> None:
-        """Doom a connection from another thread (watchdog/shutdown):
-        mark it, push a best-effort error frame, sever the socket.  The
-        handler thread then unwinds through its normal cleanup."""
-        with conn.write_lock:
+    def _send_best_effort(self, conn: _Connection, frame: bytes) -> None:
+        """Farewell frames from the I/O thread: skip seams, never raise."""
+        with conn.out_lock:
             if conn.doomed is not None:
                 return
-            conn.doomed = exc
+            conn.outbuf += frame
             try:
-                conn.sock.sendall(protocol.encode_error(
-                    exc, conn.session.in_transaction
-                ))
+                self._flush_out_locked(conn)
             except OSError:
                 pass
-        try:
-            conn.sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        try:
-            conn.sock.close()
-        except OSError:
-            pass
 
     # ------------------------------------------------------------------
-    # Request dispatch
+    # Worker pool (elastic)
     # ------------------------------------------------------------------
+    def _spawn_worker_locked(self, transient: bool) -> None:
+        index = len(self._worker_threads)
+        thread = threading.Thread(
+            target=self._worker_loop, args=(transient,), daemon=True,
+            name=f"bullfrogd-worker-{index}",
+        )
+        self._worker_threads.append(thread)
+        thread.start()
+
+    def _maybe_spawn_worker(self) -> None:
+        """Grow the pool when every worker is busy (a lock-free read of
+        the idle count keeps the common dispatch path latch-free; the
+        latch is taken only to actually spawn)."""
+        if self._idle_workers > 0 or not self._running:
+            return
+        with self._worker_latch:
+            if len(self._worker_threads) < self.config.max_workers:
+                self._spawn_worker_locked(transient=True)
+
+    def _worker_loop(self, transient: bool) -> None:
+        keepalive = self.config.worker_keepalive
+        while True:
+            with self._worker_latch:
+                self._idle_workers += 1
+            try:
+                conn = self._work_queue.get(
+                    timeout=keepalive if transient else None
+                )
+            except queue.Empty:
+                conn = None  # transient worker idled out
+            with self._worker_latch:
+                self._idle_workers -= 1
+            if conn is None:  # idle exit or shutdown sentinel
+                with self._worker_latch:
+                    try:
+                        self._worker_threads.remove(threading.current_thread())
+                    except ValueError:
+                        pass
+                return
+            self._process(conn)
+
+    def _process(self, conn: _Connection) -> None:
+        """Run one connection's queued frames to exhaustion.  Exactly
+        one worker owns a connection at a time (``scheduled``), which
+        is what guarantees pipelined replies arrive in request order."""
+        while True:
+            with conn.lock:
+                frame = conn.inbox.popleft() if conn.inbox else None
+            if frame is None:
+                if self._hot_poll(conn):
+                    continue
+                if self._park(conn):
+                    continue
+                return
+            conn.state = "active"
+            keep = self._handle_frame(conn, frame)
+            conn.state = "closing" if conn.doomed is not None else "idle"
+            if not keep:
+                return
+            if conn.doomed is not None:
+                if self._mark_retired(conn):
+                    self._do_retire(conn, "killed")
+                return
+            if (
+                self._draining.is_set()
+                and not conn.session.in_transaction
+            ):
+                # Drain point: this connection's transaction (if any)
+                # just finished; retire it politely.
+                if self._mark_retired(conn):
+                    self._try_send(conn, protocol.encode_error(
+                        ServerShutdownError("server is shutting down"),
+                        in_transaction=False,
+                    ))
+                    self._do_retire(conn, "shutdown")
+                return
+
+    def _hot_poll(self, conn: _Connection) -> bool:
+        """Linger on the owned connection's socket before parking.
+        While a worker owns a connection its selector READ interest is
+        off, so the worker may read the socket directly; a hit keeps
+        the whole request → reply exchange on one thread, with no
+        selector round trip and no queue handoff — a busy terminal gets
+        thread-per-connection latency while parked connections still
+        cost only a selector slot.  The worker never lingers when other
+        connections are waiting for a worker.  Returns True when the
+        poll made progress (new frames, or a disconnect for ``_park``
+        to act on)."""
+        if (
+            conn.eof
+            or conn.doomed is not None
+            or conn.retired
+            or self._draining.is_set()
+        ):
+            return False
+        # Linger when no other connection is waiting for a worker —
+        # and *always* for a connection inside a transaction: it holds
+        # 2PL locks, and gluing its worker to the socket keeps the
+        # lock-hold window one poll away from the next frame instead
+        # of a full selector round trip, which is what other
+        # transactions blocked on those locks are paying for.
+        if not conn.session.in_transaction and not self._work_queue.empty():
+            return False
+        try:
+            readable, _, _ = select.select([conn.sock], [], [], _HOT_POLL)
+        except (OSError, ValueError):
+            return False
+        if not readable:
+            return False
+        self._handle_readable(conn)
+        return True
+
+    def _park(self, conn: _Connection) -> bool:
+        """Inbox ran dry: release ownership, or retire if the
+        connection died while we were executing.  Returns True when new
+        frames raced in and the worker should keep going."""
+        cause = None
+        with conn.lock:
+            if conn.inbox:
+                return True
+            if conn.retired:
+                conn.scheduled = False
+                return False
+            if conn.doomed is not None:
+                cause = "killed"
+            elif conn.eof:
+                cause = conn.eof_cause
+            if cause is not None:
+                conn.retired = True
+            conn.scheduled = False
+        if cause is not None:
+            self._do_retire(conn, cause)
+            return False
+        # Hand the socket back to the event loop (READ interest was
+        # off for the duration of this worker's ownership).
+        self._ioq.append(("resume_read", conn))
+        self._wake()
+        return False
+
+    def _mark_retired(self, conn: _Connection) -> bool:
+        with conn.lock:
+            if conn.retired:
+                return False
+            conn.retired = True
+            return True
+
+    def _do_retire(self, conn: _Connection, cause: str) -> None:
+        """The single disconnect path: roll back, release, deregister.
+        ``Session.close()`` aborts any open transaction, which releases
+        every lock the connection held.  Callers must have won the
+        ``retired`` flag under ``conn.lock``."""
+        conn.state = "closing"
+        conn.session.close()
+        with self._conns_latch:
+            self._conns.pop(conn.id, None)
+        self._m_active.dec()
+        self._m_disconnects.labels(cause=cause).inc()
+        self._ioq.append(("close", conn))
+        self._wake()
+
+    # ------------------------------------------------------------------
+    # Frame execution
+    # ------------------------------------------------------------------
+    def _handle_frame(self, conn: _Connection, frame: tuple[int, bytes]) -> bool:
+        """Dispatch one frame; returns False when the connection was
+        retired (protocol violation, CLOSE, dead socket)."""
+        ftype, payload = frame
+        try:
+            if not conn.greeted:
+                # Client-initiated handshake: the first frame must be a
+                # HELLO; the WELCOME answers it (version + epoch + id).
+                if ftype != protocol.HELLO:
+                    raise ProtocolError(
+                        f"expected HELLO, got frame type 0x{ftype:02x}"
+                    )
+                protocol.decode_hello(payload)
+                self._send(conn, protocol.encode_welcome(
+                    _SERVER_VERSION, self.db.epoch, conn.id
+                ))
+                conn.greeted = True
+                if not conn.inbox:
+                    self._flush_conn(conn)
+                return True
+            if ftype == protocol.CLOSE:
+                if self._mark_retired(conn):
+                    self._do_retire(conn, "client_close")
+                return False
+            began = time.monotonic()
+            kind = self._dispatch(conn, ftype, payload)
+            if not conn.inbox:
+                # Statement boundary with nothing else queued: push the
+                # buffered reply (or the whole pipelined batch of
+                # replies) to the kernel in one write.  The peek is
+                # exact — while this worker owns the connection, only
+                # this worker can append to the inbox.
+                self._flush_conn(conn)
+            observe = self._rt_cells.get(kind)
+            if observe is not None:
+                observe(time.monotonic() - began)
+            return True
+        except ProtocolError as exc:
+            self._try_send(conn, protocol.encode_error(
+                exc, conn.session.in_transaction
+            ))
+            if self._mark_retired(conn):
+                self._do_retire(conn, "protocol_error")
+            return False
+        except OSError:
+            if self._mark_retired(conn):
+                cause = "killed" if conn.doomed is not None else "abrupt_disconnect"
+                self._do_retire(conn, cause)
+            return False
+        except Exception as exc:  # noqa: BLE001 - last-resort server guard
+            self._try_send(conn, protocol.encode_error(
+                exc, conn.session.in_transaction
+            ))
+            if self._mark_retired(conn):
+                self._do_retire(conn, "internal_error")
+            return False
+
     def _dispatch(self, conn: _Connection, ftype: int, payload: bytes) -> str:
         if ftype == protocol.QUERY:
             frame = protocol.decode_query(payload)
-            self._run_query(conn, frame["sql"], frame["params"])
+            sql, params = frame["sql"], frame["params"]
+            self._run_statement(
+                conn, lambda: conn.session.execute(sql, params)
+            )
             return "query"
+        if ftype == protocol.EXECUTE:
+            frame = protocol.decode_execute(payload)
+            ps = conn.prepared.get(frame["name"])
+            if ps is None:
+                self._send(conn, protocol.encode_error(
+                    ProtocolError(
+                        f"unknown prepared statement {frame['name']!r}"
+                    ),
+                    conn.session.in_transaction,
+                ))
+                return "execute"
+            params = frame["params"]
+            if params is None:
+                params = conn.portals.get(ps.name, ())
+            if ps.epoch != self.db.epoch:
+                # The logical schema switch (or any DDL) bumped the
+                # epoch: re-parse so the cached plan can never straddle
+                # schema versions.  Retired-table enforcement still
+                # happens at execution, so SchemaVersionError reaches
+                # prepared clients exactly like QUERY clients.
+                try:
+                    ps.stmt = self.db.parse(ps.sql)
+                    ps.epoch = self.db.epoch
+                except ReproError as exc:
+                    self._send(conn, protocol.encode_error(
+                        exc, conn.session.in_transaction
+                    ))
+                    return "execute"
+            self._run_statement(
+                conn,
+                lambda: conn.session.execute_statement(
+                    ps.stmt, params, sql_text=ps.sql
+                ),
+            )
+            return "execute"
+        if ftype == protocol.PARSE:
+            frame = protocol.decode_parse(payload)
+            name, sql = frame["name"], frame["sql"]
+            if (
+                name not in conn.prepared
+                and len(conn.prepared) >= self.config.max_prepared
+            ):
+                self._send(conn, protocol.encode_error(
+                    ProtocolError(
+                        f"prepared-statement cache full "
+                        f"({self.config.max_prepared}); PARSE rejected"
+                    ),
+                    conn.session.in_transaction,
+                ))
+                return "parse"
+            try:
+                stmt = self.db.parse(sql)
+            except ReproError as exc:
+                self._send(conn, protocol.encode_error(
+                    exc, conn.session.in_transaction
+                ))
+                return "parse"
+            conn.prepared[name] = _Prepared(name, sql, stmt, self.db.epoch)
+            conn.portals.pop(name, None)
+            self._send(conn, protocol.encode_parse_ok(name))
+            return "parse"
+        if ftype == protocol.BIND:
+            frame = protocol.decode_bind(payload)
+            if frame["name"] not in conn.prepared:
+                self._send(conn, protocol.encode_error(
+                    ProtocolError(
+                        f"unknown prepared statement {frame['name']!r}"
+                    ),
+                    conn.session.in_transaction,
+                ))
+                return "bind"
+            conn.portals[frame["name"]] = frame["params"]
+            self._send(conn, protocol.encode_bind_ok(frame["name"]))
+            return "bind"
         if ftype == protocol.TXN:
             op = protocol.decode_txn(payload)["op"]
             self._run_txn(conn, op)
@@ -544,7 +1080,11 @@ class BullfrogServer:
             return "meta"
         raise ProtocolError(f"unexpected frame type 0x{ftype:02x} from client")
 
-    def _run_query(self, conn: _Connection, sql: str, params: tuple) -> None:
+    def _run_statement(
+        self, conn: _Connection, thunk: Callable[[], Result]
+    ) -> None:
+        """Execute one statement (parsed or prepared) under the
+        statement-timeout watchdog and stream its result."""
         conn.statements += 1
         watchdog: threading.Timer | None = None
         if self.config.statement_timeout is not None:
@@ -563,7 +1103,7 @@ class BullfrogServer:
             watchdog.daemon = True
             watchdog.start()
         try:
-            result = conn.session.execute(sql, params)
+            result = thunk()
         except ReproError as exc:
             if conn.doomed is None:
                 self._send(conn, protocol.encode_error(
@@ -617,6 +1157,63 @@ class BullfrogServer:
         self._send(conn, protocol.encode_complete(
             tag, 0, session.in_transaction, self.db.epoch
         ))
+
+    # ------------------------------------------------------------------
+    # Kills and timeouts
+    # ------------------------------------------------------------------
+    def _kill(self, conn: _Connection, exc: BaseException) -> None:
+        """Doom a connection from another thread (watchdog/shutdown):
+        mark it, push a best-effort error frame, sever the socket.  The
+        I/O thread (EOF) or the owning worker then retires it through
+        the normal path."""
+        with conn.out_lock:
+            if conn.doomed is not None:
+                return
+            conn.doomed = exc
+            try:
+                self._flush_out_locked(conn)
+            except OSError:
+                pass
+            frame = protocol.encode_error(exc, conn.session.in_transaction)
+            try:
+                # Switch to a short blocking send so the farewell frame
+                # can never be torn mid-frame by a full kernel buffer.
+                conn.sock.settimeout(0.5)
+                conn.sock.sendall(frame)
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.sock.setblocking(False)
+                except OSError:
+                    pass
+        try:
+            conn.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._wake()
+
+    def _check_idle_timeouts(self, now: float) -> None:
+        timeout = self.config.idle_timeout
+        if timeout is None:
+            return
+        with self._conns_latch:
+            conns = list(self._conns.values())
+        for conn in conns:
+            with conn.lock:
+                # A connection with queued or executing work is not
+                # idle, however long ago its last frame arrived.
+                parked = (
+                    not conn.scheduled and not conn.inbox and not conn.retired
+                )
+                expired = parked and now - conn.last_activity > timeout
+                if expired:
+                    conn.retired = True
+            if expired:
+                self._kill(conn, IdleTimeoutError(
+                    f"idle timeout ({timeout}s) exceeded"
+                ))
+                self._do_retire(conn, "idle_timeout")
 
     # ------------------------------------------------------------------
     # META passthrough (remote shell support)
@@ -715,36 +1312,34 @@ class BullfrogServer:
         deadline = time.monotonic() + (
             self.config.drain_timeout if drain_timeout is None else drain_timeout
         )
-        if self._listen_sock is not None:
-            try:
-                self._listen_sock.close()
-            except OSError:
-                pass
-        if self._accept_thread is not None:
-            self._accept_thread.join(timeout=5.0)
+        self._ioq.append(("stop_accept",))
+        self._wake()
 
-        # Phase 1: idle connections outside a transaction have nothing
-        # to drain; retire them immediately.
-        with self._conns_latch:
-            conns = list(self._conns.values())
+        # Phases 1+2: idle connections outside a transaction have
+        # nothing to drain — retire them immediately; keep sweeping as
+        # in-flight work reaches a statement boundary (workers also
+        # retire their own connection at drain points — see _process).
         shutdown_exc = ServerShutdownError("server is shutting down")
-        for conn in conns:
-            if conn.state == "idle" and not conn.session.in_transaction:
-                self._kill(conn, shutdown_exc)
-
-        # Phase 2: wait for in-flight work to reach a statement
-        # boundary with no open transaction (handler threads retire
-        # themselves at that point — see ``_serve``).
-        while time.monotonic() < deadline:
+        while True:
             with self._conns_latch:
                 remaining = list(self._conns.values())
             if not remaining:
                 break
             for conn in remaining:
-                # A connection that went idle-without-txn since phase 1
-                # (e.g. its COMMIT landed) may be parked in recv again.
-                if conn.state == "idle" and not conn.session.in_transaction:
+                with conn.lock:
+                    idle = (
+                        not conn.scheduled
+                        and not conn.inbox
+                        and not conn.retired
+                        and not conn.session.in_transaction
+                    )
+                    if idle:
+                        conn.retired = True
+                if idle:
                     self._kill(conn, shutdown_exc)
+                    self._do_retire(conn, "shutdown")
+            if time.monotonic() >= deadline:
+                break
             time.sleep(0.01)
 
         # Phase 3: the deadline passed — abort stragglers.
@@ -758,23 +1353,42 @@ class BullfrogServer:
                     "server shutdown deadline reached; transaction aborted"
                 ),
             )
-        threads = [c.thread for c in stragglers if c.thread is not None]
-        with self._conns_latch:
-            survivors = list(self._conns.values())
-        for conn in survivors:
-            if conn.thread is not None and conn.thread not in threads:
-                threads.append(conn.thread)
-        for thread in threads:
+        # Wait for the kills to unwind (a worker mid-statement retires
+        # its connection when the statement returns).
+        wait_deadline = time.monotonic() + 5.0
+        while time.monotonic() < wait_deadline:
+            with self._conns_latch:
+                if not self._conns:
+                    break
+            time.sleep(0.01)
+
+        # Stop the pool and the loop.
+        with self._worker_latch:
+            workers = list(self._worker_threads)
+        for _ in workers:
+            self._work_queue.put(None)
+        for thread in workers:
             thread.join(timeout=5.0)
+        self._io_running = False
+        self._wake()
+        if self._io_thread is not None:
+            self._io_thread.join(timeout=5.0)
+        if self._selector is not None:
+            try:
+                self._selector.close()
+            except OSError:
+                pass
+        for waker in (self._waker_r, self._waker_w):
+            if waker is not None:
+                try:
+                    waker.close()
+                except OSError:
+                    pass
         # Any connection cleaned up by its own handler before the
         # deadline counts as drained.
         drained = max(0, census - aborted)
         self._draining.clear()
         return {"drained": drained, "aborted": aborted}
-
-
-class _IdleTimeout(Exception):
-    """Internal marker: the idle-timeout read deadline fired."""
 
 
 def serve(

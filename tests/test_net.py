@@ -37,6 +37,7 @@ from repro.errors import (
 )
 from repro.net import (
     BullfrogServer,
+    Connection,
     ConnectionPool,
     NetworkTpccClient,
     ServerConfig,
@@ -752,3 +753,431 @@ def test_shell_embedded_mode_unchanged():
     assert shell.remote is None
     shell.session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
     assert "t" in shell.handle_meta("\\dt")
+
+
+# ----------------------------------------------------------------------
+# Prepared statements + pipelining
+# ----------------------------------------------------------------------
+
+
+def test_prepared_statement_roundtrip(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        ps = conn.prepare("SELECT v FROM t WHERE id = ?")
+        assert ps.execute([1]).rows == [("one",)]
+        assert ps.execute([2]).rows == [("two",)]
+        # portal form: BIND stashes the params, EXECUTE(None) runs them
+        ps.bind([1])
+        assert conn.execute_prepared(ps, params=None).rows == [("one",)]
+
+
+def test_prepared_statement_unknown_name_keeps_connection(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        with pytest.raises(ProtocolError):
+            conn.execute_prepared("never_parsed", [1])
+        # an unknown-name error is an engine error, not a protocol
+        # violation: the connection survives
+        assert conn.execute("SELECT v FROM t WHERE id = ?", [1]).rows == [
+            ("one",)
+        ]
+
+
+def test_prepared_statement_reparses_across_schema_epoch(server):
+    """DDL bumps the schema epoch; a cached statement parsed under the
+    old epoch must transparently re-parse, not execute a stale plan."""
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        ps = conn.prepare("SELECT v FROM t WHERE id = ?")
+        assert ps.execute([1]).rows == [("one",)]
+        epoch_before = conn.schema_epoch
+        conn.execute("CREATE TABLE other (a INT PRIMARY KEY)")
+        assert ps.execute([2]).rows == [("two",)]
+        assert conn.schema_epoch > epoch_before
+
+
+def test_prepared_statement_sees_schema_version_error_after_flip():
+    """A prepared statement against a table retired by the big flip
+    raises SchemaVersionError at execution — the front-end-restart
+    contract is identical for prepared and parsed statements."""
+    db, srv = _loaded_tpcc_server()
+    controller = MigrationController(db)
+    scenario = SCENARIOS["split"]
+    try:
+        conn = connect("127.0.0.1", srv.port)
+        ps = conn.prepare(
+            "SELECT c_balance FROM customer "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?"
+        )
+        assert ps.execute([1, 1, 1]).rows
+        controller.submit(
+            "split", scenario["ddl"],
+            strategy=Strategy.LAZY,
+            background=BackgroundConfig(delay=0.1, chunk=64, interval=0.002),
+            big_flip=scenario["big_flip"],
+        )
+        with pytest.raises(SchemaVersionError):
+            ps.execute([1, 1, 1])
+        # front-end restart: the new-schema statement works prepared
+        ps2 = conn.prepare(
+            "SELECT c_balance FROM customer_private "
+            "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?"
+        )
+        assert ps2.execute([1, 1, 1]).rows
+        conn.close()
+    finally:
+        srv.shutdown(drain_timeout=1.0)
+
+
+def test_auto_prepare_uses_implicit_statement_cache(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port, auto_prepare=8) as conn:
+        seed_table(conn)
+        for i in (1, 2, 1, 2, 1):
+            conn.execute("SELECT v FROM t WHERE id = ?", [i])
+        # one cache entry per distinct SQL string (CREATE + INSERT +
+        # SELECT), the repeated SELECT prepared exactly once
+        assert len(conn._stmt_cache) == 3
+        assert "SELECT v FROM t WHERE id = ?" in conn._stmt_cache
+
+
+def test_pipeline_orders_replies_and_collapses_round_trips(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        ps = conn.prepare("SELECT v FROM t WHERE id = ?")
+        pipe = conn.pipeline()
+        pipe.begin()
+        pipe.execute("UPDATE t SET v = ? WHERE id = ?", ["ONE", 1])
+        pipe.execute_prepared(ps, [1])
+        pipe.execute_prepared(ps, [2])
+        pipe.commit()
+        results = pipe.sync()
+        assert [r.statement for r in results] == [
+            "BEGIN", "UPDATE", "SELECT", "SELECT", "COMMIT",
+        ]
+        assert results[1].rowcount == 1
+        assert results[2].rows == [("ONE",)]
+        assert results[3].rows == [("two",)]
+        assert not conn.in_transaction
+
+
+def test_pipeline_embeds_engine_errors_and_survives(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        pipe = conn.pipeline()
+        pipe.execute("INSERT INTO t VALUES (?, ?)", (1, "dup"))  # unique PK
+        pipe.execute("SELECT v FROM t WHERE id = ?", [2])
+        results = pipe.sync()
+        assert isinstance(results[0], UniqueViolation)
+        assert results[1].rows == [("two",)]
+        assert not conn.closed
+
+
+def test_pipeline_context_manager_syncs(server):
+    db, srv = server
+    with connect("127.0.0.1", srv.port) as conn:
+        seed_table(conn)
+        with conn.pipeline() as pipe:
+            pipe.execute("SELECT v FROM t WHERE id = ?", [1])
+            pipe.execute("SELECT v FROM t WHERE id = ?", [2])
+        assert [r.rows for r in pipe.results] == [[("one",)], [("two",)]]
+
+
+def test_idle_connections_do_not_cost_threads():
+    """The event loop holds many parked connections with one I/O
+    thread; server-side thread count is bounded by the worker pool,
+    not the connection count (the thread-per-connection server scaled
+    1:1)."""
+    db, srv = start_server(max_connections=256)
+    conns = []
+    try:
+        for _ in range(128):
+            conns.append(connect("127.0.0.1", srv.port))
+        assert srv.active_connections() == 128
+        assert srv.io_thread_count() == 1
+        bullfrog_threads = [
+            t for t in threading.enumerate()
+            if t.name.startswith("bullfrogd-")
+        ]
+        assert len(bullfrog_threads) < 32  # io + elastic worker pool
+        # parked connections still answer
+        assert all(c.ping() for c in conns[::16])
+    finally:
+        for c in conns:
+            c.close()
+        srv.shutdown(drain_timeout=1.0)
+
+
+@pytest.mark.slow
+def test_sixteen_pipelined_clients_through_live_migration():
+    """16 clients run pipelined, auto-prepared read/write transactions
+    while the customer split migrates underneath them.  Embedded
+    SchemaVersionError results trigger the front-end restart (switch to
+    the new-schema statements); afterwards the balance increments are
+    conserved exactly-once and the migration invariants hold."""
+    import random as _random
+
+    db, srv = _loaded_tpcc_server()
+    controller = MigrationController(db)
+    scenario = SCENARIOS["split"]
+    stop = threading.Event()
+    completed = [0] * 16
+    flips = [0] * 16
+    errors: list = []
+
+    base_sel = ("SELECT c_balance FROM customer "
+                "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?")
+    base_upd = ("UPDATE customer SET c_balance = c_balance + 1 "
+                "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?")
+    new_sel = ("SELECT c_balance FROM customer_private "
+               "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?")
+    new_upd = ("UPDATE customer_private SET c_balance = c_balance + 1 "
+               "WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?")
+
+    def balances(table):
+        s = db.connect()
+        rows = s.execute(f"SELECT c_balance FROM {table}").rows
+        s.close()
+        return sum(r[0] for r in rows)
+
+    start_sum = balances("customer")
+
+    def worker(index):
+        rng = _random.Random(300 + index)
+        try:
+            conn = connect("127.0.0.1", srv.port, auto_prepare=32)
+            flipped = False
+            while not stop.is_set():
+                key = (
+                    rng.randint(1, TINY_SCALE.warehouses),
+                    rng.randint(1, TINY_SCALE.districts_per_warehouse),
+                    rng.randint(1, TINY_SCALE.customers_per_district),
+                )
+                sel, upd = (new_sel, new_upd) if flipped else (base_sel, base_upd)
+                pipe = conn.pipeline()
+                pipe.begin()
+                pipe.execute(sel, key)
+                i_upd = pipe.execute(upd, key)
+                i_commit = pipe.commit()
+                results = pipe.sync()
+                bad = [r for r in results if isinstance(r, ReproError)]
+                if any(isinstance(r, SchemaVersionError) for r in bad):
+                    flipped = True
+                    flips[index] += 1
+                if bad:
+                    conn.reset()
+                    continue
+                # the increment committed iff UPDATE hit a row and
+                # COMMIT succeeded — count it exactly then
+                if results[i_upd].rowcount == 1 and not isinstance(
+                    results[i_commit], ReproError
+                ):
+                    completed[index] += 1
+            conn.close()
+        except Exception as exc:  # noqa: BLE001
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(i,)) for i in range(16)
+    ]
+    try:
+        for t in threads:
+            t.start()
+        time.sleep(0.8)
+        controller.submit(
+            "split", scenario["ddl"],
+            strategy=Strategy.LAZY,
+            background=BackgroundConfig(delay=0.3, chunk=64, interval=0.002),
+            big_flip=scenario["big_flip"],
+        )
+        time.sleep(2.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=30.0)
+        assert not errors, errors
+        assert sum(completed) > 50          # the fleet sustained load
+        assert sum(flips) >= 1              # the flip was observed live
+
+        handle = controller.active
+        assert wait_until(lambda: handle.is_complete, timeout=30.0)
+        report = InvariantChecker(controller.engine).check(
+            expect_complete=True, structural_only=True
+        )
+        assert not report.violations, report.violations
+
+        # Exactly-once: every committed increment applied once, none
+        # lost by the migration, none double-applied.
+        end_sum = balances("customer_private")
+        assert end_sum == start_sum + sum(completed)
+
+        assert wait_until(lambda: srv.active_connections() == 0)
+        assert active_txn_count(db) == 0 and held_lock_count(db) == 0
+    finally:
+        stop.set()
+        srv.shutdown(drain_timeout=2.0)
+
+
+# ----------------------------------------------------------------------
+# Lifecycle bugfix regressions (pool slot leak, close/acquire race,
+# bind-failure socket leak, backoff jitter)
+# ----------------------------------------------------------------------
+
+
+class _StrictResetConnection(Connection):
+    """A client whose ``reset()`` propagates transport failures instead
+    of swallowing them — the shape of client the pool must survive."""
+
+    def reset(self):  # noqa: D102
+        if self._closed:
+            return
+        if self._in_transaction:
+            self.rollback()  # raises ConnectionClosedError on a dead socket
+
+
+def test_pool_release_returns_slot_even_when_reset_raises():
+    """Regression: ``_release`` ran ``conn.reset()`` before releasing
+    the semaphore slot; a reset that raised (server died between
+    checkout and release) leaked the slot forever — a size-1 pool then
+    deadlocked every later ``acquire()``."""
+    db, srv = start_server()
+    pool = ConnectionPool(
+        size=1, health_check=False,
+        max_connect_attempts=2, backoff=0.01, backoff_cap=0.02,
+        factory=lambda: _StrictResetConnection("127.0.0.1", srv.port),
+    )
+    handle = pool.acquire()
+    handle.conn.begin()
+    srv.shutdown(drain_timeout=0.2)  # server dies while checked out
+    try:
+        handle.release()  # pre-fix: raises AND leaks the only slot
+    except NetworkError:
+        pass
+    done = threading.Event()
+
+    def second_acquire():
+        try:
+            pool.acquire()
+        except NetworkError:
+            pass  # server is down; failing is fine, hanging is not
+        done.set()
+
+    t = threading.Thread(target=second_acquire, daemon=True)
+    t.start()
+    assert done.wait(3.0), "acquire() deadlocked: the slot leaked"
+    pool.close()
+
+
+def test_pool_close_wakes_backoff_sleepers():
+    """Regression: ``close()`` left in-flight ``acquire()`` calls
+    sleeping through their whole backoff schedule against a closed
+    pool.  Closing must wake them immediately."""
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    pool = ConnectionPool(
+        "127.0.0.1", dead_port, size=1,
+        max_connect_attempts=50, backoff=0.2, backoff_cap=0.2,
+    )
+    outcome: list = []
+
+    def blocked_acquire():
+        try:
+            pool.acquire()
+            outcome.append("acquired")
+        except NetworkError as exc:
+            outcome.append(str(exc))
+
+    t = threading.Thread(target=blocked_acquire, daemon=True)
+    t.start()
+    time.sleep(0.15)  # let it enter a backoff sleep
+    pool.close()
+    t.join(2.0)
+    assert not t.is_alive(), "acquire() slept through close()"
+    assert outcome and "pool is closed" in outcome[0]
+
+
+def test_pool_close_never_hands_out_racing_connection():
+    """Regression: a connection created after ``_closed`` flipped was
+    handed out (and leaked) from a closed pool."""
+    db, srv = start_server()
+    gate = threading.Event()
+
+    def slow_factory():
+        gate.wait(3.0)  # connect straddles close()
+        return connect("127.0.0.1", srv.port)
+
+    pool = ConnectionPool(size=1, factory=slow_factory)
+    outcome: dict = {}
+
+    def racing_acquire():
+        try:
+            handle = pool.acquire()
+            outcome["handed_out"] = handle.conn
+        except ConnectionClosedError:
+            outcome["refused"] = True
+
+    t = threading.Thread(target=racing_acquire, daemon=True)
+    t.start()
+    time.sleep(0.05)  # acquire is now inside the factory
+    pool.close()
+    gate.set()
+    t.join(3.0)
+    assert not t.is_alive()
+    assert outcome.get("refused"), (
+        f"closed pool handed out {outcome.get('handed_out')}"
+    )
+    # ...and the racing connection was closed, not leaked server-side
+    assert wait_until(lambda: srv.active_connections() == 0)
+    srv.shutdown(drain_timeout=0.5)
+
+
+def test_bind_conflict_does_not_leak_listen_socket():
+    """Regression: ``start()`` leaked the listening socket when
+    ``bind()`` raised (port already in use)."""
+    import gc
+    import warnings
+
+    db, srv = start_server()
+    gc.collect()  # flush unrelated garbage before recording
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        for _ in range(3):
+            loser = BullfrogServer(
+                Database(), ServerConfig(host="127.0.0.1", port=srv.port)
+            )
+            with pytest.raises(OSError):
+                loser.start()
+            del loser
+        gc.collect()
+    leaked = [w for w in caught if issubclass(w.category, ResourceWarning)]
+    assert not leaked, [str(w.message) for w in leaked]
+    srv.shutdown(drain_timeout=0.5)
+
+
+def test_decorrelated_jitter_spreads_retry_schedules():
+    """Regression for the reconnect thundering herd: deterministic
+    exponential backoff made every dropped client retry on the same
+    schedule.  Decorrelated jitter must draw different delays from the
+    very first retry, within [base, cap]."""
+    import random as _random
+
+    from repro.net.client import decorrelated_jitter
+
+    schedules = []
+    for seed in range(12):
+        delays = decorrelated_jitter(0.05, 1.0, _random.Random(seed))
+        schedules.append(tuple(next(delays) for _ in range(5)))
+    # spread on the FIRST delay (lockstep is what caused the herd)
+    first_delays = {round(s[0], 9) for s in schedules}
+    assert len(first_delays) >= 10
+    # distinct full schedules, all within bounds
+    assert len(set(schedules)) == len(schedules)
+    for schedule in schedules:
+        for delay in schedule:
+            assert 0.05 <= delay <= 1.0

@@ -174,6 +174,68 @@ def test_handshake_and_misc_frames_roundtrip():
     assert protocol.decode_pong(payload) == {"schema_epoch": 3}
 
 
+@_settings
+@given(name=st.text(max_size=60), sql=st.text(max_size=300))
+def test_parse_roundtrip(name, sql):
+    frame = protocol.encode_parse(name, sql)
+    ftype, payload, consumed = protocol.decode_frame(frame)
+    assert ftype == protocol.PARSE
+    assert consumed == len(frame)
+    assert protocol.decode_parse(payload) == {"name": name, "sql": sql}
+    _, payload, _ = protocol.decode_frame(protocol.encode_parse_ok(name))
+    assert protocol.decode_parse_ok(payload) == {"name": name}
+
+
+@_settings
+@given(name=st.text(max_size=60), params=row_strategy)
+def test_bind_roundtrip(name, params):
+    frame = protocol.encode_bind(name, params)
+    ftype, payload, _ = protocol.decode_frame(frame)
+    assert ftype == protocol.BIND
+    out = protocol.decode_bind(payload)
+    assert out["name"] == name
+    assert out["params"] == tuple(params)
+    _, payload, _ = protocol.decode_frame(protocol.encode_bind_ok(name))
+    assert protocol.decode_bind_ok(payload) == {"name": name}
+
+
+@_settings
+@given(name=st.text(max_size=60), params=row_strategy)
+def test_execute_inline_params_roundtrip(name, params):
+    frame = protocol.encode_execute(name, params)
+    ftype, payload, _ = protocol.decode_frame(frame)
+    assert ftype == protocol.EXECUTE
+    out = protocol.decode_execute(payload)
+    assert out["name"] == name
+    assert out["params"] == tuple(params)
+    # types survive exactly, same contract as ROW_BATCH
+    for a, b in zip(params, out["params"]):
+        assert type(a) is type(b)
+
+
+@_settings
+@given(name=st.text(max_size=60))
+def test_execute_portal_form_roundtrip(name):
+    """``params=None`` means "run the bound portal" and must be
+    distinguishable from an empty inline parameter row."""
+    _, payload, _ = protocol.decode_frame(protocol.encode_execute(name, None))
+    assert protocol.decode_execute(payload) == {"name": name, "params": None}
+    _, payload, _ = protocol.decode_frame(protocol.encode_execute(name, ()))
+    assert protocol.decode_execute(payload) == {"name": name, "params": ()}
+
+
+def test_execute_bad_has_params_flag_rejected():
+    frame = protocol.encode_execute("q", (1,))
+    _, payload, _ = protocol.decode_frame(frame)
+    # name is length-prefixed: "q" encodes as u32 len + bytes, then the
+    # has_params flag byte follows.
+    flag_offset = 4 + len("q".encode("utf-8"))
+    assert payload[flag_offset] == 1
+    mangled = payload[:flag_offset] + b"\x02" + payload[flag_offset + 1 :]
+    with pytest.raises(ProtocolError):
+        protocol.decode_execute(mangled)
+
+
 def test_txn_unknown_op_rejected():
     _, payload, _ = protocol.decode_frame(protocol.encode_txn(9))
     with pytest.raises(ProtocolError):
@@ -244,6 +306,11 @@ _sample_frames = [
     protocol.encode_error(TransactionAborted("x"), False),
     protocol.encode_meta("metrics"),
     protocol.encode_meta_result("text"),
+    protocol.encode_parse("q1", "SELECT * FROM t WHERE id = ?"),
+    protocol.encode_parse_ok("q1"),
+    protocol.encode_bind("q1", (17, "x", None)),
+    protocol.encode_bind_ok("q1"),
+    protocol.encode_execute("q1", (17, None)),
 ]
 
 _decoders = {
@@ -258,6 +325,11 @@ _decoders = {
     protocol.META_RESULT: protocol.decode_meta_result,
     protocol.TXN: protocol.decode_txn,
     protocol.PONG: protocol.decode_pong,
+    protocol.PARSE: protocol.decode_parse,
+    protocol.PARSE_OK: protocol.decode_parse_ok,
+    protocol.BIND: protocol.decode_bind,
+    protocol.BIND_OK: protocol.decode_bind_ok,
+    protocol.EXECUTE: protocol.decode_execute,
 }
 
 
