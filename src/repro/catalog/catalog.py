@@ -28,6 +28,7 @@ from ..storage.heap import HeapTable
 from ..storage.index import HashIndex, Index, OrderedIndex
 from ..storage.page import DEFAULT_PAGE_CAPACITY
 from ..storage.tid import Tid
+from ..storage.version import BOOTSTRAP_STAMP, CommitStamp
 from .schema import TableSchema
 
 Row = tuple[Any, ...]
@@ -47,6 +48,14 @@ class Table:
         self.retired = False
         self._compiled_checks: list[tuple[str, Any]] | None = None
         self._index_positions: dict[str, list[int]] = {}
+        # TIDs whose *older* versions are no longer reachable through
+        # the indexes (versioned deletes, key-changing updates).  The
+        # indexes track the current heads only; snapshot index scans add
+        # these TIDs to their candidate set so a reader whose snapshot
+        # predates the delete/key change still finds the row.  Trimmed
+        # by :meth:`prune_versions` once the chain collapses.
+        self._unindexed: set[Tid] = set()
+        self._unindexed_latch = threading.Lock()
         self._auto_unique_indexes()
 
     # ------------------------------------------------------------------
@@ -177,12 +186,12 @@ class Table:
     # ------------------------------------------------------------------
     # Physical mutation (constraint-checked; undo handled by caller)
     # ------------------------------------------------------------------
-    def physical_insert(self, row: Row) -> Tid:
+    def physical_insert(self, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Tid:
         """Insert a coerced row; maintains all indexes.  On a unique
         violation partway through index maintenance, already-updated
         indexes are rolled back before re-raising."""
         self.enforce_checks(row)
-        tid = self.heap.insert(row)
+        tid = self.heap.insert(row, stamp)
         inserted: list[tuple[Index, tuple[Any, ...]]] = []
         try:
             for index in self.indexes.values():
@@ -192,11 +201,13 @@ class Table:
         except UniqueViolation:
             for index, key in inserted:
                 index.delete(key, tid)
-            self.heap.delete(tid)
+            self.heap.delete(tid, stamp)
             raise
         return tid
 
-    def physical_update(self, tid: Tid, new_row: Row) -> Row:
+    def physical_update(
+        self, tid: Tid, new_row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP
+    ) -> Row:
         """Overwrite the row at ``tid``; returns the old row."""
         self.enforce_checks(new_row)
         old_row = self.heap.read(tid)
@@ -220,26 +231,70 @@ class Table:
                     moved.insert(moved_old, tid)
                 raise
             changed.append((index, old_key, new_key))
-        self.heap.update(tid, new_row)
+        self.heap.update(tid, new_row, stamp)
+        if changed and stamp is not BOOTSTRAP_STAMP:
+            self._note_unindexed(tid)
         return old_row
 
-    def physical_delete(self, tid: Tid) -> Row:
-        old_row = self.heap.delete(tid)
+    def physical_delete(self, tid: Tid, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Row:
+        old_row = self.heap.delete(tid, stamp)
         for index in self.indexes.values():
             index.delete(self.index_key(index, old_row), tid)
+        if stamp is not BOOTSTRAP_STAMP:
+            # Bootstrap deletes (loader, WAL replay) leave no older
+            # version any snapshot could want; versioned deletes do.
+            self._note_unindexed(tid)
         return old_row
 
-    def physical_restore(self, tid: Tid, row: Row) -> None:
+    def physical_restore(
+        self, tid: Tid, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP
+    ) -> None:
         """Undo of a delete."""
-        self.heap.restore(tid, row)
+        self.heap.restore(tid, row, stamp)
         for index in self.indexes.values():
             index.insert(self.index_key(index, row), tid)
 
-    def physical_unindex(self, tid: Tid, row: Row) -> None:
-        """Undo of an insert: tombstone + remove index entries."""
-        self.heap.delete(tid)
+    def physical_unindex(
+        self, tid: Tid, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP
+    ) -> None:
+        """Undo of an insert: tombstone + remove index entries.  The
+        aborted version was never visible to any snapshot, so it is not
+        recorded as unindexed."""
+        self.heap.delete(tid, stamp)
         for index in self.indexes.values():
             index.delete(self.index_key(index, row), tid)
+
+    # ------------------------------------------------------------------
+    # Snapshot support
+    # ------------------------------------------------------------------
+    def _note_unindexed(self, tid: Tid) -> None:
+        with self._unindexed_latch:
+            self._unindexed.add(tid)
+
+    def unindexed_tids(self) -> tuple[Tid, ...]:
+        """Candidate TIDs snapshot index scans must consider on top of
+        the index entries (their visible versions may carry keys the
+        index no longer maps)."""
+        if not self._unindexed:
+            return ()
+        with self._unindexed_latch:
+            return tuple(self._unindexed)
+
+    def prune_versions(self, horizon_ts: int) -> int:
+        """Version GC: cut heap chains below ``horizon_ts`` and drop
+        unindexed-TID entries whose chain collapsed to a single version
+        (the indexes already reflect that head).  Returns versions
+        unlinked."""
+        pruned = self.heap.prune_versions(horizon_ts)
+        with self._unindexed_latch:
+            if self._unindexed:
+                self._unindexed = {
+                    tid
+                    for tid in self._unindexed
+                    if (head := self.heap.read_version(tid)) is not None
+                    and head.prev is not None
+                }
+        return pruned
 
     def __len__(self) -> int:
         return len(self.heap)

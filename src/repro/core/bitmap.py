@@ -63,6 +63,14 @@ class MigrationBitmap:
         self._latches = [threading.Lock() for _ in range(actual)]
         self._migrated_count = 0
         self._count_latch = threading.Lock()
+        # Snapshot-visibility stamps: granule ordinal -> the CommitStamp
+        # of the migration transaction that claimed it.  Set at claim
+        # time, so the instant that transaction commits (its stamp gains
+        # a timestamp) the granule is *visibly* migrated to snapshots at
+        # or after that timestamp — there is no window between commit
+        # and mark_migrated where snapshot readers double-count.
+        self._stamps: dict[int, object] = {}
+        self._stamps_latch = threading.Lock()
 
     # ------------------------------------------------------------------
     # Raw pair access
@@ -139,6 +147,28 @@ class MigrationBitmap:
                 pair = self._pair(ordinal)
                 if pair == IN_PROGRESS:
                     self._set_pair(ordinal, NOT_STARTED)
+
+    # ------------------------------------------------------------------
+    # Snapshot-visibility stamps
+    # ------------------------------------------------------------------
+    def set_stamps(self, ordinals: Iterable[int], stamp: object) -> None:
+        """Record the claiming migration txn's commit stamp for each
+        granule (called between claim and produce)."""
+        with self._stamps_latch:
+            for ordinal in ordinals:
+                self._stamps[ordinal] = stamp
+
+    def clear_stamps(self, ordinals: Iterable[int]) -> None:
+        """Abort path: the claim is released, drop its stamps."""
+        with self._stamps_latch:
+            for ordinal in ordinals:
+                self._stamps.pop(ordinal, None)
+
+    def stamp_of(self, ordinal: int) -> object | None:
+        """The claiming txn's stamp, or None for a granule migrated
+        outside stamp tracking (recovery rebuild, legacy paths)."""
+        with self._stamps_latch:
+            return self._stamps.get(ordinal)
 
     # ------------------------------------------------------------------
     # Queries

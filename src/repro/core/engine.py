@@ -40,6 +40,7 @@ from ..exec.plan import ExecutionContext
 from ..obs import Observability
 from ..sql import ast_nodes as ast
 from ..sql.render import render_statement
+from ..txn import IsolationLevel
 from ..types import text_type
 from .background import BackgroundConfig, BackgroundMigrator
 from .bitmap import Claim, MigrationBitmap
@@ -272,6 +273,59 @@ class UnitRuntime:
         return produced
 
     # ------------------------------------------------------------------
+    # Snapshot-overlay projection (read-only production)
+    # ------------------------------------------------------------------
+    def project_granules(
+        self, granules: Sequence[int], snapshot_ts: int
+    ) -> dict[str, list[tuple]]:
+        """Read-only twin of :meth:`produce_bitmap_granules`: compute the
+        output rows the given granules *would* produce, from the input
+        tuple versions visible at ``snapshot_ts``.  Nothing is written,
+        locked, or claimed — snapshot readers consume the result as an
+        overlay instead of waiting for the granules to migrate."""
+        assert self.mapper is not None
+        rows_by_output: dict[str, list[tuple]] = {}
+        for granule in granules:
+            for _tid, row in self.mapper.tuples_in(
+                granule, snapshot_ts=snapshot_ts
+            ):
+                for combined in self._joined_rows(row):
+                    if self._static_fn is not None and not predicate_satisfied(
+                        self._static_fn(combined, ())
+                    ):
+                        continue
+                    for output in self.outputs_runtime:
+                        values = {
+                            name: fn(combined, ())
+                            for name, fn in zip(output.column_names, output.fns)
+                        }
+                        rows_by_output.setdefault(
+                            output.table.schema.name, []
+                        ).append(output.table.schema.coerce_row(values))
+        return rows_by_output
+
+    def project_keys(
+        self, keys: Sequence[tuple], session: Session
+    ) -> dict[str, list[tuple]]:
+        """Hashmap twin of :meth:`project_granules`: run the bare per-key
+        SELECTs (no INSERT wrapper) on an internal session.  Input tables
+        are retired and immutable under the big flip, so their current
+        heads equal the pre-migration image at any snapshot."""
+        rows_by_output: dict[str, list[tuple]] = {}
+        for key in keys:
+            params = tuple(key) * self._key_param_copies
+            for output, sql in zip(self.plan.outputs, self.key_select_sql):
+                result = session.execute(sql, params)
+                if not result.rows:
+                    continue
+                schema = self.catalog.table(output.table).schema
+                rows_by_output.setdefault(output.table, []).extend(
+                    schema.coerce_row(dict(zip(output.column_names, row)))
+                    for row in result.rows
+                )
+        return rows_by_output
+
+    # ------------------------------------------------------------------
     # Key enumeration (full scope / background)
     # ------------------------------------------------------------------
     def key_positions(self) -> list[int]:
@@ -368,6 +422,10 @@ class LazyMigrationEngine:
         self._background: BackgroundMigrator | None = None
         self._complete_event = threading.Event()
         self._outputs_to_units: dict[str, UnitRuntime] = {}
+        # MVCC garbage collection: total tuple versions unlinked from
+        # the version chains of this migration's input/output heaps.
+        self._versions_pruned = 0
+        self._pruned_latch = threading.Lock()
         # Self-register for introspection: the bullfrog_stat_migrations
         # system view iterates the database's engines.
         register = getattr(db, "register_migration_engine", None)
@@ -496,6 +554,23 @@ class LazyMigrationEngine:
     ) -> None:
         if self._complete_event.is_set():
             return
+        if (
+            isinstance(stmt, ast.Select)
+            and self.tracking_enabled
+            and self.conflict_mode is ConflictMode.TRACKER
+        ):
+            # Snapshot readers never wait on migration: instead of
+            # migrating the statement's scope synchronously, pin a
+            # snapshot timestamp and serve not-yet-visibly-migrated
+            # granules from a pre-migration overlay.  DML still takes
+            # the synchronous path below — writes must target the real
+            # output rows under 2PL.
+            snapshot_ts = self._snapshot_ts_for(session)
+            if snapshot_ts is not None:
+                self._prepare_snapshot_read(
+                    session, stmt, params, snapshot_ts, sql_text
+                )
+                return
         referenced = _referenced_tables(stmt)
         fk_targets: set[str] = set()
         if isinstance(stmt, ast.Insert) and self.db.catalog.has_table(stmt.table):
@@ -513,6 +588,111 @@ class LazyMigrationEngine:
             if not scope.is_empty:
                 self.migrate_scope(runtime, scope)
         self._check_completion()
+
+    # ------------------------------------------------------------------
+    # Snapshot reads during migration (never block on in-flight granules)
+    # ------------------------------------------------------------------
+    def _snapshot_ts_for(self, session: Session) -> int | None:
+        """The snapshot timestamp this statement will read at, or None
+        if it runs under plain read-committed 2PL."""
+        txn = session._txn
+        if txn is not None:
+            return txn.snapshot_ts  # None for read-committed txns
+        if session.effective_isolation is IsolationLevel.SNAPSHOT:
+            return self.db.txns.current_ts()
+        return None
+
+    @staticmethod
+    def _visibly_migrated(tracker, granule, snapshot_ts: int) -> bool:
+        """Whether the granule's output rows are visible at the snapshot.
+
+        The claiming transaction's stamp (recorded at claim time) is
+        authoritative: committed at ``ts <= snapshot_ts`` means the
+        output table already serves this granule at the snapshot — even
+        inside the commit-to-mark_migrated window.  A granule migrated
+        without a stamp (recovery rebuild, pre-MVCC trackers) replayed
+        under the bootstrap stamp and is visible to every snapshot."""
+        stamp = tracker.stamp_of(granule)
+        if stamp is not None:
+            ts = getattr(stamp, "ts", None)
+            return (
+                ts is not None
+                and not getattr(stamp, "aborted", False)
+                and ts <= snapshot_ts
+            )
+        return tracker.is_migrated(granule)
+
+    def _prepare_snapshot_read(
+        self,
+        session: Session,
+        stmt: ast.Select,
+        params: Sequence[Any],
+        snapshot_ts: int,
+        sql_text: str | None = None,
+    ) -> None:
+        """Build the pre-migration overlay for a snapshot SELECT.
+
+        The timestamp is pinned *before* checking migration visibility:
+        a migration committing afterwards gets a later timestamp, so its
+        output rows are invisible at this snapshot and the overlay rows
+        (projected from input versions visible at the snapshot) cannot
+        double-count with them."""
+        referenced = _referenced_tables(stmt)
+        overlay: dict[str, list[tuple]] = {}
+        project_session: Session | None = None
+        for runtime in self.units:
+            if runtime.complete:
+                continue
+            if not (referenced & set(runtime.plan.output_tables)):
+                continue
+            scope = self._scope_for(runtime, stmt, params, sql_text)
+            if scope.is_empty:
+                continue
+            tracker = runtime.tracker
+            if runtime.plan.category.uses_bitmap:
+                assert isinstance(tracker, MigrationBitmap)
+                source: Sequence = (
+                    range(tracker.size) if scope.full else sorted(scope.granules)
+                )
+                pending = [
+                    g
+                    for g in source
+                    if not self._visibly_migrated(tracker, g, snapshot_ts)
+                ]
+                if not pending:
+                    continue
+                produced = runtime.project_granules(pending, snapshot_ts)
+            else:
+                source = (
+                    sorted(runtime.all_keys())
+                    if scope.full
+                    else sorted(scope.keys)
+                )
+                pending = [
+                    k
+                    for k in source
+                    if not self._visibly_migrated(tracker, k, snapshot_ts)
+                ]
+                if not pending:
+                    continue
+                if project_session is None:
+                    project_session = self.db.connect(allow_retired=True)
+                    project_session.internal = True
+                produced = runtime.project_keys(pending, project_session)
+            for name, rows in produced.items():
+                overlay.setdefault(name, []).extend(rows)
+        if session._txn is None:
+            # Autocommit: the implicit transaction must read at the very
+            # timestamp the overlay was computed against.
+            session._pending_snapshot_ts = snapshot_ts
+        session._pending_overlay = overlay or None
+        if self.obs is not None and self.obs.active and overlay:
+            self.obs.emit(
+                "migrate.snapshot_overlay",
+                snapshot_ts=snapshot_ts,
+                tables=len(overlay),
+                rows=sum(len(r) for r in overlay.values()),
+            )
 
     def _scope_for(
         self,
@@ -687,10 +867,21 @@ class LazyMigrationEngine:
         session.begin()
         txn = session._txn
         assert txn is not None
+        # Stamp the claims with this transaction's commit stamp *before*
+        # producing: the instant the transaction commits (the shared
+        # stamp gains a timestamp) the granules become visibly migrated
+        # to later snapshots, closing the commit-to-mark_migrated window
+        # for snapshot readers.
+        tracker.set_stamps(wip, txn.stamp)
         if is_bitmap:
-            txn.on_abort(lambda: tracker.reset(wip))
+            def _undo_claims() -> None:
+                tracker.reset(wip)
+                tracker.clear_stamps(wip)
         else:
-            txn.on_abort(lambda: tracker.mark_aborted(wip))
+            def _undo_claims() -> None:
+                tracker.mark_aborted(wip)
+                tracker.clear_stamps(wip)
+        txn.on_abort(_undo_claims)
         try:
             if is_bitmap:
                 produced = runtime.produce_bitmap_granules(wip, session)
@@ -848,12 +1039,40 @@ class LazyMigrationEngine:
         if all(runtime.check_complete() for runtime in self.units):
             self.finalize()
 
+    def prune_versions(self) -> int:
+        """MVCC garbage collection over this migration's heaps.
+
+        Cuts version chains below the oldest snapshot any active
+        transaction could still read (and unlinks aborted versions),
+        on the input and output tables.  Safe to call at any time; run
+        automatically at :meth:`finalize`.  Returns versions unlinked."""
+        horizon = self.db.txns.oldest_snapshot_ts()
+        tables: set[str] = set()
+        if self.spec is not None:
+            tables.update(self.spec.input_tables)
+        for runtime in self.units:
+            tables.update(runtime.plan.output_tables)
+        pruned = 0
+        for name in sorted(tables):
+            if self.db.catalog.has_table(name):
+                pruned += self.db.catalog.table(name).prune_versions(horizon)
+        if pruned:
+            with self._pruned_latch:
+                self._versions_pruned += pruned
+        return pruned
+
+    @property
+    def versions_pruned(self) -> int:
+        with self._pruned_latch:
+            return self._versions_pruned
+
     def finalize(self) -> None:
         if self._complete_event.is_set():
             return
         self.stats.mark_completed()
         self._complete_event.set()
         self.db.set_statement_interceptor(None)
+        self.prune_versions()
         if self.obs is not None:
             snapshot = self.stats.snapshot()
             self.obs.emit(
@@ -906,6 +1125,7 @@ class LazyMigrationEngine:
             "duplicates": snapshot["duplicate_attempts"],
             # Progress/ETA surface (PR 4): bitmap-derived completion
             # fraction, EWMA throughput, and estimated time remaining.
+            "versions_pruned": self.versions_pruned,
             "fraction": 1.0 if self.is_complete else self.stats.progress_fraction(),
             "tuples_per_sec": self.stats.tuples_per_second(),
             "eta_seconds": self.stats.eta_seconds(),

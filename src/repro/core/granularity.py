@@ -40,8 +40,12 @@ class GranuleMapper:
     def granule_of_ordinal(self, ordinal: int) -> int:
         return ordinal // self.granule_size
 
-    def tuples_in(self, granule: int):
-        """Yield (tid, row) for every live tuple covered by ``granule``."""
+    def tuples_in(self, granule: int, snapshot_ts: int | None = None):
+        """Yield (tid, row) for every live tuple covered by ``granule``.
+
+        With ``snapshot_ts`` the scan reads the tuple versions visible
+        at that timestamp instead of the current heads (snapshot-overlay
+        projection for in-flight granules)."""
         start = granule * self.granule_size
         end = start + self.granule_size
-        return self.heap.scan_range(start, end)
+        return self.heap.scan_range(start, end, snapshot_ts=snapshot_ts)

@@ -43,6 +43,10 @@ class MigrationHashMap:
         self._latches = [threading.Lock() for _ in range(self._partition_count)]
         self._migrated_count = 0
         self._count_latch = threading.Lock()
+        # Snapshot-visibility stamps, as in MigrationBitmap: group key ->
+        # the claiming migration txn's CommitStamp, set at claim time.
+        self._stamps: dict[Hashable, object] = {}
+        self._stamps_latch = threading.Lock()
 
     def _slot(self, key: Hashable) -> int:
         return hash(key) % self._partition_count
@@ -102,6 +106,23 @@ class MigrationHashMap:
                 partition = self._partitions[slot]
                 if partition.get(key) is GroupState.IN_PROGRESS:
                     partition[key] = GroupState.ABORTED
+
+    # ------------------------------------------------------------------
+    # Snapshot-visibility stamps
+    # ------------------------------------------------------------------
+    def set_stamps(self, keys: Iterable[Hashable], stamp: object) -> None:
+        with self._stamps_latch:
+            for key in keys:
+                self._stamps[key] = stamp
+
+    def clear_stamps(self, keys: Iterable[Hashable]) -> None:
+        with self._stamps_latch:
+            for key in keys:
+                self._stamps.pop(key, None)
+
+    def stamp_of(self, key: Hashable) -> object | None:
+        with self._stamps_latch:
+            return self._stamps.get(key)
 
     # ------------------------------------------------------------------
     # Queries

@@ -24,6 +24,7 @@ BullFrog integration points:
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -51,7 +52,7 @@ from .sql.parser import parse_statement
 from .storage.page import DEFAULT_PAGE_CAPACITY
 from .txn.locks import LockMode
 from .txn.locks import DeadlockPolicy
-from .txn.manager import Transaction, TransactionManager
+from .txn.manager import IsolationLevel, Transaction, TransactionManager
 from .types import SqlType, TypeKind, text_type
 
 
@@ -88,7 +89,16 @@ class Database:
         lock_timeout: float = 10.0,
         deadlock_policy: DeadlockPolicy = DeadlockPolicy.DETECT,
         obs: Observability | None = None,
+        isolation: IsolationLevel | str | None = None,
     ) -> None:
+        # Session-default isolation: explicit argument, else the
+        # BULLFROG_ISOLATION environment variable (the CI snapshot leg
+        # runs the whole suite with it), else READ_COMMITTED.
+        if isolation is None:
+            isolation = os.environ.get("BULLFROG_ISOLATION")
+        self.default_isolation = (
+            IsolationLevel.coerce(isolation) or IsolationLevel.READ_COMMITTED
+        )
         self.catalog = Catalog(default_page_capacity=page_capacity)
         self.txns = TransactionManager(
             lock_timeout=lock_timeout, deadlock_policy=deadlock_policy
@@ -120,8 +130,12 @@ class Database:
     # ------------------------------------------------------------------
     # Sessions
     # ------------------------------------------------------------------
-    def connect(self, allow_retired: bool = False) -> "Session":
-        return Session(self, allow_retired=allow_retired)
+    def connect(
+        self,
+        allow_retired: bool = False,
+        isolation: IsolationLevel | str | None = None,
+    ) -> "Session":
+        return Session(self, allow_retired=allow_retired, isolation=isolation)
 
     # ------------------------------------------------------------------
     # BullFrog integration
@@ -181,14 +195,36 @@ class Database:
 class Session:
     """One client connection.  Autocommits unless BEGIN was executed."""
 
-    def __init__(self, db: Database, allow_retired: bool = False) -> None:
+    def __init__(
+        self,
+        db: Database,
+        allow_retired: bool = False,
+        isolation: IsolationLevel | str | None = None,
+    ) -> None:
         self.db = db
         self.allow_retired = allow_retired
+        self.isolation = IsolationLevel.coerce(isolation) or db.default_isolation
         self._txn: Transaction | None = None
         # When True the statement interceptor is skipped — used by the
         # migration engines themselves to avoid recursion.
         self.internal = False
         self._closed = False
+        # Set by the migration interceptor for a snapshot SELECT: the
+        # snapshot timestamp it pinned *before* computing overlay state,
+        # and the pre-migration row overlay for not-yet-visible granules.
+        # Consumed by the next transaction begin / execution context.
+        self._pending_snapshot_ts: int | None = None
+        self._pending_overlay: dict[str, list[tuple]] | None = None
+
+    @property
+    def effective_isolation(self) -> IsolationLevel:
+        """Internal (migration/loader/invariant) sessions always run
+        READ_COMMITTED: migration correctness depends on 2PL claim
+        semantics, and a session default of SNAPSHOT must not change
+        engine-internal behavior."""
+        if self.internal:
+            return IsolationLevel.READ_COMMITTED
+        return self.isolation
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -237,12 +273,13 @@ class Session:
     def in_transaction(self) -> bool:
         return self._txn is not None and self._txn.is_active
 
-    def begin(self) -> Transaction:
+    def begin(self, isolation: IsolationLevel | str | None = None) -> Transaction:
         if self._closed:
             raise SessionClosed("session is closed")
         if self.in_transaction:
             raise TransactionError("a transaction is already in progress")
-        self._txn = self.db.txns.begin()
+        level = IsolationLevel.coerce(isolation) or self.effective_isolation
+        self._txn = self.db.txns.begin(isolation=level)
         return self._txn
 
     def commit(self) -> None:
@@ -323,31 +360,47 @@ class Session:
         ):
             interceptor(self, stmt, params, sql_text)
 
-        if self.in_transaction:
-            return self._dispatch(stmt, params, sql_text)
-        # Autocommit: wrap in a transaction.
-        txn = self.db.txns.begin()
-        self._txn = txn
         try:
-            result = self._dispatch(stmt, params, sql_text)
-        except BaseException:
+            if self.in_transaction:
+                return self._dispatch(stmt, params, sql_text)
+            # Autocommit: wrap in a transaction.  A snapshot timestamp
+            # the interceptor pinned (before it computed overlay state)
+            # carries into the transaction so both agree on visibility.
+            pinned, self._pending_snapshot_ts = self._pending_snapshot_ts, None
+            txn = self.db.txns.begin(
+                isolation=self.effective_isolation, snapshot_ts=pinned
+            )
+            self._txn = txn
+            try:
+                result = self._dispatch(stmt, params, sql_text)
+            except BaseException:
+                if txn.is_active:
+                    txn.abort()
+                self._txn = None
+                raise
             if txn.is_active:
-                txn.abort()
+                txn.commit()
             self._txn = None
-            raise
-        if txn.is_active:
-            txn.commit()
-        self._txn = None
-        return result
+            return result
+        finally:
+            # Overlay state is per-statement: never leak it into the next.
+            self._pending_snapshot_ts = None
+            self._pending_overlay = None
 
     # ------------------------------------------------------------------
     def _context(self) -> ExecutionContext:
-        return ExecutionContext(
+        ctx = ExecutionContext(
             catalog=self.db.catalog,
             txn=self._txn,
             allow_retired=self.allow_retired,
             row_hooks=self.db._row_hooks,
         )
+        txn = self._txn
+        if txn is not None and txn.snapshot_ts is not None:
+            ctx.snapshot_ts = txn.snapshot_ts
+            ctx.own_stamp = txn.stamp
+            ctx.overlay = self._pending_overlay
+        return ctx
 
     def _dispatch(
         self, stmt: ast.Statement, params: Sequence[Any], sql_text: str | None

@@ -55,6 +55,14 @@ class ExecutionError(ReproError):
     """Base class for runtime query-execution failures."""
 
 
+class StorageError(ExecutionError):
+    """The physical storage layer was asked to do something structurally
+    impossible: update or double-delete a tombstoned tuple, overflow a
+    page, or re-place an occupied slot during replay.  Reaching this from
+    SQL indicates an engine bug, so it maps to an internal-error SQLSTATE
+    (XX001) over the wire."""
+
+
 class TypeError_(ExecutionError):
     """A value did not match the declared column type or an operator's
     expected operand types.  (Named with a trailing underscore to avoid
@@ -102,6 +110,13 @@ class DeadlockAvoided(TransactionAborted):
 
 class LockTimeout(TransactionAborted):
     """A lock could not be acquired within the configured timeout."""
+
+
+class SerializationFailure(TransactionAborted):
+    """A snapshot-isolation transaction lost a write-write conflict: the
+    tuple it tried to update was modified by a transaction that committed
+    after this one's snapshot was taken (first-committer-wins, SQLSTATE
+    40001).  The client may retry on a fresh snapshot."""
 
 
 class SessionClosed(ReproError):

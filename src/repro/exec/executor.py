@@ -15,6 +15,7 @@ from ..errors import (
     ExecutionError,
     ForeignKeyViolation,
     NotNullViolation,
+    SerializationFailure,
     UniqueViolation,
 )
 from typing import TYPE_CHECKING
@@ -25,6 +26,7 @@ if TYPE_CHECKING:  # avoid a circular import: catalog depends on exec.expression
 from ..catalog.constraints import ForeignKey
 from ..sql import ast_nodes as ast
 from ..storage.tid import Tid
+from ..storage.version import BOOTSTRAP_STAMP
 from ..txn.locks import LockMode
 from .expressions import RowLayout, compile_expr, predicate_satisfied
 from .plan import AnalyzedNode, ExecutionContext, PlanNode, instrument_plan
@@ -55,6 +57,37 @@ class Executor:
         # Database when one is attached; None keeps the write path free
         # of any accounting beyond a single ``is not None`` check.
         self.obs: Any = None
+
+    # ==================================================================
+    # Snapshot-isolation write conflicts (first-updater-wins)
+    # ==================================================================
+    @staticmethod
+    def _check_write_conflict(table: "Table", tid: Tid, ctx: ExecutionContext) -> None:
+        """Under SNAPSHOT isolation, a write target whose newest
+        committed version postdates our snapshot means another
+        transaction won the conflict: abort with SQLSTATE 40001.  Called
+        after the tuple X lock is held, so the chain head is stable and
+        any non-aborted foreign stamp is fully committed."""
+        if ctx.snapshot_ts is None or ctx.txn is None:
+            return
+        version = table.heap.read_version(tid)
+        while version is not None and version.stamp.aborted:
+            version = version.prev
+        if version is None or version.stamp is ctx.txn.stamp:
+            return
+        ts = version.stamp.ts
+        if ts is not None and ts > ctx.snapshot_ts:
+            ctx.txn.abort()
+            raise SerializationFailure(
+                f"could not serialize access: tuple {tid} of "
+                f"{table.schema.name} was modified by a transaction that "
+                f"committed after this snapshot (ts {ts} > "
+                f"{ctx.snapshot_ts}); retry the transaction"
+            )
+
+    @staticmethod
+    def _write_stamp(ctx: ExecutionContext):
+        return ctx.txn.stamp if ctx.txn is not None else BOOTSTRAP_STAMP
 
     # ==================================================================
     # SELECT
@@ -133,6 +166,7 @@ class Executor:
         for tid, _row in scan.rows_with_tids(ctx):
             if ctx.txn is not None:
                 ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            self._check_write_conflict(table, tid, ctx)
             row = table.heap.read(tid)
             if row is None:
                 continue
@@ -198,7 +232,7 @@ class Executor:
             row = table.schema.coerce_row(values)
             self._check_fk_parents(table, row, ctx)
             try:
-                tid = table.physical_insert(row)
+                tid = table.physical_insert(row, self._write_stamp(ctx))
             except UniqueViolation:
                 if on_conflict_skip:
                     continue
@@ -243,6 +277,7 @@ class Executor:
         for tid, _row in scan.rows_with_tids(ctx):
             if ctx.txn is not None:
                 ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            self._check_write_conflict(table, tid, ctx)
             # Re-read after locking: the row may have changed (or gone)
             # while we waited for the X lock.
             row = table.heap.read(tid)
@@ -270,7 +305,7 @@ class Executor:
                 self._check_fk_children_on_change(
                     table, row, new_tuple, changed_positions, ctx
                 )
-            old_row = table.physical_update(tid, new_tuple)
+            old_row = table.physical_update(tid, new_tuple, self._write_stamp(ctx))
             if ctx.txn is not None:
                 ctx.txn.record_update(table, tid, old_row, new_tuple)
             ctx.fire_row_hooks(table.schema.name, "UPDATE", tid, old_row, new_tuple)
@@ -304,6 +339,7 @@ class Executor:
         for tid, _row in scan.rows_with_tids(ctx):
             if ctx.txn is not None:
                 ctx.txn.lock_tuple(table.schema.name, tid, LockMode.X)
+            self._check_write_conflict(table, tid, ctx)
             row = table.heap.read(tid)
             if row is None:
                 continue
@@ -312,7 +348,7 @@ class Executor:
             ):
                 continue
             self._check_no_fk_children(table, row, ctx)
-            old_row = table.physical_delete(tid)
+            old_row = table.physical_delete(tid, self._write_stamp(ctx))
             if ctx.txn is not None:
                 ctx.txn.record_delete(table, tid, old_row)
             ctx.fire_row_hooks(table.schema.name, "DELETE", tid, old_row, None)

@@ -50,10 +50,28 @@ class ExecutionContext:
     # The multi-step migration baseline registers trigger-style dual-write
     # hooks here; BullFrog itself does not use them.
     row_hooks: dict[str, list] = field(default_factory=dict)
+    # SNAPSHOT isolation: scans read version chains as of this timestamp
+    # (plus the transaction's own writes, identified by ``own_stamp``)
+    # and skip the table-level IS lock — the lock-free read path.
+    snapshot_ts: int | None = None
+    own_stamp: Any = None  # repro.storage.version.CommitStamp | None
+    # Lazy-migration interplay: pre-migration images of rows whose
+    # granules are not yet visibly migrated at ``snapshot_ts``, keyed by
+    # output-table name.  Built by the migration interceptor; scans
+    # union them in so a snapshot reader never waits on in-flight
+    # granule conversion.
+    overlay: dict[str, list[Row]] | None = None
 
     def lock_table(self, name: str, mode: LockMode) -> None:
         if self.txn is not None and self.lock_tables:
+            if self.snapshot_ts is not None and mode is LockMode.IS:
+                return  # snapshot reads take no read locks
             self.txn.lock_table(name, mode)
+
+    def overlay_rows(self, table_name: str) -> list[Row]:
+        if self.overlay is None:
+            return []
+        return self.overlay.get(table_name, [])
 
     def fire_row_hooks(
         self, table_name: str, op: str, tid: Tid, old_row, new_row
@@ -99,20 +117,41 @@ class SeqScanNode(PlanNode):
         ctx.lock_table(self.table.schema.name, LockMode.IS)
         filter_fn = self.filter_fn
         params = ctx.params
+        if ctx.snapshot_ts is not None:
+            source: Iterator[tuple[Any, Row]] = self.table.heap.scan_snapshot(
+                ctx.snapshot_ts, ctx.own_stamp
+            )
+        else:
+            source = self.table.heap.scan()
         if filter_fn is None:
-            for _tid, row in self.table.heap.scan():
+            for _tid, row in source:
                 yield row
         else:
-            for _tid, row in self.table.heap.scan():
+            for _tid, row in source:
                 if predicate_satisfied(filter_fn(row, params)):
+                    yield row
+        if ctx.snapshot_ts is not None:
+            for row in ctx.overlay_rows(self.table.schema.name):
+                if filter_fn is None or predicate_satisfied(filter_fn(row, params)):
                     yield row
 
     def rows_with_tids(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
-        """DML variant: yields (tid, row)."""
+        """DML variant: yields (tid, row).  Under SNAPSHOT isolation the
+        scan sees the snapshot (SI semantics: DML targets the rows your
+        snapshot shows; the executor's first-updater-wins check aborts if
+        a target's current version committed after the snapshot).  No
+        overlay here: the interceptor migrates a DML statement's scope
+        synchronously, so write targets are always in the new table."""
         ctx.lock_table(self.table.schema.name, LockMode.IS)
         filter_fn = self.filter_fn
         params = ctx.params
-        for tid, row in self.table.heap.scan():
+        if ctx.snapshot_ts is not None:
+            source: Iterator[tuple[Tid, Row]] = self.table.heap.scan_snapshot(
+                ctx.snapshot_ts, ctx.own_stamp
+            )
+        else:
+            source = self.table.heap.scan()
+        for tid, row in source:
             if filter_fn is None or predicate_satisfied(filter_fn(row, params)):
                 yield tid, row
 
@@ -149,25 +188,60 @@ class IndexScanNode(PlanNode):
         self.index_cond_text = index_cond_text
         self.filter_text = filter_text
 
+    def _key(self, ctx: ExecutionContext) -> tuple[Any, ...]:
+        return tuple(fn((), ctx.params) for fn in self.key_fns)
+
+    def _key_matches(self, row: Row, key: tuple[Any, ...]) -> bool:
+        """Does ``row``'s indexed key match the (possibly partial)
+        lookup key?  Snapshot reads re-check this because the index is
+        unversioned: an entry can point at a chain whose visible version
+        carries a different key."""
+        full = self.table.index_key(self.index, row)
+        return tuple(full[: len(key)]) == key
+
     def _matches(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
         ctx.lock_table(self.table.schema.name, LockMode.IS)
-        key = tuple(fn((), ctx.params) for fn in self.key_fns)
+        key = self._key(ctx)
         filter_fn = self.filter_fn
         if len(key) < len(self.index.columns):
             # Leading-prefix lookup on an ordered index.
             tids = [tid for _key, tid in self.index.prefix_scan(key)]
         else:
             tids = self.index.lookup(key)
+        snapshot_ts = ctx.snapshot_ts
+        if snapshot_ts is not None:
+            # The index maps current heads only.  Rows deleted or
+            # re-keyed after the snapshot fell out of it, but their
+            # older versions may still be visible — the table's
+            # unindexed-TID log supplies those candidates, and the key
+            # re-check below filters the misses.
+            extra = self.table.unindexed_tids()
+            if extra:
+                seen = set(tids)
+                tids = list(tids) + [t for t in extra if t not in seen]
         for tid in tids:
-            row = self.table.heap.read(tid)
+            if snapshot_ts is None:
+                row = self.table.heap.read(tid)
+            else:
+                row = self.table.heap.read_snapshot(tid, snapshot_ts, ctx.own_stamp)
             if row is None:
                 continue  # tombstoned between index read and heap read
+            if snapshot_ts is not None and not self._key_matches(row, key):
+                continue  # key changed after the snapshot was taken
             if filter_fn is None or predicate_satisfied(filter_fn(row, ctx.params)):
                 yield tid, row
 
     def rows(self, ctx: ExecutionContext) -> Iterator[Row]:
         for _tid, row in self._matches(ctx):
             yield row
+        if ctx.snapshot_ts is not None:
+            key = self._key(ctx)
+            filter_fn = self.filter_fn
+            for row in ctx.overlay_rows(self.table.schema.name):
+                if not self._key_matches(row, key):
+                    continue
+                if filter_fn is None or predicate_satisfied(filter_fn(row, ctx.params)):
+                    yield row
 
     def rows_with_tids(self, ctx: ExecutionContext) -> Iterator[tuple[Tid, Row]]:
         yield from self._matches(ctx)

@@ -79,9 +79,11 @@ def connect(
     connect_timeout: float = 10.0,
     client_name: str = "repro-client",
     auto_prepare: int = 0,
+    isolation: str | None = None,
 ) -> "Connection":
     return Connection(host, port, connect_timeout=connect_timeout,
-                      client_name=client_name, auto_prepare=auto_prepare)
+                      client_name=client_name, auto_prepare=auto_prepare,
+                      isolation=isolation)
 
 
 class Connection:
@@ -95,9 +97,13 @@ class Connection:
         connect_timeout: float = 10.0,
         client_name: str = "repro-client",
         auto_prepare: int = 0,
+        isolation: str | None = None,
     ) -> None:
         self.host = host
         self.port = port
+        # Session default isolation, carried as a HELLO option
+        # (``isolation="snapshot"`` for SI reads during migration).
+        self.isolation = isolation
         self._closed = False
         self._in_transaction = False
         self._auto_prepare = auto_prepare
@@ -116,7 +122,8 @@ class Connection:
         self.bytes_out = 0
         self.bytes_in = 0
         try:
-            self._send(protocol.encode_hello(client_name))
+            options = {"isolation": isolation} if isolation is not None else None
+            self._send(protocol.encode_hello(client_name, options=options))
             ftype, payload = self._recv()
             if ftype == protocol.ERROR:
                 # Admission control: the server refused us with a
@@ -620,6 +627,7 @@ class ConnectionPool:
         backoff_cap: float = 1.0,
         health_check: bool = True,
         auto_prepare: int = 0,
+        isolation: str | None = None,
         factory: Callable[[], Connection] | None = None,
     ) -> None:
         if size < 1:
@@ -632,7 +640,8 @@ class ConnectionPool:
         self._factory = factory or (
             lambda: Connection(host, port, connect_timeout=connect_timeout,
                                client_name="repro-pool",
-                               auto_prepare=auto_prepare)
+                               auto_prepare=auto_prepare,
+                               isolation=isolation)
         )
         self._idle: list[Connection] = []
         self._latch = threading.Lock()

@@ -122,7 +122,9 @@ SQLSTATE_BY_EXC: dict[type, str] = {
     errors.ConstraintViolation: "23000",
     errors.DeadlockAvoided: "40P01",
     errors.LockTimeout: "55P03",
+    errors.SerializationFailure: "40001",
     errors.TransactionAborted: "40001",
+    errors.StorageError: "XX001",
     errors.TransactionError: "25000",
     errors.ExecutionError: "42000",
     errors.MigrationError: "BF000",
@@ -416,16 +418,44 @@ def decode_frame(buf: bytes, pos: int = 0) -> tuple[int, bytes, int] | None:
 # ----------------------------------------------------------------------
 
 
-def encode_hello(client_name: str = "repro", version: int = PROTOCOL_VERSION) -> bytes:
+def encode_hello(
+    client_name: str = "repro",
+    version: int = PROTOCOL_VERSION,
+    options: dict[str, str] | None = None,
+) -> bytes:
+    """``options`` is the session-option channel (e.g.
+    ``{"isolation": "snapshot"}``).  It is appended after the original
+    fixed fields as a u8 count of (key, value) string pairs, so old
+    servers that stop reading after ``client_name`` would reject it —
+    but new servers still accept old clients, whose payload simply ends
+    early (no options)."""
     w = _Writer()
     w.u16(version)
     w.str(client_name)
+    if options:
+        if len(options) > 255:
+            raise ProtocolError("too many HELLO options (max 255)")
+        w.u8(len(options))
+        for key, value in options.items():
+            w.str(key)
+            w.str(value)
     return encode_frame(HELLO, w.getvalue())
 
 
 def decode_hello(payload: bytes) -> dict[str, Any]:
     r = _Reader(payload)
-    out = {"version": r.u16(), "client_name": r.str()}
+    out: dict[str, Any] = {"version": r.u16(), "client_name": r.str()}
+    options: dict[str, str] = {}
+    if r.pos < r.end:  # optional trailer: absent from old clients
+        count = r.u8()
+        if count == 0:
+            # The encoder omits the trailer entirely when there are no
+            # options, so a zero count is garbage, not a valid HELLO.
+            raise ProtocolError("empty HELLO options trailer")
+        for _ in range(count):
+            key = r.str()
+            options[key] = r.str()
+    out["options"] = options
     r.expect_end()
     return out
 

@@ -93,6 +93,7 @@ from ..errors import (
 )
 from ..obs.registry import NULL_METRIC
 from ..sql import ast_nodes as ast
+from ..txn import IsolationLevel
 from ..types import SqlType, TypeKind
 from . import protocol
 
@@ -926,7 +927,8 @@ class BullfrogServer:
                     raise ProtocolError(
                         f"expected HELLO, got frame type 0x{ftype:02x}"
                     )
-                protocol.decode_hello(payload)
+                hello = protocol.decode_hello(payload)
+                self._apply_hello_options(conn, hello.get("options") or {})
                 self._send(conn, protocol.encode_welcome(
                     _SERVER_VERSION, self.db.epoch, conn.id
                 ))
@@ -1073,12 +1075,28 @@ class BullfrogServer:
             return "ping"
         if ftype == protocol.HELLO:
             # A second handshake is harmless; re-welcome.
-            protocol.decode_hello(payload)
+            hello = protocol.decode_hello(payload)
+            self._apply_hello_options(conn, hello.get("options") or {})
             self._send(conn, protocol.encode_welcome(
                 _SERVER_VERSION, self.db.epoch, conn.id
             ))
             return "meta"
         raise ProtocolError(f"unexpected frame type 0x{ftype:02x} from client")
+
+    def _apply_hello_options(
+        self, conn: _Connection, options: dict[str, str]
+    ) -> None:
+        """Session options carried on the HELLO trailer.  Currently just
+        ``isolation`` (``snapshot`` / ``read_committed``); unknown keys
+        are ignored for forward compatibility."""
+        isolation = options.get("isolation")
+        if isolation is not None:
+            try:
+                level = IsolationLevel.coerce(isolation)
+            except ValueError as exc:
+                raise ProtocolError(str(exc)) from None
+            if level is not None:
+                conn.session.isolation = level
 
     def _run_statement(
         self, conn: _Connection, thunk: Callable[[], Result]

@@ -53,7 +53,14 @@ def _activity_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
         with db.txns._latch:
             txns = list(db.txns._active.values())
         rows = [
-            (txn.id, txn.state.value, len(txn._locks), len(txn._redo))
+            (
+                txn.id,
+                txn.state.value,
+                len(txn._locks),
+                len(txn._redo),
+                txn.isolation.value,
+                txn.snapshot_ts,
+            )
             for txn in txns
         ]
         rows.sort()
@@ -74,6 +81,7 @@ def _migrations_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
                 progress["skip_waits"],
                 progress["aborts"],
                 progress["background_passes"],
+                progress.get("versions_pruned", 0),
             )
             units = progress["units"]
             if not units:
@@ -158,8 +166,15 @@ def register_system_views(db: "Database") -> None:
     db.catalog.register_virtual(
         VirtualTable(
             "bullfrog_stat_activity",
-            ("txn_id", "state", "locks_held", "redo_records"),
-            (_INT, _TEXT, _INT, _INT),
+            (
+                "txn_id",
+                "state",
+                "locks_held",
+                "redo_records",
+                "isolation",
+                "snapshot_ts",
+            ),
+            (_INT, _TEXT, _INT, _INT, _TEXT, _INT),
             _activity_producer(db),
         )
     )
@@ -180,6 +195,7 @@ def register_system_views(db: "Database") -> None:
                 "skip_waits",
                 "aborts",
                 "background_passes",
+                "versions_pruned",
             ),
             (
                 _TEXT,
@@ -192,6 +208,7 @@ def register_system_views(db: "Database") -> None:
                 _INT,
                 _FLOAT,
                 _FLOAT,
+                _INT,
                 _INT,
                 _INT,
                 _INT,

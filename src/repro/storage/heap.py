@@ -1,19 +1,29 @@
-"""Heap tables: append-only pages of tuples addressed by TIDs.
+"""Heap tables: append-only pages of versioned tuples addressed by TIDs.
 
 The heap is purely physical — it knows nothing about schemas or
 constraints.  Thread safety: a single re-entrant latch protects the page
 directory; logical isolation between transactions is the lock manager's
 job (``repro.txn``), exactly as in a real engine where short page
 latches and long transaction locks are separate mechanisms.
+
+Every mutation takes an optional :class:`~repro.storage.version.CommitStamp`
+(default :data:`BOOTSTRAP_STAMP` for non-transactional writers — loader,
+DDL rewrites, WAL replay).  Current reads (:meth:`read`, :meth:`scan`)
+see the head of each version chain, preserving the pre-MVCC semantics;
+snapshot reads (:meth:`scan_snapshot`, ``snapshot_ts`` on
+:meth:`scan_range`) walk chains for the newest version committed at or
+before the snapshot timestamp.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Callable, Iterator
+from typing import Iterator
 
-from .page import DEFAULT_PAGE_CAPACITY, Page, Row
+from ..errors import StorageError
+from .page import DEFAULT_PAGE_CAPACITY, Page
 from .tid import Tid
+from .version import BOOTSTRAP_STAMP, CommitStamp, Row, TupleVersion, visible_version
 
 
 class HeapTable:
@@ -58,46 +68,65 @@ class HeapTable:
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------
-    def insert(self, row: Row) -> Tid:
+    def insert(self, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Tid:
         """Append a tuple; returns its TID."""
         with self._latch:
             if not self._pages or self._pages[-1].is_full:
                 self._pages.append(Page(len(self._pages), self.page_capacity))
             page = self._pages[-1]
-            slot = page.append(row)
+            slot = page.append(row, stamp)
             self._live_count += 1
             return Tid(page.number, slot)
 
     def read(self, tid: Tid) -> Row | None:
-        """Return the tuple at ``tid`` (None if tombstoned).  Raises
-        IndexError for an address that was never allocated."""
+        """Return the current tuple at ``tid`` (None if tombstoned).
+        Raises IndexError for an address that was never allocated."""
         with self._latch:
             return self._pages[tid.page].read(tid.slot)
 
-    def update(self, tid: Tid, row: Row) -> Row:
+    def read_version(self, tid: Tid) -> TupleVersion | None:
+        """Return the head of the version chain at ``tid`` (``None`` for
+        a replay-materialized empty slot).  Raises IndexError for an
+        address that was never allocated."""
+        with self._latch:
+            return self._pages[tid.page].read_version(tid.slot)
+
+    def read_snapshot(
+        self,
+        tid: Tid,
+        snapshot_ts: int,
+        own_stamp: CommitStamp | None = None,
+    ) -> Row | None:
+        """Return the tuple at ``tid`` as of ``snapshot_ts`` (None if it
+        did not exist, or was deleted, at that timestamp)."""
+        head = self.read_version(tid)
+        version = visible_version(head, snapshot_ts, own_stamp)
+        return None if version is None else version.row
+
+    def update(self, tid: Tid, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Row:
         """Overwrite the tuple at ``tid``; returns the previous row."""
         with self._latch:
             page = self._pages[tid.page]
             old = page.read(tid.slot)
             if old is None:
-                raise RuntimeError(f"tuple {tid} of {self.name} is deleted")
-            page.write(tid.slot, row)
+                raise StorageError(f"tuple {tid} of {self.name} is deleted")
+            page.write(tid.slot, row, stamp)
             return old
 
-    def delete(self, tid: Tid) -> Row:
+    def delete(self, tid: Tid, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Row:
         """Tombstone the tuple at ``tid``; returns the old row."""
         with self._latch:
-            old = self._pages[tid.page].delete(tid.slot)
+            old = self._pages[tid.page].delete(tid.slot, stamp)
             self._live_count -= 1
             return old
 
-    def restore(self, tid: Tid, row: Row) -> None:
+    def restore(self, tid: Tid, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> None:
         """Undo a delete (abort path)."""
         with self._latch:
-            self._pages[tid.page].restore(tid.slot, row)
+            self._pages[tid.page].restore(tid.slot, row, stamp)
             self._live_count += 1
 
-    def insert_at(self, tid: Tid, row: Row) -> None:
+    def insert_at(self, tid: Tid, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> None:
         """REDO replay: place ``row`` at exactly ``tid``, materializing
         any pages/slots in between as tombstones, so recovered TIDs
         match the pre-crash ones (UPDATE/DELETE records address them)."""
@@ -107,14 +136,14 @@ class HeapTable:
             # Earlier pages skipped by this insert are full by definition.
             for page in self._pages[: tid.page]:
                 page.pad_to_capacity()
-            self._pages[tid.page].place(tid.slot, row)
+            self._pages[tid.page].place(tid.slot, row, stamp)
             self._live_count += 1
 
     # ------------------------------------------------------------------
     # Scans
     # ------------------------------------------------------------------
     def scan(self) -> Iterator[tuple[Tid, Row]]:
-        """Yield (tid, row) for all live tuples.
+        """Yield (tid, row) for all currently-live tuples.
 
         Takes a snapshot of the page list under the latch, then walks it
         latch-free; pages themselves are only appended to, and slot
@@ -128,19 +157,103 @@ class HeapTable:
             for slot, row in page.iter_live():
                 yield Tid(page.number, slot), row
 
-    def scan_range(self, start_ordinal: int, end_ordinal: int) -> Iterator[tuple[Tid, Row]]:
+    def scan_snapshot(
+        self,
+        snapshot_ts: int,
+        own_stamp: CommitStamp | None = None,
+    ) -> Iterator[tuple[Tid, Row]]:
+        """Yield (tid, row) for every tuple visible at ``snapshot_ts``.
+
+        Latch-free like :meth:`scan`: chains are only ever *pushed* at
+        the head (one list-item store) and the visibility walk never
+        follows a pointer a concurrent committer could invalidate, so a
+        snapshot scan needs no locks at all — this is the read path that
+        never blocks behind migration WIP.
+        """
+        with self._latch:
+            pages = list(self._pages)
+        for page in pages:
+            for slot, head in page.iter_heads():
+                version = visible_version(head, snapshot_ts, own_stamp)
+                if version is not None and version.row is not None:
+                    yield Tid(page.number, slot), version.row
+
+    def scan_range(
+        self,
+        start_ordinal: int,
+        end_ordinal: int,
+        snapshot_ts: int | None = None,
+        own_stamp: CommitStamp | None = None,
+    ) -> Iterator[tuple[Tid, Row]]:
         """Yield live tuples whose ordinal is in [start, end).  Used by
-        background migration threads to walk the table in chunks."""
+        background migration threads to walk the table in chunks, and
+        (with ``snapshot_ts``) by snapshot readers overlaying the
+        pre-migration image of not-yet-converted granules."""
         with self._latch:
             pages = list(self._pages)
         first_page = start_ordinal // self.page_capacity
         last_page = (max(end_ordinal - 1, 0)) // self.page_capacity
         for page in pages[first_page : last_page + 1]:
             base = page.number * self.page_capacity
-            for slot, row in page.iter_live():
-                ordinal = base + slot
-                if start_ordinal <= ordinal < end_ordinal:
-                    yield Tid(page.number, slot), row
+            if snapshot_ts is None:
+                for slot, row in page.iter_live():
+                    ordinal = base + slot
+                    if start_ordinal <= ordinal < end_ordinal:
+                        yield Tid(page.number, slot), row
+            else:
+                for slot, head in page.iter_heads():
+                    ordinal = base + slot
+                    if not (start_ordinal <= ordinal < end_ordinal):
+                        continue
+                    version = visible_version(head, snapshot_ts, own_stamp)
+                    if version is not None and version.row is not None:
+                        yield Tid(page.number, slot), version.row
+
+    # ------------------------------------------------------------------
+    # Version-chain garbage collection
+    # ------------------------------------------------------------------
+    def prune_versions(self, horizon_ts: int) -> int:
+        """Drop versions no snapshot at or after ``horizon_ts`` can ever
+        need: aborted versions, and everything below the newest version
+        committed at or before the horizon.  Returns the number of
+        versions unlinked.
+
+        Safe against concurrent latch-free readers: unlinked versions
+        keep their own ``prev`` pointers, so a reader already standing
+        on one still walks a valid (if stale) chain, and any reader with
+        snapshot >= horizon finds its visible version at or above the
+        cut point.
+        """
+        pruned = 0
+        with self._latch:
+            pages = list(self._pages)
+        for page in pages:
+            with self._latch:
+                for slot in range(len(page)):
+                    head = page.read_version(slot)
+                    # Unlink aborted versions (never cut the head: its
+                    # row is the current image by construction).
+                    parent = head
+                    while parent is not None:
+                        v = parent.prev
+                        if v is not None and v.stamp.aborted:
+                            parent.prev = v.prev
+                            pruned += 1
+                        else:
+                            parent = v
+                    # Cut below the first version visible at the horizon.
+                    v = head
+                    while v is not None:
+                        ts = v.stamp.ts
+                        if ts is not None and ts <= horizon_ts:
+                            cut = v.prev
+                            v.prev = None
+                            while cut is not None:
+                                pruned += 1
+                                cut = cut.prev
+                            break
+                        v = v.prev
+        return pruned
 
     def clear(self) -> None:
         """Drop all pages (table truncation / drop)."""

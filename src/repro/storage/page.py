@@ -1,16 +1,21 @@
 """Slotted heap pages.
 
-A page holds up to ``capacity`` tuples.  Deleted tuples leave a
-tombstone (``None``) so slot numbers — and therefore TIDs — remain
-stable for the lifetime of the table, which the BullFrog bitmap relies
-on.
+A page holds up to ``capacity`` tuples.  Each slot is the head of a
+tuple-version chain (:mod:`repro.storage.version`); the head always
+reflects the latest write, so "current" reads are a single pointer
+chase.  A deleted tuple leaves a tombstone *version* (``row is None``)
+at the head, so slot numbers — and therefore TIDs — remain stable for
+the lifetime of the table, which the BullFrog bitmap relies on.  A slot
+that is literally ``None`` was materialized during REDO replay for a
+tuple that did not survive to the log's committed state.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Iterator
 
-Row = tuple[Any, ...]
+from ..errors import StorageError
+from .version import BOOTSTRAP_STAMP, CommitStamp, Row, TupleVersion
 
 DEFAULT_PAGE_CAPACITY = 256
 
@@ -23,7 +28,7 @@ class Page:
     def __init__(self, number: int, capacity: int = DEFAULT_PAGE_CAPACITY) -> None:
         self.number = number
         self.capacity = capacity
-        self._slots: list[Row | None] = []
+        self._slots: list[TupleVersion | None] = []
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -34,46 +39,72 @@ class Page:
 
     @property
     def live_count(self) -> int:
-        return sum(1 for row in self._slots if row is not None)
+        return sum(
+            1 for head in self._slots if head is not None and head.row is not None
+        )
 
-    def append(self, row: Row) -> int:
+    def append(self, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> int:
         """Append a tuple; returns the slot number.  Caller must check
         :attr:`is_full` first (the heap does)."""
         if self.is_full:
-            raise RuntimeError(f"page {self.number} is full")
-        self._slots.append(row)
+            raise StorageError(f"page {self.number} is full")
+        self._slots.append(TupleVersion(row, stamp))
         return len(self._slots) - 1
 
     def read(self, slot: int) -> Row | None:
-        """Return the tuple at ``slot`` or ``None`` for a tombstone.
-        Raises IndexError for a slot that never existed."""
+        """Return the current tuple at ``slot`` or ``None`` for a
+        tombstone.  Raises IndexError for a slot that never existed."""
+        head = self._slots[slot]
+        return None if head is None else head.row
+
+    def read_version(self, slot: int) -> TupleVersion | None:
+        """Return the head of the version chain at ``slot`` (``None``
+        for a replay-materialized empty slot)."""
         return self._slots[slot]
 
-    def write(self, slot: int, row: Row) -> None:
-        """Overwrite the tuple at ``slot`` (in-place update)."""
-        if self._slots[slot] is None:
-            raise RuntimeError(
+    def write(self, slot: int, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> None:
+        """Write ``row`` at ``slot``.  Pushes a new version unless the
+        head already belongs to the same stamp (a transaction updating
+        its own uncommitted write mutates it in place — this is also
+        what makes abort-undo restore the committed value without
+        growing the chain)."""
+        head = self._slots[slot]
+        if head is None or head.row is None:
+            raise StorageError(
                 f"cannot update deleted tuple at page {self.number} slot {slot}"
             )
-        self._slots[slot] = row
+        if head.stamp is stamp:
+            head.row = row
+        else:
+            self._slots[slot] = TupleVersion(row, stamp, prev=head)
 
-    def delete(self, slot: int) -> Row:
+    def delete(self, slot: int, stamp: CommitStamp = BOOTSTRAP_STAMP) -> Row:
         """Tombstone the tuple at ``slot``; returns the old row."""
-        old = self._slots[slot]
-        if old is None:
-            raise RuntimeError(
+        head = self._slots[slot]
+        if head is None or head.row is None:
+            raise StorageError(
                 f"tuple at page {self.number} slot {slot} is already deleted"
             )
-        self._slots[slot] = None
+        old = head.row
+        if head.stamp is stamp:
+            head.row = None
+        else:
+            self._slots[slot] = TupleVersion(None, stamp, prev=head)
         return old
 
-    def restore(self, slot: int, row: Row) -> None:
+    def restore(self, slot: int, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> None:
         """Undo a delete: put ``row`` back in a tombstoned ``slot``."""
-        if self._slots[slot] is not None:
-            raise RuntimeError(
+        head = self._slots[slot]
+        if head is not None and head.row is not None:
+            raise StorageError(
                 f"slot {slot} of page {self.number} is not a tombstone"
             )
-        self._slots[slot] = row
+        if head is None:
+            self._slots[slot] = TupleVersion(row, stamp)
+        elif head.stamp is stamp:
+            head.row = row
+        else:
+            self._slots[slot] = TupleVersion(row, stamp, prev=head)
 
     def truncate_to(self, length: int) -> None:
         """Drop trailing slots (used only when undoing an insert that was
@@ -86,22 +117,29 @@ class Page:
         while len(self._slots) < self.capacity:
             self._slots.append(None)
 
-    def place(self, slot: int, row: Row) -> None:
+    def place(self, slot: int, row: Row, stamp: CommitStamp = BOOTSTRAP_STAMP) -> None:
         """REDO replay: put ``row`` at ``slot``, materializing any
         intervening slots as tombstones (they belonged to transactions
         whose inserts did not survive — aborted or later-deleted)."""
         if slot >= self.capacity:
-            raise RuntimeError(f"slot {slot} beyond page capacity {self.capacity}")
+            raise StorageError(f"slot {slot} beyond page capacity {self.capacity}")
         while len(self._slots) <= slot:
             self._slots.append(None)
         if self._slots[slot] is not None:
-            raise RuntimeError(
+            raise StorageError(
                 f"slot {slot} of page {self.number} is already occupied"
             )
-        self._slots[slot] = row
+        self._slots[slot] = TupleVersion(row, stamp)
 
     def iter_live(self) -> Iterator[tuple[int, Row]]:
-        """Yield (slot, row) for every live tuple."""
-        for slot, row in enumerate(self._slots):
-            if row is not None:
-                yield slot, row
+        """Yield (slot, row) for every currently-live tuple."""
+        for slot, head in enumerate(self._slots):
+            if head is not None and head.row is not None:
+                yield slot, head.row
+
+    def iter_heads(self) -> Iterator[tuple[int, TupleVersion]]:
+        """Yield (slot, head-version) for every slot that has a chain
+        (tombstoned heads included — snapshot scans need them)."""
+        for slot, head in enumerate(self._slots):
+            if head is not None:
+                yield slot, head

@@ -2,7 +2,7 @@
 
 from .locks import DeadlockPolicy, LockManager, LockMode
 from .wal import LogOp, LogRecord, RedoLog
-from .manager import Transaction, TransactionManager, TxnState
+from .manager import IsolationLevel, Transaction, TransactionManager, TxnState
 from .recovery import RecoveryError, replay_redo
 
 __all__ = [
@@ -12,6 +12,7 @@ __all__ = [
     "LogOp",
     "LogRecord",
     "RedoLog",
+    "IsolationLevel",
     "Transaction",
     "TransactionManager",
     "TxnState",

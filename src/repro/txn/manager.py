@@ -16,6 +16,7 @@ from typing import Any, Callable, Hashable
 
 from ..errors import TransactionAborted, TransactionError
 from ..storage.tid import Tid
+from ..storage.version import CommitStamp
 from .locks import DeadlockPolicy, LockManager, LockMode
 from .wal import LogOp, RedoLog
 
@@ -28,15 +29,54 @@ class TxnState(Enum):
     ABORTED = "ABORTED"
 
 
+class IsolationLevel(Enum):
+    """Isolation modes offered by :meth:`TransactionManager.begin`.
+
+    READ_COMMITTED is the pre-MVCC behavior: strict 2PL with short read
+    locks.  SNAPSHOT reads a consistent version-chain snapshot taken at
+    ``begin`` without read locks; writes still take 2PL write locks and
+    conflict first-committer-wins (SQLSTATE 40001 on loss).
+    """
+
+    READ_COMMITTED = "read_committed"
+    SNAPSHOT = "snapshot"
+
+    @classmethod
+    def coerce(cls, value: "IsolationLevel | str | None") -> "IsolationLevel | None":
+        if value is None or isinstance(value, cls):
+            return value
+        name = str(value).strip().lower().replace("-", "_")
+        if name in ("snapshot", "si", "snapshot_isolation"):
+            return cls.SNAPSHOT
+        if name in ("read_committed", "2pl", "default"):
+            return cls.READ_COMMITTED
+        raise ValueError(f"unknown isolation level: {value!r}")
+
+
 class Transaction:
     """One transaction.  Not thread-safe: a transaction belongs to the
     single worker driving it (workers cooperate through the shared lock
     manager and BullFrog's shared trackers, not by sharing transactions).
     """
 
-    def __init__(self, txn_id: int, manager: "TransactionManager") -> None:
+    def __init__(
+        self,
+        txn_id: int,
+        manager: "TransactionManager",
+        isolation: IsolationLevel = IsolationLevel.READ_COMMITTED,
+        snapshot_ts: int | None = None,
+    ) -> None:
         self.id = txn_id
         self.state = TxnState.ACTIVE
+        self.isolation = isolation
+        #: Snapshot timestamp (SNAPSHOT isolation only): this txn sees
+        #: exactly the versions committed at or before this timestamp,
+        #: plus its own writes.
+        self.snapshot_ts = snapshot_ts
+        #: Shared mutable stamp carried by every version this txn
+        #: writes; commit assigns its timestamp once (publishing all of
+        #: them atomically), abort marks it aborted.
+        self.stamp = CommitStamp(txn_id=txn_id)
         self._manager = manager
         self._locks: list[Hashable] = []
         self._undo: list[Callable[[], None]] = []
@@ -85,17 +125,20 @@ class Transaction:
     # ------------------------------------------------------------------
     def record_insert(self, table, tid: Tid, row: Row) -> None:
         self._check_active()
-        self._undo.append(lambda: table.physical_unindex(tid, row))
+        stamp = self.stamp
+        self._undo.append(lambda: table.physical_unindex(tid, row, stamp=stamp))
         self._redo.append((LogOp.INSERT, (table.schema.name, tid, row)))
 
     def record_update(self, table, tid: Tid, old_row: Row, new_row: Row) -> None:
         self._check_active()
-        self._undo.append(lambda: table.physical_update(tid, old_row))
+        stamp = self.stamp
+        self._undo.append(lambda: table.physical_update(tid, old_row, stamp=stamp))
         self._redo.append((LogOp.UPDATE, (table.schema.name, tid, new_row)))
 
     def record_delete(self, table, tid: Tid, old_row: Row) -> None:
         self._check_active()
-        self._undo.append(lambda: table.physical_restore(tid, old_row))
+        stamp = self.stamp
+        self._undo.append(lambda: table.physical_restore(tid, old_row, stamp=stamp))
         self._redo.append((LogOp.DELETE, (table.schema.name, tid, old_row)))
 
     def record_migration(self, migration_id: str, input_table: str, granules: tuple) -> None:
@@ -141,6 +184,11 @@ class Transaction:
             # caller see the abort.
             self.abort()
             raise
+        if self._undo or self._redo:
+            # Assign the commit timestamp while still holding write
+            # locks: every version this txn wrote becomes visible to
+            # future snapshots in one latched store.
+            self._manager._assign_commit_ts(self.stamp)
         self.state = TxnState.COMMITTED
         self._release_locks()
         hooks, self._commit_hooks = self._commit_hooks, []
@@ -153,6 +201,10 @@ class Transaction:
             return
         if self.state is TxnState.COMMITTED:
             raise TransactionError(f"transaction {self.id} already committed")
+        # Mark the stamp first: versions this txn wrote are permanently
+        # invisible to snapshots (its ts is never assigned), and GC can
+        # unlink them.
+        self.stamp.aborted = True
         # Apply undo in reverse order (standard ARIES-style rollback).
         for action in reversed(self._undo):
             action()
@@ -215,12 +267,60 @@ class TransactionManager:
         self._next_id = itertools.count(1)
         self._active: dict[int, Transaction] = {}
         self._latch = threading.Lock()
+        # Global commit-timestamp clock.  0 is the bootstrap timestamp
+        # (loader/DDL/replay writes); real commits start at 1.
+        self._clock_latch = threading.Lock()
+        self._last_commit_ts = 0
 
-    def begin(self) -> Transaction:
-        txn = Transaction(next(self._next_id), self)
+    def begin(
+        self,
+        isolation: IsolationLevel | str = IsolationLevel.READ_COMMITTED,
+        snapshot_ts: int | None = None,
+    ) -> Transaction:
+        """Start a transaction.  For SNAPSHOT isolation, ``snapshot_ts``
+        pins the snapshot (a caller that already read the clock — e.g.
+        the statement interceptor — passes it so the snapshot and any
+        derived state agree); by default the current clock is read."""
+        level = IsolationLevel.coerce(isolation) or IsolationLevel.READ_COMMITTED
+        if level is IsolationLevel.SNAPSHOT and snapshot_ts is None:
+            snapshot_ts = self.current_ts()
+        elif level is not IsolationLevel.SNAPSHOT:
+            snapshot_ts = None
+        txn = Transaction(
+            next(self._next_id), self, isolation=level, snapshot_ts=snapshot_ts
+        )
         with self._latch:
             self._active[txn.id] = txn
         return txn
+
+    # ------------------------------------------------------------------
+    # Commit-timestamp clock
+    # ------------------------------------------------------------------
+    def current_ts(self) -> int:
+        """The newest assigned commit timestamp — a snapshot taken now
+        sees exactly the transactions stamped at or before it."""
+        with self._clock_latch:
+            return self._last_commit_ts
+
+    def _assign_commit_ts(self, stamp: CommitStamp) -> None:
+        with self._clock_latch:
+            self._last_commit_ts += 1
+            stamp.ts = self._last_commit_ts
+
+    def oldest_snapshot_ts(self) -> int:
+        """GC horizon: the oldest snapshot any active transaction holds
+        (versions older than the newest committed-before-horizon version
+        of a tuple can never be read again)."""
+        with self._latch:
+            snapshots = [
+                txn.snapshot_ts
+                for txn in self._active.values()
+                if txn.snapshot_ts is not None
+            ]
+        horizon = self.current_ts()
+        if snapshots:
+            horizon = min(horizon, min(snapshots))
+        return horizon
 
     def _finished(self, txn: Transaction) -> None:
         with self._latch:

@@ -61,7 +61,8 @@ class TestEager:
         db, s = make_db(rows=300)
         release = threading.Event()
         # Slow the migration artificially by holding the lock first.
-        blocker = db.connect()
+        # Pinned: the reader must take an IS lock to block the migration.
+        blocker = db.connect(isolation="read_committed")
         blocker.execute("BEGIN")
         blocker.execute("SELECT COUNT(*) FROM src")  # IS lock held
 

@@ -296,6 +296,8 @@ class TestFkPkJoinOptions:
             fkpk_join_mode="value-hashmap",
         )
         engine.submit("m", self.DDL)
-        s.execute("SELECT v FROM av WHERE aid = 4")
+        # Pinned: the SELECT must lazy-migrate its FK group under 2PL.
+        rc = db.connect(isolation="read_committed")
+        rc.execute("SELECT v FROM av WHERE aid = 4")
         # aid=4 has owner 101: the whole owner-101 group (3 rows) migrated.
         assert engine.stats.tuples_migrated == 3

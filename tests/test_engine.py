@@ -16,7 +16,8 @@ from repro.errors import (
 
 
 def make_source_db(rows=50):
-    db = Database()
+    # Pinned: these tests assert 2PL lazy-migration mechanics.
+    db = Database(isolation="read_committed")
     s = db.connect()
     s.execute(
         "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT, tag VARCHAR(10))"
@@ -187,7 +188,7 @@ class TestLazyBehaviour:
         assert engine.units[0].tracker.all_migrated
 
     def test_fk_pk_join_unit(self):
-        db = Database()
+        db = Database(isolation="read_committed")
         s = db.connect()
         s.execute("CREATE TABLE dim (k INT PRIMARY KEY, label VARCHAR(10))")
         s.execute("CREATE TABLE fact (id INT PRIMARY KEY, k INT, amt INT)")

@@ -11,7 +11,8 @@ from repro.errors import ForeignKeyViolation
 
 
 def make_db(rows=64):
-    db = Database()
+    # Pinned: these tests assert 2PL lazy-migration mechanics.
+    db = Database(isolation="read_committed")
     s = db.connect()
     s.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
     for i in range(rows):
@@ -124,7 +125,7 @@ class TestFkDrivenMigration:
     def test_insert_into_child_migrates_parent_first(self):
         """Figure 12's mechanism: an FK from a live table into a new
         table forces parent migration on every child insert."""
-        db = Database()
+        db = Database(isolation="read_committed")
         s = db.connect()
         s.execute("CREATE TABLE parent_old (id INT PRIMARY KEY, v INT)")
         s.execute("CREATE TABLE child (cid INT PRIMARY KEY, pid INT)")
@@ -161,7 +162,7 @@ class TestJoinOptionsEndToEnd:
     )
 
     def _db(self):
-        db = Database()
+        db = Database(isolation="read_committed")
         s = db.connect()
         s.execute("CREATE TABLE dim (k INT PRIMARY KEY, label VARCHAR(8))")
         s.execute("CREATE TABLE fact (id INT PRIMARY KEY, k INT, amt INT)")

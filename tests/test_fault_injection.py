@@ -44,7 +44,8 @@ GROUPS = 6
 
 
 def make_db(rows=ROWS):
-    db = Database()
+    # Pinned: fault-injection tests assert 2PL lazy-migration mechanics.
+    db = Database(isolation="read_committed")
     s = db.connect()
     s.execute(
         "CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT, tag VARCHAR(10))"

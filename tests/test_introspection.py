@@ -104,7 +104,8 @@ class TestExplainStatement:
         db, _ = make_source_db()
         engine = LazyMigrationEngine(db, background=BackgroundConfig(enabled=False))
         engine.submit("m", SPLIT_DDL)
-        session = db.connect()
+        # Pinned: asserts the 2PL lazy-migration stall line.
+        session = db.connect(isolation="read_committed")
         result = session.execute(
             "EXPLAIN ANALYZE SELECT v FROM left_part WHERE id = 7"
         )
@@ -201,7 +202,8 @@ class TestSystemViews:
             strategy=Strategy.LAZY,
             background=BackgroundConfig(enabled=False),
         )
-        session = tpcc_db.connect()
+        # Pinned: SELECTs must lazy-migrate their granules.
+        session = tpcc_db.connect(isolation="read_committed")
         # Touch a few customers: lazy-migrates their granules.
         for c_id in (1, 2, 3):
             session.execute(

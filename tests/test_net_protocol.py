@@ -155,6 +155,19 @@ def test_handshake_and_misc_frames_roundtrip():
     assert protocol.decode_hello(payload) == {
         "version": 1,
         "client_name": "shell",
+        "options": {},
+    }
+    # Pre-options clients stop after client_name; the decoder must
+    # accept the shorter payload (no trailer -> empty options).
+    _, payload, _ = protocol.decode_frame(
+        protocol.encode_hello(
+            "shell", 1, options={"isolation": "snapshot", "x": "y"}
+        )
+    )
+    assert protocol.decode_hello(payload) == {
+        "version": 1,
+        "client_name": "shell",
+        "options": {"isolation": "snapshot", "x": "y"},
     }
     _, payload, _ = protocol.decode_frame(
         protocol.encode_welcome("1.0.0", 7, 42)

@@ -494,7 +494,8 @@ class TestIntegration:
         rows = 120
         obs = Observability()  # metrics + tracing
         db = Database(obs=obs)
-        session = db.connect()
+        # Pinned: asserts per-tuple lazy-migration metrics under 2PL.
+        session = db.connect(isolation="read_committed")
         _seed_src(session, rows)
         engine = LazyMigrationEngine(
             db, background=BackgroundConfig(enabled=False), obs=obs
@@ -531,7 +532,8 @@ class TestIntegration:
         rows = 150
         obs = Observability()
         db = Database(obs=obs)
-        session = db.connect()
+        # Pinned: foreground SELECTs must lazy-migrate their granules.
+        session = db.connect(isolation="read_committed")
         _seed_src(session, rows)
         engine = LazyMigrationEngine(
             db,

@@ -11,7 +11,8 @@ from repro.core import GroupState, rebuild_trackers, simulate_crash
 
 
 def make_db(rows=30):
-    db = Database()
+    # Pinned: recovery tests assert 2PL lazy-migration mechanics.
+    db = Database(isolation="read_committed")
     s = db.connect()
     s.execute("CREATE TABLE src (id INT PRIMARY KEY, grp INT, v INT)")
     for i in range(rows):

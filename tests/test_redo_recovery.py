@@ -113,7 +113,7 @@ class TestEndToEndCrashRecovery:
         """The full section 3.5 story: crash mid-migration, replay the
         REDO log into a fresh database, rebuild the trackers, and let
         the migration finish without duplicating already-migrated rows."""
-        db = Database()
+        db = Database(isolation="read_committed")
         s = db.connect()
         s.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
         for i in range(30):
@@ -134,7 +134,7 @@ class TestEndToEndCrashRecovery:
         # The operator re-applies the DDL (old schema + migration
         # outputs), replays the REDO log, then re-attaches the
         # migration with resume=True and restores the trackers.
-        recovered = Database()
+        recovered = Database(isolation="read_committed")
         rs = recovered.connect()
         rs.execute("CREATE TABLE src (id INT PRIMARY KEY, v INT)")
         rs.execute("CREATE TABLE copy (id INT PRIMARY KEY, v INT)")

@@ -5,7 +5,7 @@ import threading
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.errors import UniqueViolation
+from repro.errors import StorageError, UniqueViolation
 from repro.storage import (
     DEFAULT_PAGE_CAPACITY,
     HashIndex,
@@ -37,7 +37,7 @@ class TestPage:
         page.append((1,))
         page.append((2,))
         assert page.is_full
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StorageError):
             page.append((3,))
 
     def test_delete_restore(self):
@@ -52,14 +52,14 @@ class TestPage:
         page = Page(0, capacity=4)
         slot = page.append((1,))
         page.delete(slot)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StorageError):
             page.delete(slot)
 
     def test_write_to_tombstone_rejected(self):
         page = Page(0, capacity=4)
         slot = page.append((1,))
         page.delete(slot)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StorageError):
             page.write(slot, (2,))
 
     def test_iter_live_skips_tombstones(self):
@@ -113,7 +113,7 @@ class TestHeapTable:
         heap = HeapTable("t")
         tid = heap.insert((1,))
         heap.delete(tid)
-        with pytest.raises(RuntimeError):
+        with pytest.raises(StorageError):
             heap.update(tid, (2,))
 
     def test_restore(self):
@@ -144,6 +144,56 @@ class TestHeapTable:
         heap.delete(tids[4])
         got = [row[0] for _tid, row in heap.scan_range(3, 7)]
         assert got == [3, 5, 6]
+
+    def test_scan_range_on_page_seams(self):
+        """Start and end exactly on page boundaries: [4, 8) of a
+        4-per-page heap is precisely the second page."""
+        heap = HeapTable("t", page_capacity=4)
+        for i in range(12):
+            heap.insert((i,))
+        got = [row[0] for _tid, row in heap.scan_range(4, 8)]
+        assert got == [4, 5, 6, 7]
+
+    def test_scan_range_end_past_max_ordinal(self):
+        heap = HeapTable("t", page_capacity=4)
+        for i in range(6):
+            heap.insert((i,))
+        got = [row[0] for _tid, row in heap.scan_range(4, 100)]
+        assert got == [4, 5]
+
+    def test_scan_range_empty(self):
+        heap = HeapTable("t", page_capacity=4)
+        for i in range(6):
+            heap.insert((i,))
+        assert list(heap.scan_range(3, 3)) == []
+        assert list(heap.scan_range(5, 2)) == []
+
+    def test_scan_range_start_at_max_ordinal(self):
+        heap = HeapTable("t", page_capacity=4)
+        for i in range(8):  # exactly two full pages
+            heap.insert((i,))
+        assert list(heap.scan_range(8, 12)) == []
+
+    def test_delete_restore_round_trips(self):
+        """Repeated delete→restore cycles leave the tuple, live count,
+        and scans exactly as before."""
+        heap = HeapTable("t", page_capacity=2)
+        tids = [heap.insert((i,)) for i in range(4)]
+        for _ in range(3):
+            old = heap.delete(tids[1])
+            assert old == (1,)
+            assert heap.read(tids[1]) is None
+            assert len(heap) == 3
+            heap.restore(tids[1], (1,))
+            assert heap.read(tids[1]) == (1,)
+            assert len(heap) == 4
+        assert [row for _tid, row in heap.scan()] == [(0,), (1,), (2,), (3,)]
+
+    def test_restore_live_tuple_rejected(self):
+        heap = HeapTable("t")
+        tid = heap.insert((1,))
+        with pytest.raises(StorageError):
+            heap.restore(tid, (2,))
 
     def test_ordinal_mapping(self):
         heap = HeapTable("t", page_capacity=4)
