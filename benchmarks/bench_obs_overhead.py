@@ -12,7 +12,11 @@ two configurations against the production default (``obs=None``):
   must stay under **2%**;
 * **metrics enabled** (tracing off) — exact counters on every
   statement, commit, and claim round, plus the latency histogram at
-  its default 1-in-16 statement sampling; must stay under **5%**.
+  its default 1-in-16 statement sampling; must stay under **5%**;
+* **tracing enabled** — the full request-tracing surface: head-sampled
+  root statement spans (a coarser 1-in-64 period; a propagated trace
+  context always traces), wait-event staging, and the trace ring;
+  must also stay under **5%**.
 
 The measured regime is the *no-op migration hot loop*: a lazy SPLIT is
 submitted and drained down to one remaining granule (untimed), then we
@@ -199,6 +203,18 @@ def test_enabled_metrics_are_cheap():
         lambda: Observability(metrics=True, tracing=False),
         0.05,
         "enabled-metrics",
+    )
+
+
+def test_enabled_tracing_is_cheap():
+    """Metrics + tracing, the full default configuration.  Untraced
+    statements pay one signed clock read over the metrics path; the
+    1-in-64 head-sampled roots pay the full span/context machinery,
+    amortized.  Contract: <5% end-to-end."""
+    _check_overhead(
+        lambda: Observability(),
+        0.05,
+        "enabled-tracing",
     )
 
 

@@ -1,17 +1,29 @@
-"""Observe a live TPC-C lazy migration end to end.
+"""Observe a live TPC-C lazy migration end to end — then trace one
+client request across the wire into the engine.
 
-Runs the paper's SPLIT scenario under a TPC-C workload with the
-observability layer attached (metrics + tracing), then writes the two
-artifacts a production operator would look at:
+Act 1 runs the paper's SPLIT scenario under a TPC-C workload with the
+observability layer attached (metrics + tracing).  Act 2 starts a real
+``bullfrogd`` on a loopback port and sends traced requests through the
+client library: the trace context crosses the socket in the frame
+trailer, so the server-loop spans (``net.queue`` → ``server.execute``
+→ ``stmt.*`` → ``net.flush``) land in the same trace as the client's
+root span.  Two artifacts come out, the ones a production operator
+would look at:
 
 * ``results/obs_metrics.prom`` — Prometheus text snapshot: migration
   counters (granules, tuples, skip-waits, aborts), transaction and WAL
   counters, and the sampled per-statement latency histograms;
-* ``results/obs_trace.json`` — Chrome ``trace_event`` JSON.  Load it in
-  Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``: client
-  threads show ``stmt.*`` and foreground ``migrate.wip`` spans, and the
-  background migrator's ``background.pass`` spans overlap them on their
-  own track.
+* ``results/obs_trace.json`` — one merged Chrome ``trace_event``
+  document.  Load it in Perfetto (https://ui.perfetto.dev) or
+  ``chrome://tracing``: the ``tpcc-experiment`` process row shows
+  ``stmt.*`` / ``migrate.wip`` / ``background.pass`` spans, and the
+  ``client`` + ``bullfrogd`` rows show one networked request's spans
+  linked by a shared ``trace`` id in their args.
+
+The tour also prints the SQL-facing surfaces added with distributed
+tracing: ``bullfrog_stat_wait_events`` (where statement time went, by
+class) and ``bullfrog_stat_slow_queries`` (the slow-query ring with
+trace ids).
 
 Run with::
 
@@ -21,32 +33,27 @@ Run with::
 import json
 import os
 
+from repro import Database
 from repro.bench import ExperimentConfig, run_migration_experiment
-from repro.obs import render_prometheus
+from repro.net import BullfrogServer, ServerConfig, connect
+from repro.obs import Observability, TraceLog, merge_chrome, render_prometheus
 
 RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
 
 
-def main() -> None:
+def run_experiment():
+    """Act 1: the SPLIT migration under TPC-C, fully instrumented."""
     config = ExperimentConfig(
         scenario="split",
         duration=8.0,
         migrate_at=2.0,
-        background_delay=1.0,
+        background_delay=0.2,
         workers=4,
         observability=True,
     )
     result = run_migration_experiment(config)
     obs = result.obs
     assert obs is not None
-
-    prom_path = os.path.join(RESULTS, "obs_metrics.prom")
-    with open(prom_path, "w") as fh:
-        fh.write(render_prometheus(obs.registry))
-
-    trace_path = os.path.join(RESULTS, "obs_trace.json")
-    with open(trace_path, "w") as fh:
-        fh.write(obs.trace.to_chrome_json())
 
     stats = result.migration_stats
     registry = obs.registry
@@ -58,13 +65,103 @@ def main() -> None:
         f"aborts="
         f"{registry.get('bullfrog_migration_txn_aborts_total').value:.0f})"
     )
-    doc = json.loads(open(trace_path).read())
-    events = doc["traceEvents"]
+    return obs
+
+
+def run_traced_request():
+    """Act 2: a traced client request through a live bullfrogd.
+
+    ``slow_query_threshold=0.0`` forces every statement into the
+    slow-query ring (a real deployment would use e.g. ``0.05``); it
+    also forces full tracing, though the wire trailer alone already
+    does that for propagated requests.
+    """
+    db = Database(obs=Observability(slow_query_threshold=0.0))
+    server = BullfrogServer(db, ServerConfig(port=0)).start()
+    client_log = TraceLog()
+    try:
+        with connect("127.0.0.1", server.port, trace=True,
+                     trace_log=client_log) as conn:
+            conn.execute(
+                "CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)"
+            )
+            conn.begin()
+            for i in range(8):
+                conn.execute(
+                    "INSERT INTO accounts VALUES (?, ?)", (i, i * 100)
+                )
+            conn.commit()
+            ctx = conn.last_trace  # the COMMIT: its tree has wal.append
+            with conn.pipeline() as pipe:
+                for i in range(8):
+                    pipe.execute(
+                        "SELECT balance FROM accounts WHERE id = ?", (i,)
+                    )
+
+        session = db.connect()
+        print("\nbullfrog_stat_wait_events:")
+        for row in session.execute(
+            "SELECT * FROM bullfrog_stat_wait_events"
+        ).dicts():
+            print(
+                f"  {row['wait_class']:>9}: {row['count']:>3} events, "
+                f"{row['total_seconds'] * 1000.0:8.3f} ms"
+            )
+        slow = session.execute(
+            "SELECT stmt, duration_ms, cpu_ms, trace_id"
+            " FROM bullfrog_stat_slow_queries"
+        ).dicts()
+        print(f"\nbullfrog_stat_slow_queries: {len(slow)} records")
+        for row in slow[-3:]:
+            print(
+                f"  {row['stmt']:>7} {row['duration_ms']:7.3f} ms "
+                f"(cpu {row['cpu_ms']:.3f} ms) trace={row['trace_id']}"
+            )
+
+        linked = db.obs.trace.events_for_trace(ctx.trace_id)
+        print(
+            f"\nCOMMIT request trace={ctx.trace_id}: "
+            f"{[e.name for e in client_log.events_for_trace(ctx.trace_id)]} "
+            f"on the client, {[e.name for e in linked]} on the server"
+        )
+        return client_log, db.obs.trace
+    finally:
+        server.shutdown(drain_timeout=2.0)
+
+
+def main() -> None:
+    experiment_obs = run_experiment()
+    client_log, server_log = run_traced_request()
+
+    prom_path = os.path.join(RESULTS, "obs_metrics.prom")
+    with open(prom_path, "w") as fh:
+        fh.write(render_prometheus(experiment_obs.registry))
+
+    merged = merge_chrome(
+        [
+            experiment_obs.trace.to_chrome(),
+            client_log.to_chrome(),
+            server_log.to_chrome(),
+        ],
+        ["tpcc-experiment", "client", "bullfrogd"],
+    )
+    trace_path = os.path.join(RESULTS, "obs_trace.json")
+    with open(trace_path, "w") as fh:
+        json.dump(merged, fh)
+
+    events = merged["traceEvents"]
     fg = [e for e in events if e.get("name") == "migrate.wip"]
-    bg = [e for e in events if e.get("name") == "background.pass" and e["ph"] == "X"]
+    bg = [
+        e for e in events
+        if e.get("name") == "background.pass" and e["ph"] == "X"
+    ]
+    net = [
+        e for e in events
+        if e.get("name") in ("net.queue", "server.execute", "net.flush")
+    ]
     print(
-        f"trace: {len(events)} events, {len(fg)} migrate.wip spans, "
-        f"{len(bg)} background.pass spans"
+        f"\ntrace: {len(events)} events, {len(fg)} migrate.wip spans, "
+        f"{len(bg)} background.pass spans, {len(net)} server-loop spans"
     )
     print(f"wrote {prom_path}")
     print(f"wrote {trace_path}")

@@ -38,6 +38,7 @@ from ..catalog import Column, TableSchema
 from ..exec.expressions import RowLayout, compile_expr, predicate_satisfied
 from ..exec.plan import ExecutionContext
 from ..obs import Observability
+from ..obs.tracectx import current as _trace_current
 from ..sql import ast_nodes as ast
 from ..sql.render import render_statement
 from ..txn import IsolationLevel
@@ -781,14 +782,7 @@ class LazyMigrationEngine:
         skip_seen: set = set()
         while pending:
             if obs is not None:
-                if obs.tracing_enabled:
-                    obs.emit(
-                        "migrate.before_claim",
-                        unit=runtime.plan.unit_id,
-                        pending=len(pending),
-                    )
-                else:
-                    obs.inc_claim_round()
+                obs.inc_claim_round()
             if faults is not None and "migrate.before_claim" in faults.watching:
                 faults.fire(
                     "migrate.before_claim",
@@ -808,6 +802,20 @@ class LazyMigrationEngine:
                 elif claim is Claim.SKIP:
                     skip.append(granule)
                     skip_seen.add(granule)
+            if obs is not None and (wip or skip):
+                # The instant is emitted only for rounds that found
+                # work: the steady-state round (everything already
+                # migrated) is the no-op hot loop the <5% tracing
+                # budget prices, and an every-round instant was its
+                # single largest line item.  The counter above stays
+                # exact for all rounds.
+                obs.trace_point(
+                    "migrate.before_claim",
+                    unit=runtime.plan.unit_id,
+                    pending=len(pending),
+                    wip=len(wip),
+                    skip=len(skip),
+                )
             if wip:
                 self._migrate_wip(runtime, wip, is_bitmap)
                 wip_seen.difference_update(wip)
@@ -933,6 +941,12 @@ class LazyMigrationEngine:
             )
         tracker.mark_migrated(wip)  # Algorithm 1 lines 8-9
         self.stats.add(granules=len(wip), tuples=produced)
+        ctx = _trace_current()
+        if ctx is not None:
+            # Foreground statement pulled this migration in: the work
+            # lands in its slow-query record.
+            ctx.note("granules", len(wip))
+            ctx.note("tuples", produced)
         if obs is not None:
             obs.emit(
                 "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(wip)
@@ -1015,6 +1029,10 @@ class LazyMigrationEngine:
             )
         tracker.mark_migrated(todo)
         self.stats.add(granules=len(todo), tuples=produced)
+        ctx = _trace_current()
+        if ctx is not None:
+            ctx.note("granules", len(todo))
+            ctx.note("tuples", produced)
         if obs is not None:
             obs.emit(
                 "migrate.after_commit", unit=runtime.plan.unit_id, wip=len(todo)

@@ -47,6 +47,13 @@ from .exec.plan import ExecutionContext
 from .exec.planner import PlannedQuery, Planner
 from .obs import Observability
 from .obs.sysviews import register_system_views
+from .obs.tracectx import (
+    TraceContext,
+    activate as _trace_activate,
+    current as _trace_current,
+    deactivate as _trace_deactivate,
+    trace_args as _trace_tags,
+)
 from .sql import ast_nodes as ast
 from .sql.parser import parse_statement
 from .storage.page import DEFAULT_PAGE_CAPACITY
@@ -174,7 +181,16 @@ class Database:
         cached = self._parse_cache.get(sql)
         if cached is not None:
             return cached
-        stmt = parse_statement(sql)
+        obs = self.obs
+        if obs is not None and obs.tracing_enabled:
+            # Parse is a span only on a cache miss: the steady state
+            # hits the cache, and those statements genuinely do no
+            # parse work worth a row in Perfetto.
+            start_us = obs.trace.now_us()
+            stmt = parse_statement(sql)
+            obs.trace.complete("stmt.parse", start_us, cat="exec", args=_trace_tags())
+        else:
+            stmt = parse_statement(sql)
         with self._cache_latch:
             if len(self._parse_cache) < 10_000:
                 self._parse_cache[sql] = stmt
@@ -215,6 +231,12 @@ class Session:
         # Consumed by the next transaction begin / execution context.
         self._pending_snapshot_ts: int | None = None
         self._pending_overlay: dict[str, list[tuple]] | None = None
+        # Propagated request trace context: ``bullfrogd`` parks the
+        # wire-carried TraceContext here around each statement it
+        # dispatches on this session.  An explicit attribute instead of
+        # the ambient contextvar so the embedded fast path (no server,
+        # no propagation) prices the check at one attribute read.
+        self._request_ctx: Any = None
 
     @property
     def effective_isolation(self) -> IsolationLevel:
@@ -333,24 +355,64 @@ class Session:
             # would double-count migration work as client latency.
             return self._run_statement(stmt, params, sql_text)
         start = obs.statement_begin(type(stmt))
+        if not obs.statement_tracing:
+            if not start:
+                # Counted but not latency-sampled (see Observability's
+                # ``sample_statements``): run without the clock reads.
+                return self._run_statement(stmt, params, sql_text)
+            try:
+                return self._run_statement(stmt, params, sql_text)
+            finally:
+                # One histogram observation + one trace span per sampled
+                # client statement, measured around interception — so the
+                # latency a client sees *including* any lazy migration it
+                # triggered.
+                obs.statement_done(_stmt_kind(stmt), start)
+        # Statement tracing: fork the statement's trace context — a
+        # child of the server's request context when one is active
+        # (networked path), a fresh root otherwise (embedded path) —
+        # and expose it via the contextvar so locks/WAL/migration below
+        # attribute their waits to this statement.  Root spans are head
+        # sampled (see Observability.sample_traces): ``statement_begin``
+        # answers ``0.0`` for an unsampled statement (span-free at the
+        # metrics fast-path cost; the counters already saw it) and a
+        # *negative* start for latency-sampled-but-untraced ones
+        # (histogram only).  A propagated context always wins over the
+        # sample coin — a traced networked request never loses its
+        # engine spans.
+        parent = self._request_ctx
+        if parent is None:
+            if not start:
+                return self._run_statement(stmt, params, sql_text)
+            if start < 0.0:
+                try:
+                    return self._run_statement(stmt, params, sql_text)
+                finally:
+                    obs.statement_done(_stmt_kind(stmt), -start)
+        elif start < 0.0:
+            start = -start
         if not start:
-            # Counted but not latency-sampled (see Observability's
-            # ``sample_statements``): run without the clock reads.
-            return self._run_statement(stmt, params, sql_text)
+            start = time.perf_counter()
+        ctx = parent.child() if parent is not None else TraceContext()
+        token = _trace_activate(ctx)
         try:
-            return self._run_statement(stmt, params, sql_text)
+            return self._run_statement(stmt, params, sql_text, ctx)
         finally:
-            # One histogram observation + one trace span per sampled
-            # client statement, measured around interception — so the
-            # latency a client sees *including* any lazy migration it
-            # triggered.
-            obs.statement_done(_stmt_kind(stmt), start)
+            _trace_deactivate(token)
+            obs.statement_done(
+                _stmt_kind(stmt),
+                start,
+                ctx,
+                sql_text,
+                self.isolation.value,
+            )
 
     def _run_statement(
         self,
         stmt: ast.Statement,
         params: Sequence[Any],
         sql_text: str | None,
+        trace_ctx: Any = None,
     ) -> Result:
         interceptor = self.db._interceptor
         if (
@@ -358,7 +420,19 @@ class Session:
             and not self.internal
             and isinstance(stmt, (ast.Select, ast.Insert, ast.Update, ast.Delete))
         ):
-            interceptor(self, stmt, params, sql_text)
+            if trace_ctx is not None:
+                # Only statements that carry a trace context (sampled
+                # roots and propagated requests) pay the two clock
+                # reads around interception; an untraced statement
+                # runs the interceptor bare.
+                obs = self.db.obs
+                t0 = time.perf_counter()
+                try:
+                    interceptor(self, stmt, params, sql_text)
+                finally:
+                    obs.intercept_done(t0, trace_ctx)
+            else:
+                interceptor(self, stmt, params, sql_text)
 
         try:
             if self.in_transaction:
@@ -544,6 +618,14 @@ class Session:
             if migrated is not None:
                 summary += f", granules=+{migrated[0]}, tuples=+{migrated[1]}"
             lines.append(summary)
+        trace_ctx = _trace_current()
+        if trace_ctx is not None:
+            # Same ids the statement's spans carry — grep the Perfetto
+            # export (or bullfrog_stat_slow_queries) for this trace_id.
+            lines.append(
+                f"Trace: trace_id={trace_ctx.trace_id} "
+                f"span_id={trace_ctx.span_id}"
+            )
         return Result(
             "EXPLAIN",
             rows=[(line,) for line in lines],

@@ -35,6 +35,21 @@ switch without any extra round trip.
 on acquire and reconnect with decorrelated-jitter backoff when the
 check fails — the building block for "clients reconnecting across the
 migration" runs.
+
+**Distributed tracing** (``connect(trace=True)``): the client asks for
+it with a ``trace`` HELLO option; a server that understands answers
+with ``CAP_TRACE`` in the WELCOME capabilities trailer.  From then on
+every ``execute()`` / prepared execution / transaction control mints a
+root :class:`~repro.obs.tracectx.TraceContext` and rides its ids on
+the frame's trace trailer, so the server-loop and engine-internal
+spans it causes share the client's ``trace_id``.  Pass a
+:class:`~repro.obs.trace.TraceLog` as ``trace_log`` to also record the
+**client-side** root span (``client.query`` et al.) — export it with
+:func:`repro.obs.merge_chrome` next to the server's log and Perfetto
+shows the request crossing the socket.  ``conn.last_trace`` holds the
+most recent root context (how a caller finds its request tree in the
+server's log).  Tracing against an old server degrades cleanly: no
+capability, no trailer, client-side spans only.
 """
 
 from __future__ import annotations
@@ -52,6 +67,7 @@ from ..errors import (
     ProtocolError,
     ReproError,
 )
+from ..obs.tracectx import TraceContext
 from . import protocol
 
 
@@ -80,10 +96,12 @@ def connect(
     client_name: str = "repro-client",
     auto_prepare: int = 0,
     isolation: str | None = None,
+    trace: bool = False,
+    trace_log: Any = None,
 ) -> "Connection":
     return Connection(host, port, connect_timeout=connect_timeout,
                       client_name=client_name, auto_prepare=auto_prepare,
-                      isolation=isolation)
+                      isolation=isolation, trace=trace, trace_log=trace_log)
 
 
 class Connection:
@@ -98,6 +116,8 @@ class Connection:
         client_name: str = "repro-client",
         auto_prepare: int = 0,
         isolation: str | None = None,
+        trace: bool = False,
+        trace_log: Any = None,
     ) -> None:
         self.host = host
         self.port = port
@@ -109,6 +129,11 @@ class Connection:
         self._auto_prepare = auto_prepare
         self._stmt_cache: dict[str, PreparedStatement] = {}
         self._next_ps = 0
+        # Distributed tracing: passing a TraceLog implies tracing.
+        self._trace = trace or trace_log is not None
+        self._trace_log = trace_log
+        self.trace_capable = False
+        self.last_trace: TraceContext | None = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -122,8 +147,14 @@ class Connection:
         self.bytes_out = 0
         self.bytes_in = 0
         try:
-            options = {"isolation": isolation} if isolation is not None else None
-            self._send(protocol.encode_hello(client_name, options=options))
+            options: dict[str, str] = {}
+            if isolation is not None:
+                options["isolation"] = isolation
+            if self._trace:
+                options["trace"] = "1"
+            self._send(protocol.encode_hello(
+                client_name, options=options or None
+            ))
             ftype, payload = self._recv()
             if ftype == protocol.ERROR:
                 # Admission control: the server refused us with a
@@ -151,6 +182,11 @@ class Connection:
         self.server_version: str = welcome["server_version"]
         self.schema_epoch: int = welcome["schema_epoch"]
         self.session_id: int = welcome["session_id"]
+        # An old server sends no capabilities trailer (decoded as 0):
+        # tracing degrades to client-side spans with no trailer sent.
+        self.trace_capable = bool(
+            welcome.get("capabilities", 0) & protocol.CAP_TRACE
+        )
         self._sock.settimeout(None)
 
     # ------------------------------------------------------------------
@@ -213,6 +249,42 @@ class Connection:
         return exc
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def _trace_begin(self) -> tuple[TraceContext | None, float]:
+        """Mint the root context for one request (or ``(None, 0)`` when
+        tracing is off).  The returned timestamp is the client-side
+        span's start in the local TraceLog's clock."""
+        if not self._trace:
+            return None, 0.0
+        ctx = TraceContext()
+        self.last_trace = ctx
+        log = self._trace_log
+        return ctx, (log.now_us() if log is not None else 0.0)
+
+    def _trace_end(
+        self, span_name: str, ctx: TraceContext | None, start_us: float,
+        **extra: Any,
+    ) -> None:
+        log = self._trace_log
+        if ctx is None or log is None:
+            return
+        args: dict[str, Any] = {
+            "trace": ctx.trace_id, "span": ctx.span_id,
+        }
+        args.update(extra)
+        log.complete(span_name, start_us, cat="client", args=args)
+
+    def _wire_trace(
+        self, ctx: TraceContext | None
+    ) -> tuple[int, int] | None:
+        """The trailer to ride on the frame — only when the server
+        advertised CAP_TRACE (an old server would reject the bytes)."""
+        if ctx is None or not self.trace_capable:
+            return None
+        return (ctx.trace_id, ctx.span_id)
+
+    # ------------------------------------------------------------------
     # Session-mirroring API
     # ------------------------------------------------------------------
     @property
@@ -234,8 +306,14 @@ class Connection:
                 self._stmt_cache[sql] = ps
             if ps is not None:
                 return self.execute_prepared(ps, params)
-        self._send(protocol.encode_query(sql, params))
-        return self._read_query_response()
+        ctx, start_us = self._trace_begin()
+        self._send(protocol.encode_query(
+            sql, params, trace=self._wire_trace(ctx)
+        ))
+        try:
+            return self._read_query_response()
+        finally:
+            self._trace_end("client.query", ctx, start_us, sql=sql)
 
     def _read_query_response(self) -> Result:
         columns: list[str] = []
@@ -295,8 +373,14 @@ class Connection:
         """Run a prepared statement.  ``params=None`` executes the
         portal most recently bound with :meth:`bind` (or no params)."""
         name = statement if isinstance(statement, str) else statement.name
-        self._send(protocol.encode_execute(name, params))
-        return self._read_query_response()
+        ctx, start_us = self._trace_begin()
+        self._send(protocol.encode_execute(
+            name, params, trace=self._wire_trace(ctx)
+        ))
+        try:
+            return self._read_query_response()
+        finally:
+            self._trace_end("client.execute", ctx, start_us, name=name)
 
     def bind(self, statement: "PreparedStatement | str",
              params: Sequence[Any]) -> None:
@@ -328,18 +412,22 @@ class Connection:
         return Pipeline(self)
 
     def _txn_op(self, op: int) -> None:
-        self._send(protocol.encode_txn(op))
-        ftype, payload = self._recv()
-        if ftype == protocol.ERROR:
-            self._raise_error(payload)
-        if ftype != protocol.COMPLETE:
-            self._mark_broken()
-            raise ProtocolError(
-                f"unexpected frame type 0x{ftype:02x} in txn response"
-            )
-        frame = protocol.decode_complete(payload)
-        self._in_transaction = frame["in_transaction"]
-        self.schema_epoch = frame["schema_epoch"]
+        ctx, start_us = self._trace_begin()
+        self._send(protocol.encode_txn(op, trace=self._wire_trace(ctx)))
+        try:
+            ftype, payload = self._recv()
+            if ftype == protocol.ERROR:
+                self._raise_error(payload)
+            if ftype != protocol.COMPLETE:
+                self._mark_broken()
+                raise ProtocolError(
+                    f"unexpected frame type 0x{ftype:02x} in txn response"
+                )
+            frame = protocol.decode_complete(payload)
+            self._in_transaction = frame["in_transaction"]
+            self.schema_epoch = frame["schema_epoch"]
+        finally:
+            self._trace_end("client.txn", ctx, start_us, op=op)
 
     def begin(self) -> None:
         self._txn_op(protocol.TXN_BEGIN)
@@ -459,14 +547,25 @@ class Pipeline:
         self._conn = conn
         self._buf = bytearray()
         self._ops: list[str] = []  # "query" | "txn" (reply shapes)
+        # One root context per queued op (None when tracing is off),
+        # parallel to ``results`` — how a caller maps reply *i* to its
+        # request tree in the server's TraceLog.
+        self.traces: list[TraceContext | None] = []
         self.results: list[Result | ReproError] | None = None
 
     def __len__(self) -> int:
         return len(self._ops)
 
+    def _queue_trace(self) -> tuple[int, int] | None:
+        ctx, _ = self._conn._trace_begin()
+        self.traces.append(ctx)
+        return self._conn._wire_trace(ctx)
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> int:
         """Queue a QUERY; returns its index into ``sync()``'s list."""
-        self._buf += protocol.encode_query(sql, params)
+        self._buf += protocol.encode_query(
+            sql, params, trace=self._queue_trace()
+        )
         self._ops.append("query")
         return len(self._ops) - 1
 
@@ -476,22 +575,30 @@ class Pipeline:
         params: Sequence[Any] | None = (),
     ) -> int:
         name = statement if isinstance(statement, str) else statement.name
-        self._buf += protocol.encode_execute(name, params)
+        self._buf += protocol.encode_execute(
+            name, params, trace=self._queue_trace()
+        )
         self._ops.append("query")
         return len(self._ops) - 1
 
     def begin(self) -> int:
-        self._buf += protocol.encode_txn(protocol.TXN_BEGIN)
+        self._buf += protocol.encode_txn(
+            protocol.TXN_BEGIN, trace=self._queue_trace()
+        )
         self._ops.append("txn")
         return len(self._ops) - 1
 
     def commit(self) -> int:
-        self._buf += protocol.encode_txn(protocol.TXN_COMMIT)
+        self._buf += protocol.encode_txn(
+            protocol.TXN_COMMIT, trace=self._queue_trace()
+        )
         self._ops.append("txn")
         return len(self._ops) - 1
 
     def rollback(self) -> int:
-        self._buf += protocol.encode_txn(protocol.TXN_ROLLBACK)
+        self._buf += protocol.encode_txn(
+            protocol.TXN_ROLLBACK, trace=self._queue_trace()
+        )
         self._ops.append("txn")
         return len(self._ops) - 1
 
@@ -506,6 +613,8 @@ class Pipeline:
             return self.results
         if conn._closed:
             raise ConnectionClosedError("connection is closed")
+        log = conn._trace_log
+        start_us = log.now_us() if log is not None else 0.0
         try:
             conn._sock.sendall(buf)
         except OSError as exc:
@@ -513,11 +622,26 @@ class Pipeline:
             raise ConnectionClosedError(f"send failed: {exc}") from exc
         conn.bytes_out += len(buf)
         results: list[Result | ReproError] = []
-        for kind in ops:
-            if kind == "txn":
-                results.append(self._read_txn_reply())
-            else:
-                results.append(self._read_query_reply())
+        try:
+            for kind in ops:
+                if kind == "txn":
+                    results.append(self._read_txn_reply())
+                else:
+                    results.append(self._read_query_reply())
+        finally:
+            if log is not None and conn._trace:
+                # One client-side span covers the whole batch (the
+                # writes were coalesced, so per-op client timing does
+                # not exist); per-op trees hang off ``self.traces``.
+                first = next((c for c in self.traces if c is not None), None)
+                args: dict[str, Any] = {"ops": len(ops)}
+                if first is not None:
+                    args["trace"] = first.trace_id
+                    args["span"] = first.span_id
+                log.complete(
+                    "client.pipeline.sync", start_us, cat="client",
+                    args=args,
+                )
         self.results = results
         return results
 
@@ -628,6 +752,9 @@ class ConnectionPool:
         health_check: bool = True,
         auto_prepare: int = 0,
         isolation: str | None = None,
+        trace: bool = False,
+        trace_log: Any = None,
+        obs: Any = None,
         factory: Callable[[], Connection] | None = None,
     ) -> None:
         if size < 1:
@@ -637,11 +764,15 @@ class ConnectionPool:
         self.max_connect_attempts = max_connect_attempts
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        # Optional in-process Observability: acquire() reports how long
+        # callers waited for a connection as the ``pool`` wait class.
+        self._obs = obs
         self._factory = factory or (
             lambda: Connection(host, port, connect_timeout=connect_timeout,
                                client_name="repro-pool",
                                auto_prepare=auto_prepare,
-                               isolation=isolation)
+                               isolation=isolation,
+                               trace=trace, trace_log=trace_log)
         )
         self._idle: list[Connection] = []
         self._latch = threading.Lock()
@@ -684,6 +815,7 @@ class ConnectionPool:
         """
         if self._closed:
             raise ConnectionClosedError("pool is closed")
+        began = time.perf_counter()
         self._slots.acquire()
         try:
             conn: Connection | None = None
@@ -708,6 +840,19 @@ class ConnectionPool:
             if self._closed:
                 conn.close()
                 raise ConnectionClosedError("pool is closed")
+            obs = self._obs
+            if obs is not None and obs.active:
+                # Everything between the caller asking and getting a
+                # healthy connection — semaphore wait, health check,
+                # reconnect backoff — is ``pool`` wait.
+                waited = time.perf_counter() - began
+                obs.record_wait("pool", waited)
+                if obs.tracing_enabled:
+                    end_us = obs.trace.now_us()
+                    obs.trace.complete(
+                        "pool.acquire", end_us - waited * 1e6, cat="net",
+                        args={"wait": "pool"}, end_us=end_us,
+                    )
             return _PooledConnection(self, conn)
         except BaseException:
             self._slots.release()

@@ -38,6 +38,15 @@ escape hatch —, float, Decimal, str, bool, date, datetime).  The
 ``except TransactionAborted:`` retry loops work unchanged over a
 socket.
 
+**Distributed tracing** rides optional frame trailers: a client that
+negotiated the ``trace`` capability (HELLO option ``trace=1``,
+acknowledged by a CAP_TRACE bit in an optional WELCOME trailer) may
+append ``(trace_id, span_id)`` to QUERY / EXECUTE / TXN frames.  Both
+trailers sit *after* every pre-existing field, so old peers in either
+direction interoperate: an old client never sends trailers and never
+triggers the WELCOME one; a new server accepts trailer-less frames as
+untraced.
+
 All decode paths raise :class:`~repro.errors.ProtocolError` on
 truncated or malformed input — never ``struct.error``, never an
 over-read, never a hang.
@@ -101,6 +110,16 @@ FRAME_TYPES = frozenset(
 TXN_BEGIN = 1
 TXN_COMMIT = 2
 TXN_ROLLBACK = 3
+
+# WELCOME capability bits (optional u8 trailer, only sent to clients
+# that asked — see encode_welcome)
+CAP_TRACE = 0x01
+
+# Trace-trailer marker byte.  The trailer is ``marker u8 == 0x01,
+# trace_id i64, span_id i64`` appended after the fixed fields of
+# QUERY / EXECUTE / TXN.  A marker value other than 0x01 is reserved
+# for future trailer kinds and rejected today.
+_TRACE_MARKER = 0x01
 
 # ----------------------------------------------------------------------
 # SQLSTATE-like codes
@@ -418,6 +437,31 @@ def decode_frame(buf: bytes, pos: int = 0) -> tuple[int, bytes, int] | None:
 # ----------------------------------------------------------------------
 
 
+def _write_trace(w: _Writer, trace: tuple[int, int] | None) -> None:
+    """Append the optional trace trailer: ``(trace_id, span_id)`` of
+    the client-side span this request belongs to.  Omitted entirely
+    when ``trace`` is None, so a frame without one is byte-identical
+    to what an old client sends."""
+    if trace is None:
+        return
+    trace_id, span_id = trace
+    w.u8(_TRACE_MARKER)
+    w.i64(trace_id)
+    w.i64(span_id)
+
+
+def _read_trace(r: _Reader) -> tuple[int, int] | None:
+    """Read the optional trace trailer.  Absent (old peer, or tracing
+    off) when the payload ends here; malformed markers are rejected so
+    garbage never silently becomes a trace id."""
+    if r.pos >= r.end:
+        return None
+    marker = r.u8()
+    if marker != _TRACE_MARKER:
+        raise ProtocolError(f"unknown request trailer marker 0x{marker:02x}")
+    return (r.i64(), r.i64())
+
+
 def encode_hello(
     client_name: str = "repro",
     version: int = PROTOCOL_VERSION,
@@ -463,12 +507,21 @@ def decode_hello(payload: bytes) -> dict[str, Any]:
 def encode_welcome(
     server_version: str, schema_epoch: int, session_id: int,
     version: int = PROTOCOL_VERSION,
+    capabilities: int = 0,
 ) -> bytes:
+    """``capabilities`` is an optional u8 bitmask trailer (CAP_*).  The
+    server only sends a nonzero mask to clients that *asked* for a
+    capability in their HELLO options — an old client never requested
+    one, never receives the trailer, and sees a byte-identical WELCOME."""
     w = _Writer()
     w.u16(version)
     w.str(server_version)
     w.i64(schema_epoch)
     w.i64(session_id)
+    if capabilities:
+        if not 0 < capabilities <= 255:
+            raise ProtocolError(f"capability mask {capabilities} out of range")
+        w.u8(capabilities)
     return encode_frame(WELCOME, w.getvalue())
 
 
@@ -480,20 +533,27 @@ def decode_welcome(payload: bytes) -> dict[str, Any]:
         "schema_epoch": r.i64(),
         "session_id": r.i64(),
     }
+    out["capabilities"] = r.u8() if r.pos < r.end else 0
     r.expect_end()
     return out
 
 
-def encode_query(sql: str, params: Sequence[Any] = ()) -> bytes:
+def encode_query(
+    sql: str,
+    params: Sequence[Any] = (),
+    trace: tuple[int, int] | None = None,
+) -> bytes:
     w = _Writer()
     w.str(sql)
     _write_row(w, tuple(params))
+    _write_trace(w, trace)
     return encode_frame(QUERY, w.getvalue())
 
 
 def decode_query(payload: bytes) -> dict[str, Any]:
     r = _Reader(payload)
     out = {"sql": r.str(), "params": _read_row(r)}
+    out["trace"] = _read_trace(r)
     r.expect_end()
     return out
 
@@ -552,7 +612,11 @@ def decode_bind_ok(payload: bytes) -> dict[str, Any]:
     return out
 
 
-def encode_execute(name: str, params: Sequence[Any] | None = None) -> bytes:
+def encode_execute(
+    name: str,
+    params: Sequence[Any] | None = None,
+    trace: tuple[int, int] | None = None,
+) -> bytes:
     """EXECUTE a prepared statement.  ``params`` inline binds in the
     same frame (the one-frame hot path); ``None`` executes the portal
     left by the last BIND for this name (or no parameters)."""
@@ -563,6 +627,7 @@ def encode_execute(name: str, params: Sequence[Any] | None = None) -> bytes:
     else:
         w.u8(1)
         _write_row(w, tuple(params))
+    _write_trace(w, trace)
     return encode_frame(EXECUTE, w.getvalue())
 
 
@@ -573,23 +638,26 @@ def decode_execute(payload: bytes) -> dict[str, Any]:
     if has_params not in (0, 1):
         raise ProtocolError(f"bad EXECUTE has_params flag {has_params}")
     params = _read_row(r) if has_params else None
+    trace = _read_trace(r)
     r.expect_end()
-    return {"name": name, "params": params}
+    return {"name": name, "params": params, "trace": trace}
 
 
-def encode_txn(op: int) -> bytes:
+def encode_txn(op: int, trace: tuple[int, int] | None = None) -> bytes:
     w = _Writer()
     w.u8(op)
+    _write_trace(w, trace)
     return encode_frame(TXN, w.getvalue())
 
 
 def decode_txn(payload: bytes) -> dict[str, Any]:
     r = _Reader(payload)
     op = r.u8()
+    trace = _read_trace(r)
     r.expect_end()
     if op not in (TXN_BEGIN, TXN_COMMIT, TXN_ROLLBACK):
         raise ProtocolError(f"unknown TXN op {op}")
-    return {"op": op}
+    return {"op": op, "trace": trace}
 
 
 def encode_meta(command: str) -> bytes:

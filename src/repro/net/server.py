@@ -92,6 +92,9 @@ from ..errors import (
     StatementTimeoutError,
 )
 from ..obs.registry import NULL_METRIC
+from ..obs.tracectx import TraceContext
+from ..obs.tracectx import activate as _trace_activate
+from ..obs.tracectx import deactivate as _trace_deactivate
 from ..sql import ast_nodes as ast
 from ..txn import IsolationLevel
 from ..types import SqlType, TypeKind
@@ -157,9 +160,9 @@ class _Connection:
     __slots__ = (
         "id", "sock", "addr", "session", "state", "doomed",
         "connected_at", "last_activity", "statements", "transactions",
-        "bytes_in", "bytes_out",
+        "bytes_in", "bytes_out", "out_hiwat",
         "inbuf", "inbox", "scheduled", "eof", "eof_cause", "retired",
-        "greeted", "prepared", "portals", "lock",
+        "greeted", "trace", "trace_ctx", "prepared", "portals", "lock",
         "out_lock", "outbuf", "want_write", "sel_mask",
     )
 
@@ -177,13 +180,18 @@ class _Connection:
         self.transactions = 0
         self.bytes_in = 0
         self.bytes_out = 0
+        self.out_hiwat = 0  # outbound-buffer high-water mark (bytes)
         self.inbuf = bytearray()
-        self.inbox: deque[tuple[int, bytes]] = deque()
+        # (frame type, payload, enqueue perf_counter) — the timestamp
+        # is what prices the net_queue wait class.
+        self.inbox: deque[tuple[int, bytes, float]] = deque()
         self.scheduled = False
         self.eof = False
         self.eof_cause = "eof"
         self.retired = False
         self.greeted = False
+        self.trace = False  # client asked for trace trailers (HELLO)
+        self.trace_ctx: TraceContext | None = None  # current request hop
         self.prepared: dict[str, _Prepared] = {}
         self.portals: dict[str, tuple] = {}
         self.lock = threading.Lock()
@@ -217,6 +225,8 @@ class BullfrogServer:
         self._worker_latch = threading.Lock()
         self._worker_threads: list[threading.Thread] = []
         self._idle_workers = 0  # heuristic; GIL-atomic +=/-=, no latch
+        self._busy_workers = 0  # workers inside _process right now
+        self._transient_workers = 0  # elastic workers currently alive
         self._conns: dict[int, _Connection] = {}
         self._conns_latch = threading.Lock()
         self._next_conn_id = 0
@@ -226,6 +236,7 @@ class BullfrogServer:
         self.port: int | None = None
         self._init_metrics()
         self._register_network_view()
+        self._register_server_view()
 
     # ------------------------------------------------------------------
     # Metrics
@@ -307,6 +318,8 @@ class BullfrogServer:
                     conn.transactions,
                     conn.bytes_in,
                     conn.bytes_out,
+                    len(conn.inbox),
+                    conn.out_hiwat,
                 )
                 for conn in conns
             ]
@@ -321,9 +334,45 @@ class BullfrogServer:
                 "conn_id", "peer", "state", "connected_seconds",
                 "idle_seconds", "in_transaction", "statements",
                 "transactions", "bytes_in", "bytes_out",
+                "inbox_depth", "outbuf_hiwat",
             ),
             (_INT, _TEXT, _TEXT, _FLOAT, _FLOAT, _BOOL, _INT, _INT,
-             _INT, _INT),
+             _INT, _INT, _INT, _INT),
+            produce,
+        )
+
+    # ------------------------------------------------------------------
+    # bullfrog_stat_server (one row of event-loop / worker-pool health)
+    # ------------------------------------------------------------------
+    def _register_server_view(self) -> None:
+        _INT = SqlType(TypeKind.BIGINT)
+        _BOOL = SqlType(TypeKind.BOOL)
+
+        def produce(ctx: Any) -> list[tuple]:
+            with self._worker_latch:
+                workers = len(self._worker_threads)
+                transient = self._transient_workers
+            with self._conns_latch:
+                connections = len(self._conns)
+            return [(
+                workers,
+                self._busy_workers,
+                transient,
+                self._idle_workers,
+                self._work_queue.qsize(),
+                connections,
+                self.config.max_connections,
+                self._draining.is_set(),
+            )]
+
+        self.db.catalog._virtual["bullfrog_stat_server"] = VirtualTable(
+            "bullfrog_stat_server",
+            (
+                "workers", "workers_busy", "workers_transient",
+                "workers_idle", "dispatch_queue_depth", "connections",
+                "max_connections", "draining",
+            ),
+            (_INT, _INT, _INT, _INT, _INT, _INT, _INT, _BOOL),
             produce,
         )
 
@@ -630,8 +679,12 @@ class BullfrogServer:
             size = sum(protocol.HEADER_SIZE + len(p) for _, p in frames)
             conn.bytes_in += size
             self._m_bytes_in.inc(size)
+            # One timestamp for the whole batch: frames decoded
+            # together were enqueued together, and the net_queue wait
+            # measures inbox-to-worker latency, not intra-batch skew.
+            enq = time.perf_counter()
             with conn.lock:
-                conn.inbox.extend(frames)
+                conn.inbox.extend((f, p, enq) for f, p in frames)
                 newly = not conn.scheduled and not conn.retired
                 if newly:
                     conn.scheduled = True
@@ -713,7 +766,10 @@ class BullfrogServer:
             if conn.doomed is not None:
                 raise OSError("connection was killed")
             conn.outbuf += frame
-            if len(conn.outbuf) >= _FLUSH_HIWAT:
+            buffered = len(conn.outbuf)
+            if buffered > conn.out_hiwat:
+                conn.out_hiwat = buffered
+            if buffered >= _FLUSH_HIWAT:
                 self._flush_out_locked(conn)
         conn.bytes_out += len(frame)
         self._m_bytes_out.inc(len(frame))
@@ -759,6 +815,8 @@ class BullfrogServer:
             name=f"bullfrogd-worker-{index}",
         )
         self._worker_threads.append(thread)
+        if transient:
+            self._transient_workers += 1
         thread.start()
 
     def _maybe_spawn_worker(self) -> None:
@@ -790,8 +848,15 @@ class BullfrogServer:
                         self._worker_threads.remove(threading.current_thread())
                     except ValueError:
                         pass
+                    if transient:
+                        self._transient_workers -= 1
                 return
-            self._process(conn)
+            # Heuristic like _idle_workers: GIL-atomic bumps, no latch.
+            self._busy_workers += 1
+            try:
+                self._process(conn)
+            finally:
+                self._busy_workers -= 1
 
     def _process(self, conn: _Connection) -> None:
         """Run one connection's queued frames to exhaustion.  Exactly
@@ -918,7 +983,7 @@ class BullfrogServer:
     def _handle_frame(self, conn: _Connection, frame: tuple[int, bytes]) -> bool:
         """Dispatch one frame; returns False when the connection was
         retired (protocol violation, CLOSE, dead socket)."""
-        ftype, payload = frame
+        ftype, payload, enq_ts = frame
         try:
             if not conn.greeted:
                 # Client-initiated handshake: the first frame must be a
@@ -929,8 +994,12 @@ class BullfrogServer:
                     )
                 hello = protocol.decode_hello(payload)
                 self._apply_hello_options(conn, hello.get("options") or {})
+                # The capabilities trailer goes only to clients that
+                # asked for tracing — an old client's decode_welcome
+                # would reject the extra byte.
                 self._send(conn, protocol.encode_welcome(
-                    _SERVER_VERSION, self.db.epoch, conn.id
+                    _SERVER_VERSION, self.db.epoch, conn.id,
+                    capabilities=protocol.CAP_TRACE if conn.trace else 0,
                 ))
                 conn.greeted = True
                 if not conn.inbox:
@@ -941,14 +1010,29 @@ class BullfrogServer:
                     self._do_retire(conn, "client_close")
                 return False
             began = time.monotonic()
-            kind = self._dispatch(conn, ftype, payload)
+            kind = self._dispatch(conn, ftype, payload, enq_ts)
+            ctx, conn.trace_ctx = conn.trace_ctx, None
             if not conn.inbox:
                 # Statement boundary with nothing else queued: push the
                 # buffered reply (or the whole pipelined batch of
                 # replies) to the kernel in one write.  The peek is
                 # exact — while this worker owns the connection, only
                 # this worker can append to the inbox.
-                self._flush_conn(conn)
+                obs = self.db.obs
+                if (
+                    ctx is not None
+                    and obs is not None and obs.tracing_enabled
+                ):
+                    flush_us = obs.trace.now_us()
+                    self._flush_conn(conn)
+                    obs.trace.complete(
+                        "net.flush", flush_us, cat="net",
+                        args={"trace": ctx.trace_id,
+                              "parent": ctx.span_id,
+                              "conn": conn.id},
+                    )
+                else:
+                    self._flush_conn(conn)
             observe = self._rt_cells.get(kind)
             if observe is not None:
                 observe(time.monotonic() - began)
@@ -973,12 +1057,45 @@ class BullfrogServer:
                 self._do_retire(conn, "internal_error")
             return False
 
-    def _dispatch(self, conn: _Connection, ftype: int, payload: bytes) -> str:
+    def _continue_trace(
+        self, conn: _Connection, trace: tuple[int, int] | None,
+        enq_ts: float,
+    ) -> TraceContext | None:
+        """Continue the client's trace as this request's server hop: a
+        context carrying the wire ``trace_id``, parented on the
+        client-side span, with the frame's inbox dwell already recorded
+        as ``net_queue`` wait (it happened before any statement context
+        existed, and the shared accumulator hands it down)."""
+        if trace is None:
+            return None
+        obs = self.db.obs
+        if obs is None or not obs.tracing_enabled:
+            return None
+        ctx = TraceContext(trace[0], None, trace[1])
+        queued = max(0.0, time.perf_counter() - enq_ts)
+        obs.record_wait("net_queue", queued, ctx)
+        end_us = obs.trace.now_us()
+        obs.trace.complete(
+            "net.queue", end_us - queued * 1e6, cat="net",
+            args={
+                "trace": ctx.trace_id, "span": ctx.span_id,
+                "parent": ctx.parent_id, "conn": conn.id,
+                "wait": "net_queue",
+            },
+            end_us=end_us,
+        )
+        conn.trace_ctx = ctx
+        return ctx
+
+    def _dispatch(
+        self, conn: _Connection, ftype: int, payload: bytes, enq_ts: float
+    ) -> str:
         if ftype == protocol.QUERY:
             frame = protocol.decode_query(payload)
             sql, params = frame["sql"], frame["params"]
             self._run_statement(
-                conn, lambda: conn.session.execute(sql, params)
+                conn, lambda: conn.session.execute(sql, params),
+                self._continue_trace(conn, frame["trace"], enq_ts),
             )
             return "query"
         if ftype == protocol.EXECUTE:
@@ -1014,6 +1131,7 @@ class BullfrogServer:
                 lambda: conn.session.execute_statement(
                     ps.stmt, params, sql_text=ps.sql
                 ),
+                self._continue_trace(conn, frame["trace"], enq_ts),
             )
             return "execute"
         if ftype == protocol.PARSE:
@@ -1056,8 +1174,11 @@ class BullfrogServer:
             self._send(conn, protocol.encode_bind_ok(frame["name"]))
             return "bind"
         if ftype == protocol.TXN:
-            op = protocol.decode_txn(payload)["op"]
-            self._run_txn(conn, op)
+            frame = protocol.decode_txn(payload)
+            self._run_txn(
+                conn, frame["op"],
+                self._continue_trace(conn, frame["trace"], enq_ts),
+            )
             return "txn"
         if ftype == protocol.META:
             command = protocol.decode_meta(payload)["command"]
@@ -1078,7 +1199,8 @@ class BullfrogServer:
             hello = protocol.decode_hello(payload)
             self._apply_hello_options(conn, hello.get("options") or {})
             self._send(conn, protocol.encode_welcome(
-                _SERVER_VERSION, self.db.epoch, conn.id
+                _SERVER_VERSION, self.db.epoch, conn.id,
+                capabilities=protocol.CAP_TRACE if conn.trace else 0,
             ))
             return "meta"
         raise ProtocolError(f"unexpected frame type 0x{ftype:02x} from client")
@@ -1086,9 +1208,11 @@ class BullfrogServer:
     def _apply_hello_options(
         self, conn: _Connection, options: dict[str, str]
     ) -> None:
-        """Session options carried on the HELLO trailer.  Currently just
-        ``isolation`` (``snapshot`` / ``read_committed``); unknown keys
-        are ignored for forward compatibility."""
+        """Session options carried on the HELLO trailer:
+        ``isolation`` (``snapshot`` / ``read_committed``) and ``trace``
+        (the client wants trace trailers; the WELCOME answers with
+        ``CAP_TRACE``).  Unknown keys are ignored for forward
+        compatibility."""
         isolation = options.get("isolation")
         if isolation is not None:
             try:
@@ -1097,12 +1221,20 @@ class BullfrogServer:
                 raise ProtocolError(str(exc)) from None
             if level is not None:
                 conn.session.isolation = level
+        if options.get("trace") not in (None, "0", ""):
+            conn.trace = True
 
     def _run_statement(
-        self, conn: _Connection, thunk: Callable[[], Result]
+        self,
+        conn: _Connection,
+        thunk: Callable[[], Result],
+        ctx: TraceContext | None = None,
     ) -> None:
         """Execute one statement (parsed or prepared) under the
-        statement-timeout watchdog and stream its result."""
+        statement-timeout watchdog and stream its result.  A non-None
+        ``ctx`` (the continued client trace) is parked on the session
+        so ``execute_statement`` forks its statement span under the
+        server hop, and the hop itself is recorded as ``server.execute``."""
         conn.statements += 1
         watchdog: threading.Timer | None = None
         if self.config.statement_timeout is not None:
@@ -1120,6 +1252,10 @@ class BullfrogServer:
             )
             watchdog.daemon = True
             watchdog.start()
+        obs = self.db.obs if ctx is not None else None
+        if obs is not None:
+            start_us = obs.trace.now_us()
+            conn.session._request_ctx = ctx
         try:
             result = thunk()
         except ReproError as exc:
@@ -1131,6 +1267,13 @@ class BullfrogServer:
         finally:
             if watchdog is not None:
                 watchdog.cancel()
+            if obs is not None:
+                conn.session._request_ctx = None
+                obs.trace.complete(
+                    "server.execute", start_us, cat="net",
+                    args={"trace": ctx.trace_id, "span": ctx.span_id,
+                          "parent": ctx.parent_id, "conn": conn.id},
+                )
         if conn.doomed is not None:
             return
         self._send_result(conn, result)
@@ -1153,8 +1296,18 @@ class BullfrogServer:
             self.db.epoch,
         ))
 
-    def _run_txn(self, conn: _Connection, op: int) -> None:
+    def _run_txn(
+        self, conn: _Connection, op: int,
+        ctx: TraceContext | None = None,
+    ) -> None:
         session = conn.session
+        obs = self.db.obs if ctx is not None else None
+        if obs is not None:
+            # Transaction control skips execute_statement, so the hop
+            # context is activated here directly — COMMIT's WAL append
+            # (and its ``wal`` wait) lands under the client's trace.
+            start_us = obs.trace.now_us()
+            token = _trace_activate(ctx)
         try:
             if op == protocol.TXN_BEGIN:
                 session.begin()
@@ -1172,6 +1325,15 @@ class BullfrogServer:
                 exc, session.in_transaction
             ))
             return
+        finally:
+            if obs is not None:
+                _trace_deactivate(token)
+                obs.trace.complete(
+                    "server.txn", start_us, cat="net",
+                    args={"trace": ctx.trace_id, "span": ctx.span_id,
+                          "parent": ctx.parent_id, "conn": conn.id,
+                          "op": op},
+                )
         self._send(conn, protocol.encode_complete(
             tag, 0, session.in_transaction, self.db.epoch
         ))

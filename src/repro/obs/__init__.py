@@ -32,7 +32,8 @@ from .registry import (
     NULL_METRIC,
     NullMetric,
 )
-from .trace import TraceEvent, TraceLog
+from .trace import TraceEvent, TraceLog, merge_chrome
+from .tracectx import TraceContext, WAIT_CLASSES
 from .observability import Observability, POINT_COUNTERS
 from .sysviews import SYSTEM_VIEW_NAMES, register_system_views
 from .export import (
@@ -53,6 +54,9 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "TraceEvent",
     "TraceLog",
+    "TraceContext",
+    "WAIT_CLASSES",
+    "merge_chrome",
     "Observability",
     "POINT_COUNTERS",
     "SYSTEM_VIEW_NAMES",

@@ -10,12 +10,12 @@ Design points:
 
 * **Lock-free writes, locked reads.**  There is no latch on the write
   path at all: unit increments take ``Counter.inc1`` (a pre-bound
-  ``itertools.count().__next__`` — one atomic C call, constant
-  memory), while ``Counter.inc(amount)`` and ``Histogram.observe``
-  append to a per-cell ``deque`` — a single C call the GIL makes
-  atomic, so concurrent updates are never lost — and the queued
-  amounts are folded into the cell's totals under its lock on reads
-  (exports, snapshots) or after a bounded number of appends.  The
+  allocation-free ``deque.append`` of the interned ``1``), while
+  ``Counter.inc(amount)`` and ``Histogram.observe`` append to the same
+  per-cell ``deque`` — a single C call the GIL makes atomic, so
+  concurrent updates are never lost — and the queued amounts are
+  folded into the cell's totals under its lock on reads (exports,
+  snapshots) or after a bounded number of appends.  The
   registry-level latch is taken only when a new metric family or a new
   label child is created — a once-per-name event, not a per-increment
   one.
@@ -33,10 +33,10 @@ Design points:
 
 from __future__ import annotations
 
-import itertools
 import threading
 from bisect import bisect_left
 from collections import deque
+from functools import partial
 from typing import Any, Iterable, Sequence
 
 DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
@@ -94,41 +94,46 @@ class Counter:
     ``inc`` is lock-free but exact.  Unit increments — the hot case on
     the no-op migration loop, where a statement bumps a handful of
     counters by one — take :attr:`inc1`, a pre-bound
-    ``itertools.count().__next__``: a single atomic C call with
-    constant memory and no branch.  Arbitrary amounts append to a
-    deque (also one atomic C call, so concurrent updates are never
-    lost) and are folded into ``_base`` under the cell lock on reads,
-    or after ``_COMPACT`` appends to bound memory.  On slow hosts a
-    lock round-trip costs ~5x the append, and reads (exports,
-    snapshots) are rare next to writes."""
+    ``partial(deque.append, 1)``: one atomic C call that allocates
+    *nothing* (``1`` is an interned small int; an
+    ``itertools.count().__next__`` here would heap-allocate a fresh
+    PyLong per call, and three of those per statement measurably churn
+    the allocator under the hot loop).  Arbitrary amounts append to
+    the same deque and are folded into ``_base`` under the cell lock
+    on reads (exports, snapshots) or after ``_COMPACT`` appends to
+    bound memory; :meth:`maybe_compact` lets hot callers bound the
+    inc1 queue on their own sampled cadence.  On slow hosts a lock
+    round-trip costs ~5x the append, and reads are rare next to
+    writes."""
 
-    __slots__ = ("_base", "_events", "_ones", "inc1", "_lock")
+    __slots__ = ("_base", "_events", "inc1", "_lock")
     kind = "counter"
     _COMPACT = 4096
 
     def __init__(self) -> None:
         self._base = 0
         self._events: deque = deque()
-        self._ones = itertools.count()
         # Hot-path unit increment: bind once, call with no glue.
-        self.inc1 = self._ones.__next__
+        self.inc1 = partial(self._events.append, 1)
         self._lock = threading.Lock()
 
     def inc(self, amount: float = 1) -> None:
         if amount == 1:
-            self.inc1()
-            return
-        if amount < 0:
-            raise ValueError("counters cannot decrease")
-        events = self._events
-        events.append(amount)
-        if len(events) > self._COMPACT:
+            self._events.append(1)
+        else:
+            if amount < 0:
+                raise ValueError("counters cannot decrease")
+            self._events.append(amount)
+        if len(self._events) > self._COMPACT:
             self._compact()
 
-    def _peek_ones(self) -> int:
-        # itertools.count reduces to ``(count, (next_value,))`` — the
-        # only way to observe its position without consuming a value.
-        return self._ones.__reduce__()[1][0]
+    def maybe_compact(self) -> None:
+        """Fold the queued increments if the queue has grown past the
+        compaction bound.  ``inc1`` itself never checks (that is the
+        point); writers with a natural sampled cadence call this on
+        their slow path so a scrape-less process stays bounded."""
+        if len(self._events) > self._COMPACT:
+            self._compact()
 
     def _compact(self) -> float:
         with self._lock:
@@ -140,7 +145,7 @@ class Counter:
             except IndexError:
                 pass
             self._base = base
-            return base + self._peek_ones()
+            return base
 
     @property
     def value(self) -> float:

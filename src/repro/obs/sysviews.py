@@ -13,7 +13,13 @@ against data tables mid-migration:
 * ``bullfrog_stat_statements`` — per-kind statement counts/latency
   from the attached :class:`~repro.obs.observability.Observability`
   (empty when the database runs detached — the views themselves add no
-  instrumentation, they only read what already exists).
+  instrumentation, they only read what already exists);
+* ``bullfrog_stat_wait_events`` — cumulative wait-class totals from
+  the classifier (``cpu`` / ``lock`` / ``migration`` / ``wal`` /
+  ``net_queue`` / ``pool``), the ``pg_stat`` shape of the same numbers
+  the per-statement trace spans carry;
+* ``bullfrog_stat_slow_queries`` — the in-memory slow-query ring,
+  newest last, with trace ids and per-class wait breakdown.
 
 Producers close over the :class:`~repro.db.Database` and read
 ``db.obs``/``db.txns``/registered engines *live*, so re-attaching a
@@ -27,6 +33,7 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 from ..catalog.catalog import VirtualTable
 from ..types import SqlType, TypeKind
+from .tracectx import WAIT_CLASSES
 
 if TYPE_CHECKING:
     from ..db import Database
@@ -43,6 +50,8 @@ SYSTEM_VIEW_NAMES = (
     "bullfrog_stat_migrations",
     "bullfrog_stat_locks",
     "bullfrog_stat_statements",
+    "bullfrog_stat_wait_events",
+    "bullfrog_stat_slow_queries",
 )
 
 _STATEMENT_KINDS = ("select", "insert", "update", "delete", "ddl")
@@ -160,8 +169,54 @@ def _statements_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
     return produce
 
 
+def _wait_events_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        obs = db.obs  # read live: the bench swaps bundles in place
+        if obs is None or not obs.active:
+            return []
+        snapshot = obs.wait_events_snapshot()
+        return [
+            (cls,) + snapshot.get(cls, (0, 0.0))
+            for cls in WAIT_CLASSES
+        ]
+
+    return produce
+
+
+def _slow_queries_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        obs = db.obs
+        if obs is None:
+            return []
+        rows: list[Row] = []
+        for record in obs.slow_queries():
+            waits = record.get("waits_ms", {})
+            migration = record.get("migration", {})
+            rows.append(
+                (
+                    record["ts"],
+                    record["stmt"],
+                    record.get("sql"),
+                    record.get("isolation"),
+                    record["duration_ms"],
+                    record["cpu_ms"],
+                    record.get("trace_id"),
+                    record.get("span_id"),
+                    waits.get("lock", 0.0),
+                    waits.get("migration", 0.0),
+                    waits.get("wal", 0.0),
+                    waits.get("net_queue", 0.0),
+                    migration.get("granules", 0),
+                    migration.get("tuples", 0),
+                )
+            )
+        return rows
+
+    return produce
+
+
 def register_system_views(db: "Database") -> None:
-    """Register the four ``bullfrog_stat_*`` virtual tables with the
+    """Register the ``bullfrog_stat_*`` virtual tables with the
     database's catalog.  Called once from ``Database.__init__``."""
     db.catalog.register_virtual(
         VirtualTable(
@@ -252,6 +307,30 @@ def register_system_views(db: "Database") -> None:
             ("stmt", "calls", "sampled", "total_seconds", "mean_seconds"),
             (_TEXT, _INT, _INT, _FLOAT, _FLOAT),
             _statements_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_wait_events",
+            ("wait_class", "count", "total_seconds"),
+            (_TEXT, _INT, _FLOAT),
+            _wait_events_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_slow_queries",
+            (
+                "ts", "stmt", "sql", "isolation", "duration_ms",
+                "cpu_ms", "trace_id", "span_id", "lock_wait_ms",
+                "migration_wait_ms", "wal_wait_ms", "net_queue_wait_ms",
+                "migrated_granules", "migrated_tuples",
+            ),
+            (
+                _FLOAT, _TEXT, _TEXT, _TEXT, _FLOAT, _FLOAT, _INT,
+                _INT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _INT, _INT,
+            ),
+            _slow_queries_producer(db),
         )
     )
 

@@ -107,9 +107,14 @@ class _Span:
 class TraceLog:
     """Thread-safe bounded event log.
 
-    Appends are one latch acquisition + one ``deque.append``; the
-    ``maxlen`` ring drops the *oldest* events, so a long run keeps its
-    newest history rather than dying on memory.
+    Appends are **latch-free**: a bounded ``deque.append`` is atomic
+    under the GIL, so the hot path is one append plus one integer bump
+    (eviction is implicit in ``maxlen`` and accounted by comparing the
+    append count against the live length).  Thread names are resolved
+    once per thread, not per event — ``threading.current_thread()`` is
+    an order of magnitude more expensive than the append itself.
+    Readers copy the deque in one C call (no Python-level iteration),
+    so snapshots are consistent without stopping writers.
     """
 
     def __init__(self, capacity: int = 65536) -> None:
@@ -117,10 +122,10 @@ class TraceLog:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
         self._events: deque[TraceEvent] = deque(maxlen=capacity)
-        self._latch = threading.Lock()
+        self._latch = threading.Lock()  # serializes clear(), not appends
         self._epoch = time.perf_counter()
         self._thread_names: dict[int, str] = {}
-        self._dropped = 0
+        self._appends = 0
 
     # -- clock ---------------------------------------------------------
     def now_us(self) -> float:
@@ -129,12 +134,10 @@ class TraceLog:
 
     # -- emission ------------------------------------------------------
     def _append(self, event: TraceEvent) -> None:
-        thread = threading.current_thread()
-        with self._latch:
-            if len(self._events) == self.capacity:
-                self._dropped += 1
-            self._events.append(event)
-            self._thread_names[event.tid] = thread.name
+        self._events.append(event)
+        self._appends += 1
+        if event.tid not in self._thread_names:
+            self._thread_names[event.tid] = threading.current_thread().name
 
     def instant(
         self, name: str, cat: str = "", args: dict[str, Any] | None = None
@@ -175,36 +178,41 @@ class TraceLog:
     # -- reading -------------------------------------------------------
     def events(self) -> list[TraceEvent]:
         """Point-in-time snapshot, oldest first."""
-        with self._latch:
-            return list(self._events)
+        return list(self._events)
 
     def __len__(self) -> int:
-        with self._latch:
-            return len(self._events)
+        return len(self._events)
 
     @property
     def dropped(self) -> int:
         """Events evicted by the ring so far."""
-        with self._latch:
-            return self._dropped
+        return max(0, self._appends - len(self._events))
 
     def clear(self) -> None:
         with self._latch:
             self._events.clear()
-            self._dropped = 0
+            self._appends = 0
 
     def spans(self, name: str | None = None) -> Iterator[TraceEvent]:
         for event in self.events():
             if event.ph == "X" and (name is None or event.name == name):
                 yield event
 
+    def events_for_trace(self, trace_id: int) -> list[TraceEvent]:
+        """Every event whose args carry the given ``trace`` id — the
+        request tree one client statement produced, across threads."""
+        return [
+            event
+            for event in self.events()
+            if event.args is not None and event.args.get("trace") == trace_id
+        ]
+
     # -- export --------------------------------------------------------
     def to_chrome(self, pid: int = 1) -> dict[str, Any]:
         """The Chrome ``trace_event`` object (``json.dump`` it to a file
         and open in ``about:tracing`` / Perfetto)."""
-        with self._latch:
-            events = list(self._events)
-            names = dict(self._thread_names)
+        events = list(self._events)
+        names = dict(self._thread_names)
         trace_events: list[dict[str, Any]] = [
             {
                 "name": "thread_name",
@@ -234,4 +242,40 @@ class TraceLog:
         return "\n".join(lines)
 
 
-__all__ = ["TraceEvent", "TraceLog"]
+def merge_chrome(
+    documents: list[dict[str, Any]],
+    names: list[str] | None = None,
+) -> dict[str, Any]:
+    """Stitch multiple :meth:`TraceLog.to_chrome` documents into one
+    Perfetto-loadable trace, one process row per document.
+
+    The distributed story: a client process and a ``bullfrogd`` process
+    each keep their own :class:`TraceLog`; export both, merge, and the
+    shared ``trace`` ids in span args tie a request's client-side span
+    to the server-loop and engine spans it caused.  (In-process tests
+    can instead hand the client the server's log and skip the merge.)
+    """
+    merged: list[dict[str, Any]] = []
+    for index, document in enumerate(documents):
+        pid = index + 1
+        merged.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {
+                    "name": names[index]
+                    if names is not None and index < len(names)
+                    else f"process-{pid}"
+                },
+            }
+        )
+        for event in document.get("traceEvents", ()):
+            reassigned = dict(event)
+            reassigned["pid"] = pid
+            merged.append(reassigned)
+    return {"traceEvents": merged, "displayTimeUnit": "ms"}
+
+
+__all__ = ["TraceEvent", "TraceLog", "merge_chrome"]

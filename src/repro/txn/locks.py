@@ -185,7 +185,7 @@ class LockManager:
             entry.timeouts += 1
         obs = self.obs
         if obs is not None and obs.active:
-            obs.observe_lock_wait(resource_class(resource), seconds)
+            obs.observe_lock_wait(resource_class(resource), seconds, blockers)
             if deadlock:
                 obs.count_deadlock()
             if timeout:

@@ -168,7 +168,12 @@ class Transaction:
         faults = self._manager.faults
         obs = self._manager.obs
         if obs is not None and obs.active:
-            if obs.tracing_enabled:
+            if obs.tracing_enabled and self._redo:
+                # Read-only commits stay instant-free: the statement
+                # span already bounds them, and one instant per
+                # autocommit SELECT was a top line item in the <5%
+                # tracing budget.  Write commits keep the instant (it
+                # carries the redo size next to the wal.append span).
                 obs.emit("txn.commit", txn_id=self.id, records=len(self._redo))
             else:
                 obs.inc_txn_commit()

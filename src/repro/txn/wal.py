@@ -11,6 +11,7 @@ consumes exactly this structure.
 from __future__ import annotations
 
 import threading
+import time
 from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Iterator
@@ -65,8 +66,18 @@ class RedoLog:
         """
         faults = self.faults
         obs = self.obs
+        start_s = 0.0
         if obs is not None and obs.active:
-            obs.wal_flush(txn_id, len(entries))
+            if obs.statement_tracing and obs.in_trace():
+                # A traced statement is committing: time the append (a
+                # ``wal.append`` span + the ``wal`` wait class), so the
+                # metrics move into :meth:`Observability.wal_append`
+                # after the append.  Untraced commits — unsampled
+                # statements, background work — keep the cheap
+                # pre-append instant.
+                start_s = time.perf_counter()
+            else:
+                obs.wal_flush(txn_id, len(entries))
         if faults is not None and "wal.flush" in faults.watching:
             # Fired outside the latch (a LATENCY rule must not stall
             # every other committer); a crash here happens *before* the
@@ -78,7 +89,9 @@ class RedoLog:
                 self._records.append(LogRecord(base + offset, txn_id, op, payload))
             commit_lsn = len(self._records)
             self._records.append(LogRecord(commit_lsn, txn_id, LogOp.COMMIT))
-            return commit_lsn
+        if start_s:
+            obs.wal_append(start_s, txn_id, len(entries))
+        return commit_lsn
 
     def append_abort(self, txn_id: int) -> int:
         with self._latch:

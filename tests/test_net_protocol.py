@@ -178,7 +178,7 @@ def test_handshake_and_misc_frames_roundtrip():
     )
     for op in (protocol.TXN_BEGIN, protocol.TXN_COMMIT, protocol.TXN_ROLLBACK):
         _, payload, _ = protocol.decode_frame(protocol.encode_txn(op))
-        assert protocol.decode_txn(payload) == {"op": op}
+        assert protocol.decode_txn(payload) == {"op": op, "trace": None}
     _, payload, _ = protocol.decode_frame(protocol.encode_meta("metrics"))
     assert protocol.decode_meta(payload) == {"command": "metrics"}
     _, payload, _ = protocol.decode_frame(protocol.encode_meta_result("ok\n"))
@@ -232,9 +232,13 @@ def test_execute_portal_form_roundtrip(name):
     """``params=None`` means "run the bound portal" and must be
     distinguishable from an empty inline parameter row."""
     _, payload, _ = protocol.decode_frame(protocol.encode_execute(name, None))
-    assert protocol.decode_execute(payload) == {"name": name, "params": None}
+    assert protocol.decode_execute(payload) == {
+        "name": name, "params": None, "trace": None,
+    }
     _, payload, _ = protocol.decode_frame(protocol.encode_execute(name, ()))
-    assert protocol.decode_execute(payload) == {"name": name, "params": ()}
+    assert protocol.decode_execute(payload) == {
+        "name": name, "params": (), "trace": None,
+    }
 
 
 def test_execute_bad_has_params_flag_rejected():
@@ -324,6 +328,12 @@ _sample_frames = [
     protocol.encode_bind("q1", (17, "x", None)),
     protocol.encode_bind_ok("q1"),
     protocol.encode_execute("q1", (17, None)),
+    # Trace-trailer variants: the optional trailer must obey the same
+    # truncation/garbage discipline as every fixed field.
+    protocol.encode_welcome("1.0.0", 3, 9, capabilities=protocol.CAP_TRACE),
+    protocol.encode_query("SELECT 1", (), trace=(12345, 678)),
+    protocol.encode_txn(protocol.TXN_BEGIN, trace=(1, 2)),
+    protocol.encode_execute("q1", (17, None), trace=(9, 9)),
 ]
 
 _decoders = {
@@ -350,7 +360,21 @@ _decoders = {
 def test_truncated_payload_always_protocol_error(frame):
     ftype, payload, _ = protocol.decode_frame(frame)
     decoder = _decoders[ftype]
+    # Optional trailers are exactly "the frame an old peer would have
+    # sent": cutting a traced frame at the pre-trailer boundary yields
+    # a *valid* untraced frame, not garbage.  Every other cut must
+    # still raise.
+    full = decoder(payload)
+    boundary_cuts = set()
+    if isinstance(full, dict):
+        if full.get("trace") is not None:
+            boundary_cuts.add(len(payload) - 17)  # marker + 2 x i64
+        if full.get("capabilities"):
+            boundary_cuts.add(len(payload) - 1)  # capabilities u8
     for cut in range(len(payload)):
+        if cut in boundary_cuts:
+            assert decoder(payload[:cut]) is not None
+            continue
         with pytest.raises(ProtocolError):
             decoder(payload[:cut])
 
@@ -358,8 +382,11 @@ def test_truncated_payload_always_protocol_error(frame):
 @pytest.mark.parametrize("frame", _sample_frames, ids=lambda f: f"0x{f[0]:02x}")
 def test_trailing_garbage_rejected(frame):
     ftype, payload, _ = protocol.decode_frame(frame)
+    # WELCOME treats a single trailing byte as its optional
+    # capabilities trailer; anything beyond that is garbage.
+    garbage = b"\x00\x00" if ftype == protocol.WELCOME else b"\x00"
     with pytest.raises(ProtocolError):
-        _decoders[ftype](payload + b"\x00")
+        _decoders[ftype](payload + garbage)
 
 
 @_settings

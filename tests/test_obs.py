@@ -331,10 +331,33 @@ class TestObservability:
         }
         assert hist["select"] == 3
 
-    def test_tracing_forces_full_sampling(self):
+    def test_tracing_head_samples_roots(self):
+        # Tracing head-samples *root* spans on its own coarser period
+        # (sample_traces); statement_begin answers a signed clock
+        # reading — positive for trace-sampled roots, negative for
+        # latency-sampled-but-untraced statements, 0.0 for the rest
+        # (counted, but end-work-free unless a propagated context
+        # overrides the coin).
         obs = Observability(metrics=True, tracing=True)
+        assert obs.sample_statements == 16
+        assert obs.sample_traces == 64
+        vals = [obs.statement_begin(ast.Select) for _ in range(128)]
+        assert [i for i, v in enumerate(vals) if v > 0] == [0, 64]
+        assert [i for i, v in enumerate(vals) if v < 0] == [16, 32, 48, 80, 96, 112]
+
+    def test_slow_query_threshold_forces_full_sampling(self):
+        # A slow-query threshold must see every statement's duration
+        # and wait breakdown, so it forces both sample periods to 1.
+        obs = Observability(metrics=True, tracing=True, slow_query_threshold=0.5)
         assert obs.sample_statements == 1
-        assert all(obs.statement_begin(ast.Select) for _ in range(20))
+        assert obs.sample_traces == 1
+        assert all(obs.statement_begin(ast.Select) > 0 for _ in range(20))
+
+    def test_sample_traces_validation(self):
+        with pytest.raises(ValueError):
+            Observability(sample_traces=12)
+        with pytest.raises(ValueError):
+            Observability(sample_statements=16, sample_traces=8)
 
     def test_sample_statements_validation(self):
         with pytest.raises(ValueError):
