@@ -1,0 +1,226 @@
+"""Benchmark-trend aggregator: normalize ``results/*.json`` into one
+append-only ``results/bench_history.jsonl``.
+
+Every benchmark in this repo writes its own JSON artifact with its own
+shape (the fig3-12 harness, the network bench, the SI bench, the
+observability-overhead bench).  That is right for humans reading one
+run, and useless for spotting a regression *across* runs — nothing
+lines the numbers up.  This script is the lining-up step: it walks the
+results directory, extracts the comparable scalar metrics from each
+artifact it recognizes (falling back to a bounded numeric flatten for
+shapes it does not), and appends one JSONL record per artifact:
+
+.. code-block:: json
+
+    {"ts": 1754650000.0, "commit": "6168faa", "run": "ci-1234",
+     "source": "fig3.json", "metrics": {"eager@low.max_tps": 417.0, ...}}
+
+CI runs it after the bench jobs and uploads the JSONL as an artifact;
+because the file is append-only JSONL, concatenating artifacts from
+many runs yields a time series ready for any plotting tool (or a
+``pandas.read_json(lines=True)``).
+
+Usage::
+
+    python benchmarks/trend.py [--results results] [--out results/bench_history.jsonl]
+                               [--run-id RUN] [--print]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from typing import Any
+
+# Artifacts that are not benchmark outputs (trace documents, raw view
+# dumps) — skipped rather than flattened into meaningless series.
+_SKIP = {"obs_trace.json", "bench_history.jsonl"}
+
+# Bounded generic flatten: an unrecognized artifact contributes at most
+# this many metrics (deterministically — first by walk order).
+_MAX_GENERIC_METRICS = 64
+
+
+def _as_float(value: Any) -> float | None:
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            return None
+    return None
+
+
+def _flatten(prefix: str, node: Any, out: dict[str, float]) -> None:
+    if len(out) >= _MAX_GENERIC_METRICS:
+        return
+    number = _as_float(node)
+    if number is not None:
+        out[prefix] = number
+        return
+    if isinstance(node, dict):
+        for key, value in node.items():
+            _flatten(f"{prefix}.{key}" if prefix else str(key), value, out)
+    elif isinstance(node, list) and node:
+        # Lists of runs: index them so repeats stay distinguishable.
+        for i, value in enumerate(node[:8]):
+            _flatten(f"{prefix}[{i}]", value, out)
+
+
+def _extract_figure(doc: dict) -> dict[str, float]:
+    """fig3-12: ``meta`` holds ``<system>.max_tps`` / ``.rate`` strings;
+    ``latency_summaries`` holds per-system percentile dicts."""
+    metrics: dict[str, float] = {}
+    for key, value in doc.get("meta", {}).items():
+        if key.endswith((".max_tps", ".rate")):
+            number = _as_float(value)
+            if number is not None:
+                metrics[key] = number
+    for summary in doc.get("latency_summaries", []):
+        system = summary.get("system", "?")
+        for field in ("p50_ms", "p90_ms", "p99_ms", "mean_ms"):
+            number = _as_float(summary.get(field))
+            if number is not None:
+                metrics[f"{system}.{field}"] = number
+    return metrics
+
+
+def _extract_net(doc: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    single = doc.get("single_client", {})
+    for side in ("embedded", "networked", "prepared", "pipelined"):
+        for field in ("mean_us", "p50_us", "p99_us"):
+            number = _as_float(single.get(side, {}).get(field))
+            if number is not None:
+                metrics[f"single_client.{side}.{field}"] = number
+    for key in ("overhead_us_mean", "overhead_ratio_mean"):
+        number = _as_float(single.get(key))
+        if number is not None:
+            metrics[f"single_client.{key}"] = number
+    _flatten("scaling", doc.get("scaling", {}), metrics)
+    _flatten("tpcc", doc.get("tpcc", {}), metrics)
+    return metrics
+
+
+def _extract_si(doc: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for isolation in ("read_committed", "snapshot"):
+        for field in ("mean_ms", "p50_ms", "p95_ms", "p99_ms", "errors"):
+            number = _as_float(doc.get(isolation, {}).get(field))
+            if number is not None:
+                metrics[f"{isolation}.{field}"] = number
+    number = _as_float(doc.get("p99_speedup"))
+    if number is not None:
+        metrics["p99_speedup"] = number
+    return metrics
+
+
+def _extract_obs_overhead(doc: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for leg, values in doc.get("legs", {}).items():
+        for field in ("paired_median", "total_ratio", "min_vs_min"):
+            number = _as_float(values.get(field))
+            if number is not None:
+                metrics[f"{leg}.{field}"] = number
+    return metrics
+
+
+def extract_metrics(name: str, doc: Any) -> dict[str, float]:
+    """Comparable scalars for one artifact, by recognized shape."""
+    if isinstance(doc, dict):
+        if "figure" in doc and "meta" in doc:
+            return _extract_figure(doc)
+        if "single_client" in doc:
+            return _extract_net(doc)
+        if doc.get("benchmark") == "obs_overhead":
+            return _extract_obs_overhead(doc)
+        if "p99_speedup" in doc or (
+            "scenario" in doc and "snapshot" in doc
+        ):
+            return _extract_si(doc)
+    metrics: dict[str, float] = {}
+    _flatten("", doc, metrics)
+    return metrics
+
+
+def _git_commit() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10, check=True,
+        ).stdout.strip() or None
+    except Exception:
+        return None
+
+
+def aggregate(
+    results_dir: str = "results",
+    out_path: str | None = None,
+    run_id: str | None = None,
+    now: float | None = None,
+) -> list[dict[str, Any]]:
+    """Build (and, with ``out_path``, append) one record per artifact."""
+    now = time.time() if now is None else now
+    commit = _git_commit()
+    records: list[dict[str, Any]] = []
+    try:
+        names = sorted(os.listdir(results_dir))
+    except FileNotFoundError:
+        names = []
+    for name in names:
+        if not name.endswith(".json") or name in _SKIP:
+            continue
+        path = os.path.join(results_dir, name)
+        try:
+            with open(path, encoding="utf-8") as source:
+                doc = json.load(source)
+        except (OSError, ValueError):
+            continue  # half-written or non-JSON artifact: not a trend point
+        metrics = extract_metrics(name, doc)
+        if not metrics:
+            continue
+        record: dict[str, Any] = {"ts": now, "source": name, "metrics": metrics}
+        if commit:
+            record["commit"] = commit
+        if run_id:
+            record["run"] = run_id
+        records.append(record)
+    if out_path is not None and records:
+        os.makedirs(os.path.dirname(out_path) or ".", exist_ok=True)
+        with open(out_path, "a", encoding="utf-8") as sink:
+            for record in records:
+                sink.write(json.dumps(record, sort_keys=True) + "\n")
+    return records
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--results", default="results",
+                        help="directory of benchmark artifacts")
+    parser.add_argument("--out", default="results/bench_history.jsonl",
+                        help="append-only JSONL trend file")
+    parser.add_argument("--run-id", default=os.environ.get("GITHUB_RUN_ID"),
+                        help="run identifier (defaults to $GITHUB_RUN_ID)")
+    parser.add_argument("--print", action="store_true", dest="echo",
+                        help="also print the records to stdout")
+    args = parser.parse_args(argv)
+    records = aggregate(args.results, args.out, args.run_id)
+    total = sum(len(r["metrics"]) for r in records)
+    print(
+        f"trend: {len(records)} artifacts, {total} metrics -> {args.out}"
+    )
+    if args.echo:
+        for record in records:
+            print(json.dumps(record, sort_keys=True))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

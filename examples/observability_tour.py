@@ -1,5 +1,6 @@
 """Observe a live TPC-C lazy migration end to end — then trace one
-client request across the wire into the engine.
+client request across the wire into the engine — then watch the health
+rules catch a deadlock storm and black-box it.
 
 Act 1 runs the paper's SPLIT scenario under a TPC-C workload with the
 observability layer attached (metrics + tracing).  Act 2 starts a real
@@ -7,8 +8,12 @@ observability layer attached (metrics + tracing).  Act 2 starts a real
 client library: the trace context crosses the socket in the frame
 trailer, so the server-loop spans (``net.queue`` → ``server.execute``
 → ``stmt.*`` → ``net.flush``) land in the same trace as the client's
-root span.  Two artifacts come out, the ones a production operator
-would look at:
+root span.  Act 3 attaches the monitoring stack (history sampler +
+health rules + flight recorder), manufactures a deadlock storm, and
+shows the ``deadlock_rate`` rule transition to critical — which makes
+the flight recorder write one incident bundle under
+``results/incidents/`` with stacks, trace tail, slow queries, metric
+history, lock tables, and migration progress.  Artifacts:
 
 * ``results/obs_metrics.prom`` — Prometheus text snapshot: migration
   counters (granules, tuples, skip-waits, aborts), transaction and WAL
@@ -18,7 +23,9 @@ would look at:
   ``chrome://tracing``: the ``tpcc-experiment`` process row shows
   ``stmt.*`` / ``migrate.wip`` / ``background.pass`` spans, and the
   ``client`` + ``bullfrogd`` rows show one networked request's spans
-  linked by a shared ``trace`` id in their args.
+  linked by a shared ``trace`` id in their args;
+* ``results/incidents/<ts>-<seq>-health-deadlock_rate/`` — the act-3
+  incident bundle (``manifest.json`` lists its sections).
 
 The tour also prints the SQL-facing surfaces added with distributed
 tracing: ``bullfrog_stat_wait_events`` (where statement time went, by
@@ -32,11 +39,21 @@ Run with::
 
 import json
 import os
+import threading
+import time
 
 from repro import Database
 from repro.bench import ExperimentConfig, run_migration_experiment
+from repro.errors import DeadlockAvoided
 from repro.net import BullfrogServer, ServerConfig, connect
-from repro.obs import Observability, TraceLog, merge_chrome, render_prometheus
+from repro.obs import (
+    Observability,
+    TraceLog,
+    default_rules,
+    merge_chrome,
+    render_prometheus,
+)
+from repro.shell import render_top
 
 RESULTS = os.path.join(os.path.dirname(__file__), "..", "results")
 
@@ -129,9 +146,80 @@ def run_traced_request():
         server.shutdown(drain_timeout=2.0)
 
 
+def run_incident() -> None:
+    """Act 3: a deadlock storm trips a health rule; the flight recorder
+    black-boxes the moment.
+
+    The ``deadlock_rate`` bound is tightened to 0.5/s so a handful of
+    manufactured deadlocks breaches it deterministically; production
+    defaults are an order of magnitude looser.
+    """
+    obs = Observability()
+    db = Database(obs=obs)
+    history, health, flight = obs.attach_monitoring(
+        db,
+        interval=0.05,
+        rules=default_rules(deadlocks_per_sec=0.5, window=2.0),
+        incident_dir=os.path.join(RESULTS, "incidents"),
+        start=False,  # sampled by hand so the breach timing is exact
+    )
+
+    setup = db.connect()
+    setup.execute("CREATE TABLE t1 (id INT PRIMARY KEY)")
+    setup.execute("CREATE TABLE t2 (id INT PRIMARY KEY)")
+    setup.execute("INSERT INTO t1 VALUES (1)")
+    setup.execute("INSERT INTO t2 VALUES (1)")
+    history.sample_now()  # baseline: everything ok
+
+    deadlocks = 0
+    for _ in range(3):  # the storm: cross-updates that must cycle
+        s1, s2 = db.connect(), db.connect()
+        s1.begin()
+        s2.begin()
+        s1.execute("UPDATE t1 SET id = 1 WHERE id = 1")
+        s2.execute("UPDATE t2 SET id = 1 WHERE id = 1")
+        failed = []
+
+        def cross(session=s2):
+            try:
+                session.execute("UPDATE t1 SET id = 1 WHERE id = 1")
+            except DeadlockAvoided:
+                failed.append("s2")
+
+        thread = threading.Thread(target=cross)
+        thread.start()
+        time.sleep(0.05)
+        try:
+            s1.execute("UPDATE t2 SET id = 1 WHERE id = 1")
+        except DeadlockAvoided:
+            failed.append("s1")
+        thread.join(timeout=10.0)
+        deadlocks += len(failed)
+        for session in (s1, s2):
+            if session.in_transaction:
+                session.rollback()
+
+    time.sleep(0.05)
+    history.sample_now()  # the scrape that sees the storm -> breach -> dump
+    print(f"\ndeadlock storm: {deadlocks} victims")
+    summary = history.summary()
+    summary["health"] = health.report(max_age=1.0)
+    print(render_top(summary))
+    bundles = flight.incidents()
+    assert bundles, "the breach must have produced an incident bundle"
+    bundle = bundles[-1]
+    manifest = json.load(open(os.path.join(bundle, "manifest.json")))
+    print(f"incident bundle ({manifest['reason']}): {bundle}")
+    for name in sorted(manifest["files"]):
+        size = os.path.getsize(os.path.join(bundle, name))
+        print(f"  {name:<18} {size:>7} bytes")
+    obs.close()
+
+
 def main() -> None:
     experiment_obs = run_experiment()
     client_log, server_log = run_traced_request()
+    run_incident()
 
     prom_path = os.path.join(RESULTS, "obs_metrics.prom")
     with open(prom_path, "w") as fh:

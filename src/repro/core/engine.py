@@ -1147,6 +1147,10 @@ class LazyMigrationEngine:
             "fraction": 1.0 if self.is_complete else self.stats.progress_fraction(),
             "tuples_per_sec": self.stats.tuples_per_second(),
             "eta_seconds": self.stats.eta_seconds(),
+            # Stall forensics (PR 9): how long since anything moved.
+            # The health engine's migration_stalled rule and the flight
+            # recorder's migrations.json both key off this.
+            "last_advance_seconds": self.stats.last_advance_seconds(),
             "background_passes": (
                 self._background.passes if self._background is not None else 0
             ),

@@ -107,6 +107,12 @@ class MigrationStats:
         self._granules_rate = 0.0
         self._pending_tuples = 0
         self._pending_granules = 0
+        # When the migration last moved anything (monotonic).  The
+        # health engine's stall rule and the flight recorder's
+        # migrations.json read this through
+        # :meth:`last_advance_seconds`: "running, ETA says 12s, but
+        # nothing has advanced for 40s" is the incident signature.
+        self._last_advance_at: float | None = None
 
     # ------------------------------------------------------------------
     # Registry-backed counter views
@@ -173,6 +179,8 @@ class MigrationStats:
         with self._latch:
             self._cells["granules_migrated"].inc(granules)
             self._cells["tuples_migrated"].inc(tuples)
+            if granules or tuples:
+                self._last_advance_at = time.monotonic()
             self._update_rates(granules, tuples)
 
     def _update_rates(self, granules: int, tuples: int) -> None:
@@ -261,6 +269,18 @@ class MigrationStats:
         """EWMA migration throughput in granules/second."""
         with self._latch:
             return self._granules_rate
+
+    def last_advance_seconds(self) -> float | None:
+        """Seconds since the migration last moved a granule or tuple;
+        ``None`` before the first advance.  Falls back to the start
+        timestamp so a migration that never advanced still ages."""
+        with self._latch:
+            anchor = self._last_advance_at
+            if anchor is None:
+                anchor = self.started_at
+            if anchor is None:
+                return None
+            return time.monotonic() - anchor
 
     def eta_seconds(self) -> float | None:
         """Estimated seconds to completion: remaining granules over the

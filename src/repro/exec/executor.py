@@ -61,8 +61,7 @@ class Executor:
     # ==================================================================
     # Snapshot-isolation write conflicts (first-updater-wins)
     # ==================================================================
-    @staticmethod
-    def _check_write_conflict(table: "Table", tid: Tid, ctx: ExecutionContext) -> None:
+    def _check_write_conflict(self, table: "Table", tid: Tid, ctx: ExecutionContext) -> None:
         """Under SNAPSHOT isolation, a write target whose newest
         committed version postdates our snapshot means another
         transaction won the conflict: abort with SQLSTATE 40001.  Called
@@ -77,6 +76,9 @@ class Executor:
             return
         ts = version.stamp.ts
         if ts is not None and ts > ctx.snapshot_ts:
+            obs = self.obs
+            if obs is not None:
+                obs.count_serialization_failure()
             ctx.txn.abort()
             raise SerializationFailure(
                 f"could not serialize access: tuple {tid} of "

@@ -54,6 +54,7 @@ capability, no trailer, client-side spans only.
 
 from __future__ import annotations
 
+import json
 import random
 import socket
 import threading
@@ -489,6 +490,23 @@ class Connection:
                 f"unexpected frame type 0x{ftype:02x} in meta response"
             )
         return protocol.decode_meta_result(payload)["text"]
+
+    # -- monitoring convenience (JSON forms of the META commands) ------
+    def monitor_summary(self) -> dict:
+        """The server's live ``\\top`` summary: QPS, latency
+        percentiles, wait classes, migration progress, health report,
+        worker/inbox stats."""
+        return json.loads(self.meta("top json"))
+
+    def metrics_history(self, seconds: float | None = None) -> dict:
+        """The server's metrics-history ring (``rows`` + ``summary``),
+        optionally restricted to the trailing window."""
+        command = "history json" if seconds is None else f"history json {seconds}"
+        return json.loads(self.meta(command))
+
+    def health(self) -> dict:
+        """The server's health report (rule rows + overall status)."""
+        return json.loads(self.meta("health json"))
 
     # ------------------------------------------------------------------
     # Lifecycle

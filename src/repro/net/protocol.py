@@ -661,6 +661,16 @@ def decode_txn(payload: bytes) -> dict[str, Any]:
 
 
 def encode_meta(command: str) -> bytes:
+    """META is the admin side channel: one command string in, one text
+    blob back (META_RESULT).  The vocabulary is interpreted by the
+    server, not the framing, so adding a command never changes the wire
+    format.  Current commands: ``metrics [json]``, ``progress``,
+    ``tables``, ``describe <table>``, ``top [json]`` (live monitor
+    summary), ``history [json] [seconds]`` (metrics-history ring),
+    ``health [json]`` / ``healthz`` (rule report), ``dump [reason]``
+    (flight-recorder incident bundle).  The ``json`` forms return a
+    JSON document as the text payload — the remote ``\\top`` renderer
+    and the client's monitoring helpers parse it client-side."""
     w = _Writer()
     w.str(command)
     return encode_frame(META, w.getvalue())

@@ -70,6 +70,7 @@ live in the attached observability registry and the
 
 from __future__ import annotations
 
+import json
 import queue
 import select
 import selectors
@@ -130,6 +131,14 @@ class ServerConfig:
     worker_keepalive: float = 10.0  # transient worker idle lifetime
     max_prepared: int = 1024  # per-connection prepared-statement cap
     tick: float = 0.05  # event-loop bookkeeping cadence
+    # Monitoring: when the Database runs instrumented, start() attaches
+    # the metrics-history sampler + health engine + flight recorder
+    # (obs.attach_monitoring) so `\top` over the wire, /healthz, and
+    # incident bundles work out of the box.  No-op when obs is detached.
+    monitor: bool = True
+    monitor_interval: float = 0.25  # history sampling cadence (seconds)
+    monitor_capacity: int = 240  # history ring width (samples)
+    incident_dir: str | None = None  # flight-recorder output (default results/incidents)
 
 
 class _Prepared:
@@ -233,6 +242,10 @@ class BullfrogServer:
         self._running = False
         self._io_running = False
         self._draining = threading.Event()
+        # Whether start() created the history sampler (vs. finding one
+        # already attached, e.g. by an embedding application) — shutdown
+        # only stops a sampler it owns.
+        self._monitor_owns_history = False
         self.port: int | None = None
         self._init_metrics()
         self._register_network_view()
@@ -251,6 +264,8 @@ class BullfrogServer:
             self._m_bytes_in = null
             self._m_bytes_out = null
             self._m_disconnects = null
+            self._g_workers_busy = null
+            self._g_dispatch_depth = null
             self._rt_cells = {}
             self._rt_fallback = null
             return
@@ -280,6 +295,17 @@ class BullfrogServer:
             "connection teardowns by cause",
             labelnames=("cause",),
         )
+        # Refreshed on the event-loop tick so the history ring (and
+        # therefore incident bundles) records worker-pool saturation
+        # over time, not just the instant a view is queried.
+        self._g_workers_busy = registry.gauge(
+            "repro_net_workers_busy",
+            "execution workers currently running a request",
+        ).cell()
+        self._g_dispatch_depth = registry.gauge(
+            "repro_net_dispatch_depth",
+            "connections queued for an execution worker",
+        ).cell()
         rt = registry.histogram(
             "repro_net_request_seconds",
             "server-side protocol round trip (frame decoded -> last "
@@ -409,7 +435,70 @@ class BullfrogServer:
         with self._worker_latch:
             for i in range(self.config.workers):
                 self._spawn_worker_locked(transient=False)
+        self._attach_monitoring()
         return self
+
+    def _attach_monitoring(self) -> None:
+        """Wire the history sampler / health engine / flight recorder
+        onto the database's observability bundle, plus a server-local
+        worker-saturation rule.  Skipped when observability is detached
+        or ``config.monitor`` is off — the zero-cost contract holds."""
+        obs = self.db.obs
+        if obs is None or not obs.metrics_enabled or not self.config.monitor:
+            return
+        history = obs.history
+        self._monitor_owns_history = history is None or not history.running
+        obs.attach_monitoring(
+            self.db,
+            interval=self.config.monitor_interval,
+            capacity=self.config.monitor_capacity,
+            incident_dir=self.config.incident_dir,
+        )
+        health = obs.health
+        if any(rule.name == "worker_saturation" for rule in health.rules):
+            return  # restart on the same Database: rule already wired
+        from ..obs.health import WARN, ThresholdRule
+
+        def saturation(_ctx) -> float:
+            with self._worker_latch:
+                workers = len(self._worker_threads)
+            if workers == 0 or self._busy_workers < workers:
+                return 0.0
+            return float(self._work_queue.qsize())
+
+        health.add_rule(ThresholdRule(
+            "worker_saturation",
+            saturation,
+            bound=4.0 * max(self.config.workers, 1),
+            severity=WARN,
+            window=self.config.monitor_interval,
+            description="dispatch backlog while every worker is busy",
+        ))
+
+    def monitor_summary(self) -> dict:
+        """One merged dict for the shell's ``\\top`` renderer: the
+        history summary plus health report plus live worker/inbox
+        stats.  Served by ``META top json``."""
+        obs = self.db.obs
+        history = getattr(obs, "history", None) if obs is not None else None
+        summary: dict = history.summary() if history is not None else {}
+        health = getattr(obs, "health", None) if obs is not None else None
+        if health is not None:
+            summary["health"] = health.report(max_age=1.0)
+        with self._worker_latch:
+            workers = len(self._worker_threads)
+            transient = self._transient_workers
+        summary["server"] = {
+            "workers": workers,
+            "busy": self._busy_workers,
+            "transient": transient,
+            "idle": self._idle_workers,
+            "dispatch_queue_depth": self._work_queue.qsize(),
+            "connections": self.active_connections(),
+            "max_connections": self.config.max_connections,
+            "draining": self._draining.is_set(),
+        }
+        return summary
 
     def __enter__(self) -> "BullfrogServer":
         return self.start()
@@ -479,6 +568,9 @@ class BullfrogServer:
             if now >= next_tick:
                 next_tick = now + self.config.tick
                 self._check_idle_timeouts(now)
+                # NULL_METRIC no-ops when observability is detached.
+                self._g_workers_busy.set(self._busy_workers)
+                self._g_dispatch_depth.set(self._work_queue.qsize())
 
     def _drain_ioq(self) -> None:
         """Apply selector mutations requested by other threads — all
@@ -1420,6 +1512,48 @@ class BullfrogServer:
                 for t in self.db.catalog.tables()
             ]
             return "\n".join(lines) or "(no tables)"
+        if name == "top":
+            summary = self.monitor_summary()
+            if arg == "json":
+                return json.dumps(summary)
+            from ..shell import render_top  # deferred: shell imports net
+
+            return render_top(summary)
+        if name == "history":
+            obs = self.db.obs
+            history = getattr(obs, "history", None) if obs is not None else None
+            if history is None:
+                return "(no history sampler attached)"
+            args = arg.split()
+            as_json = bool(args) and args[0] == "json"
+            try:
+                window = float(args[-1]) if len(args) > (1 if as_json else 0) else None
+            except ValueError:
+                raise ProtocolError(f"bad history window {args[-1]!r}")
+            payload = history.to_json(window)
+            if as_json:
+                return json.dumps(payload)
+            from ..shell import render_top
+
+            return render_top(payload["summary"])
+        if name in ("health", "healthz"):
+            obs = self.db.obs
+            health = getattr(obs, "health", None) if obs is not None else None
+            if health is None:
+                return "(no health engine attached)"
+            report = health.report(max_age=1.0)
+            if arg == "json":
+                return json.dumps(report)
+            from ..shell import format_health
+
+            return format_health(report)
+        if name == "dump":
+            obs = self.db.obs
+            flight = getattr(obs, "flight", None) if obs is not None else None
+            if flight is None:
+                return "(no flight recorder attached)"
+            path = flight.dump(arg or "meta", force=True)
+            return f"incident bundle written: {path}"
         if name == "describe" and arg:
             table = self.db.catalog.table(arg)
             lines = [
@@ -1564,6 +1698,15 @@ class BullfrogServer:
                     waker.close()
                 except OSError:
                     pass
+        # Stop the history sampler only if start() created it — an
+        # embedding application that attached monitoring first keeps
+        # its sampler running after the server goes away.
+        if self._monitor_owns_history:
+            obs = self.db.obs
+            history = getattr(obs, "history", None) if obs is not None else None
+            if history is not None:
+                history.stop()
+            self._monitor_owns_history = False
         # Any connection cleaned up by its own handler before the
         # deadline counts as drained.
         drained = max(0, census - aborted)

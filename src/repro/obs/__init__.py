@@ -36,6 +36,18 @@ from .trace import TraceEvent, TraceLog, merge_chrome
 from .tracectx import TraceContext, WAIT_CLASSES
 from .observability import Observability, POINT_COUNTERS
 from .sysviews import SYSTEM_VIEW_NAMES, register_system_views
+from .history import HistorySample, MetricsHistory
+from .health import (
+    AbsenceRule,
+    HealthEngine,
+    HealthRule,
+    MigrationStalledRule,
+    PercentileRule,
+    RateRule,
+    ThresholdRule,
+    default_rules,
+)
+from .flightrec import FlightRecorder
 from .export import (
     MetricsServer,
     render_prometheus,
@@ -61,6 +73,17 @@ __all__ = [
     "POINT_COUNTERS",
     "SYSTEM_VIEW_NAMES",
     "register_system_views",
+    "HistorySample",
+    "MetricsHistory",
+    "HealthEngine",
+    "HealthRule",
+    "ThresholdRule",
+    "RateRule",
+    "PercentileRule",
+    "AbsenceRule",
+    "MigrationStalledRule",
+    "default_rules",
+    "FlightRecorder",
     "MetricsServer",
     "render_prometheus",
     "snapshot_json",

@@ -13,6 +13,7 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
+from urllib.parse import parse_qs, urlparse
 
 from .registry import MetricRegistry
 from .trace import TraceLog
@@ -82,36 +83,80 @@ def snapshot_json(registry: MetricRegistry, indent: int | None = None) -> str:
 class _MetricsHandler(BaseHTTPRequestHandler):
     registry: MetricRegistry
     trace: TraceLog | None
+    history: Any  # MetricsHistory | None
+    health: Any  # HealthEngine | None
+    server_ref: Any  # the owning MetricsServer (draining flag)
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        if self.path in ("/metrics", "/"):
+        parsed = urlparse(self.path)
+        path = parsed.path
+        status = 200
+        if path in ("/metrics", "/"):
             body = render_prometheus(self.registry).encode()
             content_type = "text/plain; version=0.0.4; charset=utf-8"
-        elif self.path == "/metrics.json":
+        elif path == "/metrics.json":
             body = snapshot_json(self.registry).encode()
             content_type = "application/json"
-        elif self.path == "/trace" and self.trace is not None:
+        elif path == "/trace" and self.trace is not None:
             body = self.trace.to_chrome_json().encode()
+            content_type = "application/json"
+        elif path == "/metrics/history" and self.history is not None:
+            window = None
+            raw = parse_qs(parsed.query).get("seconds")
+            if raw:
+                try:
+                    window = float(raw[0])
+                except ValueError:
+                    self.send_error(400, "seconds must be a number")
+                    return
+            body = json.dumps(
+                self.history.to_json(window), default=str
+            ).encode()
+            content_type = "application/json"
+        elif path == "/healthz":
+            status, body = self._healthz()
             content_type = "application/json"
         else:
             self.send_error(404)
             return
-        self.send_response(200)
+        self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
+
+    def _healthz(self) -> tuple[int, bytes]:
+        """Liveness/health: 503 while the server drains for shutdown or
+        a critical rule is breached; 200 otherwise.  With no health
+        engine attached the endpoint still exists — a bare metrics
+        server is alive by definition — so load balancers get a
+        liveness surface either way."""
+        server = self.server_ref
+        if server is not None and server.draining:
+            return 503, json.dumps({"status": "draining"}).encode()
+        health = self.health
+        if health is None:
+            return 200, json.dumps(
+                {"status": "ok", "detail": "no health engine attached"}
+            ).encode()
+        report = health.report(max_age=1.0)
+        status = 200 if health.healthy else 503
+        return status, json.dumps(report, default=str).encode()
 
     def log_message(self, format: str, *args: Any) -> None:  # silence stderr
         pass
 
 
 class MetricsServer:
-    """A background stdlib HTTP endpoint over one registry (+ trace).
+    """A background stdlib HTTP endpoint over one registry (+ trace,
+    history, health).
 
     ``port=0`` binds an ephemeral port (tests); ``server.port`` reports
-    the bound one.  ``close()`` shuts the server down and joins its
-    thread.
+    the bound one.  Shutdown is graceful and idempotent:
+    :meth:`begin_drain` flips ``/healthz`` to 503 (so a load balancer
+    stops routing before the socket goes away), and :meth:`close`
+    drains, stops the serve loop, closes the socket, and joins the
+    thread — calling it twice is a no-op, not an error.
     """
 
     def __init__(
@@ -120,15 +165,26 @@ class MetricsServer:
         trace: TraceLog | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        history: Any = None,
+        health: Any = None,
     ) -> None:
+        self.draining = False
         handler = type(
             "_BoundMetricsHandler",
             (_MetricsHandler,),
-            {"registry": registry, "trace": trace},
+            {
+                "registry": registry,
+                "trace": trace,
+                "history": history,
+                "health": health,
+                "server_ref": self,
+            },
         )
         self._server = ThreadingHTTPServer((host, port), handler)
         self.host = host
         self.port = self._server.server_address[1]
+        self._closed = False
+        self._close_latch = threading.Lock()
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             name="repro-metrics-server",
@@ -140,7 +196,18 @@ class MetricsServer:
     def url(self) -> str:
         return f"http://{self.host}:{self.port}/metrics"
 
+    def begin_drain(self) -> None:
+        """Advertise imminent shutdown: ``/healthz`` answers 503 from
+        here on while the other endpoints keep serving (scrapes during
+        a rolling restart still land)."""
+        self.draining = True
+
     def close(self) -> None:
+        with self._close_latch:
+            if self._closed:
+                return
+            self._closed = True
+        self.begin_drain()
         self._server.shutdown()
         self._server.server_close()
         self._thread.join(timeout=5.0)
@@ -158,8 +225,13 @@ def start_metrics_server(
     trace: TraceLog | None = None,
     host: str = "127.0.0.1",
     port: int = 0,
+    history: Any = None,
+    health: Any = None,
 ) -> MetricsServer:
-    return MetricsServer(registry, trace=trace, host=host, port=port)
+    return MetricsServer(
+        registry, trace=trace, host=host, port=port,
+        history=history, health=health,
+    )
 
 
 __all__ = [

@@ -18,6 +18,7 @@ disabled cost to <2% and the enabled-metrics cost to <5%.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from collections import deque
@@ -109,6 +110,7 @@ class Observability:
         slow_query_threshold: float | None = None,
         slow_query_capacity: int = 256,
         slow_query_log_path: str | None = None,
+        slow_query_log_max_bytes: int = 16 * 1024 * 1024,
     ) -> None:
         if sample_statements < 1 or sample_statements & (sample_statements - 1):
             raise ValueError("sample_statements must be a power of two")
@@ -169,11 +171,25 @@ class Observability:
         self._wait_latch = threading.Lock()
         # Slow-query ring + optional JSONL sink (opened lazily so an
         # Observability() constructed for one statement never touches
-        # the filesystem).
+        # the filesystem).  The sink is size-capped: past half the
+        # budget it rotates to ``<path>.1`` (replacing the previous
+        # rotation), so path + path.1 together never exceed
+        # ``slow_query_log_max_bytes`` and a week-long soak cannot fill
+        # the disk.
+        if slow_query_log_max_bytes < 4096:
+            raise ValueError("slow_query_log_max_bytes must be at least 4096")
         self.slow_query_log_path = slow_query_log_path
+        self.slow_query_log_max_bytes = slow_query_log_max_bytes
         self._slow_queries: deque[dict[str, Any]] = deque(maxlen=slow_query_capacity)
         self._slow_latch = threading.Lock()
         self._slow_sink: Any = None
+        # Monitoring attachments (PR 9): the time-series sampler, the
+        # health rule engine, and the flight recorder.  All None until
+        # attach_history()/attach_monitoring() — a bare Observability
+        # stays a passive bundle with no threads.
+        self.history: Any = None
+        self.health: Any = None
+        self.flight: Any = None
         # Hot seams check this one attribute after their `is not None`
         # guard: an attached-but-fully-disabled bundle then costs a
         # branch per seam instead of a full emit dispatch.
@@ -258,6 +274,11 @@ class Observability:
                 "repro_lock_timeouts_total",
                 "lock acquisitions aborted by the lock-wait timeout",
             ).cell()
+            self.serialization_failures_total = self.registry.counter(
+                "repro_serialization_failures_total",
+                "snapshot-isolation first-updater-wins aborts "
+                "(SQLSTATE 40001)",
+            ).cell()
             self._wip_cell = self.migrate_wip_latency.cell()
             self._wal_cells: tuple[Any, Any] | None = (
                 self._point_counters["wal.flush"],
@@ -334,6 +355,7 @@ class Observability:
             self._lock_wait_cells = {}
             self.deadlocks_total = None
             self.lock_timeouts_total = None
+            self.serialization_failures_total = None
             self._rows_cells = {}
             self._stmt_cells = {}
             self._stmt_observes = {}
@@ -701,6 +723,11 @@ class Observability:
         if cell is not None:
             cell.inc()
 
+    def count_serialization_failure(self) -> None:
+        cell = self.serialization_failures_total
+        if cell is not None:
+            cell.inc()
+
     def add_rows(self, op: str, count: int) -> None:
         """Row-count accounting from the executor write path; pre-bound
         label cells so the cost is one dict lookup + one locked add.
@@ -803,14 +830,94 @@ class Observability:
                     sink = self._slow_sink = open(path, "a", encoding="utf-8")
                 sink.write(json.dumps(record, default=str) + "\n")
                 sink.flush()
+                # Size-capped rotation: the live file holds at most
+                # half the budget; one predecessor (``<path>.1``) holds
+                # the other half, replaced on each rotation — total
+                # on-disk ≤ slow_query_log_max_bytes, and the most
+                # recent half-budget of records is always intact.
+                if sink.tell() >= self.slow_query_log_max_bytes // 2:
+                    sink.close()
+                    os.replace(path, path + ".1")
+                    self._slow_sink = open(path, "a", encoding="utf-8")
 
     def slow_queries(self) -> list[dict[str, Any]]:
         """Newest-last snapshot of the in-memory slow-query ring."""
         with self._slow_latch:
             return list(self._slow_queries)
 
+    # ------------------------------------------------------------------
+    # Monitoring attachments (history sampler, health rules, recorder)
+    # ------------------------------------------------------------------
+    def attach_history(
+        self,
+        interval: float = 0.25,
+        capacity: int = 240,
+        start: bool = True,
+    ) -> Any:
+        """Create (or return the existing) metrics-history sampler over
+        this bundle.  Imported lazily so a bundle that never monitors
+        never loads the module."""
+        if self.history is None:
+            from .history import MetricsHistory
+
+            self.history = MetricsHistory(
+                self, interval=interval, capacity=capacity
+            )
+        if start:
+            self.history.start()
+        return self.history
+
+    def attach_monitoring(
+        self,
+        db: Any = None,
+        *,
+        interval: float = 0.25,
+        capacity: int = 240,
+        rules: Any = None,
+        incident_dir: str | None = None,
+        min_dump_interval: float = 30.0,
+        max_incidents: int = 8,
+        max_incident_bytes: int = 64 * 1024 * 1024,
+        start: bool = True,
+    ) -> tuple[Any, Any, Any]:
+        """The full monitoring stack in one call: history sampler +
+        health engine (evaluated on the sampling cadence) + flight
+        recorder wired to breaches.  Returns ``(history, health,
+        flight)``; idempotent per component, so a server can add its
+        own rules after an embedded shell already attached."""
+        history = self.attach_history(
+            interval=interval, capacity=capacity, start=start
+        )
+        if self.health is None:
+            from .health import HealthEngine
+
+            self.health = HealthEngine(history, rules, obs=self).attach()
+        if self.flight is None:
+            from .flightrec import FlightRecorder
+
+            self.flight = FlightRecorder(
+                self,
+                db=db,
+                history=history,
+                health=self.health,
+                directory=incident_dir
+                if incident_dir is not None
+                else os.path.join("results", "incidents"),
+                min_interval=min_dump_interval,
+                max_incidents=max_incidents,
+                max_bytes=max_incident_bytes,
+            )
+            self.health.on_breach(self.flight.on_breach)
+        elif db is not None and self.flight.db is None:
+            self.flight.db = db
+        return history, self.health, self.flight
+
     def close(self) -> None:
-        """Flush and close the slow-query JSONL sink (idempotent)."""
+        """Stop the history sampler (if attached) and flush/close the
+        slow-query JSONL sink (idempotent)."""
+        history = self.history
+        if history is not None:
+            history.stop()
         with self._slow_latch:
             if self._slow_sink is not None:
                 self._slow_sink.close()

@@ -231,6 +231,16 @@ class Histogram:
         with self._lock:
             self._drain_locked()
 
+    def state(self) -> tuple[tuple[int, ...], int, float]:
+        """Raw ``(per_bucket_counts, count, sum)`` read atomically —
+        the final slot is the +Inf bucket.  The history sampler scrapes
+        this shape: per-bucket (non-cumulative) counts merge across
+        label children and difference across samples without the string
+        keys :meth:`snapshot` builds for export."""
+        with self._lock:
+            self._drain_locked()
+            return tuple(self._counts), self._count, self._sum
+
     def snapshot(self) -> dict[str, Any]:
         """Cumulative ``{le: count}`` mapping plus sum/count, read
         atomically."""

@@ -52,6 +52,8 @@ SYSTEM_VIEW_NAMES = (
     "bullfrog_stat_statements",
     "bullfrog_stat_wait_events",
     "bullfrog_stat_slow_queries",
+    "bullfrog_stat_history",
+    "bullfrog_stat_health",
 )
 
 _STATEMENT_KINDS = ("select", "insert", "update", "delete", "ddl")
@@ -215,6 +217,64 @@ def _slow_queries_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
     return produce
 
 
+def _history_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        obs = db.obs  # read live: the bench swaps bundles in place
+        history = getattr(obs, "history", None) if obs is not None else None
+        if history is None:
+            return []
+        rows: list[Row] = []
+        for row in history.rows():
+            rows.append(
+                (
+                    row["ts"],
+                    row["dt_seconds"],
+                    row["qps"],
+                    row["commits_per_sec"],
+                    row["aborts_per_sec"],
+                    row["deadlocks_per_sec"],
+                    row["wal_batches_per_sec"],
+                    row["p50_ms"],
+                    row["p95_ms"],
+                    row["p99_ms"],
+                    row["lock_wait_p99_ms"],
+                    row["lock_wait_ms_per_sec"],
+                    row["migration_wait_ms_per_sec"],
+                    row["migration_fraction"],
+                    row["migration_tuples_per_sec"],
+                    row["migration_eta_seconds"],
+                )
+            )
+        return rows
+
+    return produce
+
+
+def _health_producer(db: "Database") -> Callable[[Any], Iterable[Row]]:
+    def produce(ctx: Any) -> Iterable[Row]:
+        obs = db.obs  # read live: the bench swaps bundles in place
+        health = getattr(obs, "health", None) if obs is not None else None
+        if health is None:
+            return []
+        report = health.report(max_age=1.0)
+        return [
+            (
+                result["rule"],
+                result["severity"],
+                result["status"],
+                result["value"],
+                result["bound"],
+                result["window_seconds"],
+                result["since"],
+                result["breaches"],
+                result["detail"],
+            )
+            for result in report["rules"]
+        ]
+
+    return produce
+
+
 def register_system_views(db: "Database") -> None:
     """Register the ``bullfrog_stat_*`` virtual tables with the
     database's catalog.  Called once from ``Database.__init__``."""
@@ -331,6 +391,39 @@ def register_system_views(db: "Database") -> None:
                 _INT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _INT, _INT,
             ),
             _slow_queries_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_history",
+            (
+                "ts", "dt_seconds", "qps", "commits_per_sec",
+                "aborts_per_sec", "deadlocks_per_sec",
+                "wal_batches_per_sec", "p50_ms", "p95_ms", "p99_ms",
+                "lock_wait_p99_ms", "lock_wait_ms_per_sec",
+                "migration_wait_ms_per_sec", "migration_fraction",
+                "migration_tuples_per_sec", "migration_eta_seconds",
+            ),
+            (
+                _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT,
+                _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT, _FLOAT,
+                _FLOAT, _FLOAT,
+            ),
+            _history_producer(db),
+        )
+    )
+    db.catalog.register_virtual(
+        VirtualTable(
+            "bullfrog_stat_health",
+            (
+                "rule", "severity", "status", "value", "bound",
+                "window_seconds", "since", "breaches", "detail",
+            ),
+            (
+                _TEXT, _TEXT, _TEXT, _FLOAT, _FLOAT, _FLOAT, _FLOAT,
+                _INT, _TEXT,
+            ),
+            _health_producer(db),
         )
     )
 

@@ -19,18 +19,24 @@ Meta-commands: ``\\dt`` lists tables, ``\\d <table>`` describes one,
 ``\\explain <select>`` shows the plan, ``\\migrate <id> <ddl>`` submits
 a lazy migration, ``\\progress`` shows live migration progress,
 ``\\metrics`` dumps the Prometheus text snapshot (``\\metrics json``
-for the JSON form), ``\\q`` quits.
+for the JSON form), ``\\top [interval [frames]]`` is a live monitor
+(QPS, latency percentiles, wait-class breakdown, migration
+progress/ETA — ``\\top 0 1`` renders one frame and returns),
+``\\health`` prints the health-rule report, ``\\dump [reason]`` writes
+a flight-recorder incident bundle, ``\\q`` quits.
 
 ``python -m repro --connect HOST:PORT`` attaches the same shell to a
 running ``bullfrogd`` instead of an embedded database: SQL travels over
-the wire and ``\\dt``/``\\d``/``\\progress``/``\\metrics`` become
-server-side META requests, so ``\\metrics`` reports the *server's*
-registry (including its ``repro_net_*`` connection metrics).
+the wire and ``\\dt``/``\\d``/``\\progress``/``\\metrics``/``\\top``/
+``\\health``/``\\dump`` become server-side META requests, so ``\\top``
+renders the *server's* history (including its worker-pool and inbox
+stats).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -38,6 +44,102 @@ from .core import BackgroundConfig, MigrationController, Strategy
 from .db import Database, Result
 from .errors import ReproError
 from .obs import Observability, render_prometheus, snapshot_json
+
+
+def _num(value, suffix: str = "", digits: int = 1) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.{digits}f}{suffix}"
+
+
+def render_top(summary: dict) -> str:
+    """Render one ``\\top`` frame from a monitor summary — the dict
+    :meth:`repro.obs.history.MetricsHistory.summary` produces, with
+    optional ``health`` (a health report) and ``server`` (bullfrogd
+    worker/inbox stats) sections merged in.  Pure function: the live
+    loop, the single-frame test mode, and the tour all call this."""
+    ts = summary.get("ts")
+    when = (
+        time.strftime("%H:%M:%S", time.localtime(ts)) if ts else "--:--:--"
+    )
+    lines = [
+        f"bullfrog top — {when}  "
+        f"window {summary.get('window_seconds') or 0.0:.1f}s  "
+        f"samples {summary.get('samples', 0)}"
+    ]
+    lines.append(
+        "load      "
+        f"qps {_num(summary.get('qps'))}   "
+        f"commits/s {_num(summary.get('commits_per_sec'))}   "
+        f"aborts/s {_num(summary.get('aborts_per_sec'))}   "
+        f"deadlocks/s {_num(summary.get('deadlocks_per_sec'))}   "
+        f"wal/s {_num(summary.get('wal_batches_per_sec'))}"
+    )
+    lines.append(
+        "latency   "
+        f"p50 {_num(summary.get('p50_ms'), ' ms', 2)}   "
+        f"p95 {_num(summary.get('p95_ms'), ' ms', 2)}   "
+        f"p99 {_num(summary.get('p99_ms'), ' ms', 2)}   "
+        f"lock p99 {_num(summary.get('lock_wait_p99_ms'), ' ms', 2)}"
+    )
+    waits = summary.get("wait_ms_per_sec") or {}
+    busy = [
+        f"{cls} {value:.1f} ms/s"
+        for cls, value in sorted(waits.items())
+        if value and value >= 0.05
+    ]
+    lines.append("waits     " + ("   ".join(busy) if busy else "(quiet)"))
+    migration = summary.get("migration") or {}
+    if migration.get("running"):
+        fraction = migration.get("fraction")
+        eta = migration.get("eta_seconds")
+        lines.append(
+            "migration "
+            + (f"{100.0 * fraction:.1f}% done   " if fraction is not None else "")
+            + f"{_num(migration.get('tuples_per_sec'), ' tuples/s', 0)}   "
+            + (f"eta ~{eta:.1f}s" if eta is not None else "eta unknown")
+        )
+    else:
+        lines.append("migration (none running)")
+    health = summary.get("health")
+    if health:
+        breached = [
+            f"{r['rule']}={r['status']}"
+            for r in health.get("rules", [])
+            if r.get("status") in ("warn", "critical")
+        ]
+        lines.append(
+            f"health    {health.get('status', 'unknown')}"
+            + (f"   [{', '.join(breached)}]" if breached else "")
+        )
+    server = summary.get("server")
+    if server:
+        lines.append(
+            "server    "
+            f"workers {server.get('busy', 0)}/{server.get('workers', 0)} busy "
+            f"(+{server.get('transient', 0)} transient)   "
+            f"inbox {server.get('dispatch_queue_depth', 0)}   "
+            f"conns {server.get('connections', 0)}"
+            f"/{server.get('max_connections', 0)}"
+            + ("   DRAINING" if server.get("draining") else "")
+        )
+    return "\n".join(lines)
+
+
+def format_health(report: dict) -> str:
+    """Text form of a health report for ``\\health``."""
+    lines = [f"status: {report.get('status', 'unknown')}"]
+    for result in report.get("rules", []):
+        value = result.get("value")
+        bound = result.get("bound")
+        lines.append(
+            f"  {result['rule']:<28} {result['status']:<9}"
+            f" value={_num(value, '', 2)} bound={_num(bound, '', 2)}"
+            f" window={result.get('window_seconds', 0):.0f}s"
+            f" breaches={result.get('breaches', 0)}"
+            + (f"  ({result['detail']})" if result.get("detail") else "")
+        )
+    return "\n".join(lines)
 
 
 def format_result(result: Result) -> str:
@@ -82,11 +184,13 @@ class Shell:
             self.controller = None
             return
         # The shell always runs instrumented: it is the demo surface for
-        # the observability layer (\\progress and \\metrics read it).
+        # the observability layer (\\progress, \\metrics, \\top and
+        # \\health read it, \\dump writes incident bundles).
         self.obs = Observability()
         self.db = Database(obs=self.obs)
         self.session = self.db.connect()
         self.controller = MigrationController(self.db)
+        self.obs.attach_monitoring(self.db)
 
     def handle_meta(self, line: str) -> str | None:
         parts = line.split(None, 2)
@@ -134,7 +238,52 @@ class Shell:
             if len(parts) > 1 and parts[1] == "json":
                 return snapshot_json(self.obs.registry, indent=2)
             return render_prometheus(self.obs.registry)
+        if command == "\\top":
+            return self._run_top(parts, self.top_summary)
+        if command == "\\health":
+            return format_health(self.obs.health.report(max_age=1.0))
+        if command == "\\dump":
+            reason = parts[1] if len(parts) > 1 else "manual"
+            path = self.obs.flight.dump(reason, force=True)
+            return f"incident bundle written: {path}"
         return f"unknown meta-command {command!r}"
+
+    def top_summary(self) -> dict:
+        """One merged monitor summary for :func:`render_top` (embedded
+        mode).  Forces a scrape when the ring is too young to have two
+        samples, so ``\\top`` works right after startup."""
+        history = self.obs.history
+        if len(history.samples(float("inf"))) < 2:
+            history.sample_now()
+        summary = history.summary()
+        summary["health"] = self.obs.health.report(max_age=1.0)
+        return summary
+
+    def _run_top(self, parts: list[str], fetch) -> str | None:
+        """Drive ``\\top [interval [frames]]``.  ``frames == 1`` renders
+        once and returns the text (the testable path); otherwise loop,
+        clearing the screen between frames, until the frame budget runs
+        out or the user interrupts."""
+        try:
+            interval = float(parts[1]) if len(parts) > 1 else 1.0
+            frames = int(parts[2]) if len(parts) > 2 else None
+        except ValueError:
+            return "usage: \\top [interval_seconds [frames]]"
+        if frames == 1:
+            return render_top(fetch())
+        rendered = 0
+        try:
+            while frames is None or rendered < frames:
+                if rendered:
+                    time.sleep(max(interval, 0.05))
+                # ANSI clear + home, like top(1); harmless when piped.
+                sys.stdout.write("\x1b[2J\x1b[H")
+                print(render_top(fetch()))
+                print("(ctrl-c to stop)")
+                rendered += 1
+        except KeyboardInterrupt:
+            pass
+        return None
 
     def _handle_remote_meta(self, line: str, parts: list[str]) -> str | None:
         """Server-side passthrough for the connected shell: the data a
@@ -155,6 +304,15 @@ class Shell:
             if len(parts) > 1 and parts[1] == "json":
                 return self.remote.meta("metrics json")
             return self.remote.meta("metrics")
+        if command == "\\top":
+            return self._run_top(
+                parts, lambda: json.loads(self.remote.meta("top json"))
+            )
+        if command == "\\health":
+            return self.remote.meta("health")
+        if command == "\\dump":
+            reason = parts[1] if len(parts) > 1 else "manual"
+            return self.remote.meta(f"dump {reason}")
         if command == "\\migrate":
             return "\\migrate is not available over --connect (run DDL as SQL)"
         return f"unknown meta-command {command!r}"
@@ -276,6 +434,8 @@ def main(argv: list[str] | None = None) -> int:
     finally:
         if shell.remote is not None:
             shell.remote.close()
+        elif shell.obs is not None:
+            shell.obs.close()
 
 
 if __name__ == "__main__":
