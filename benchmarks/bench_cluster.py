@@ -1,0 +1,194 @@
+"""Cluster benchmark: shard-scaling TPC-C and a distributed lazy SPLIT.
+
+Reproduces SLSM's (arXiv:2404.03929) headline scenario on BullFrog's
+engine: networked TPC-C terminals against a ``bullfrog-router``
+fronting 1, 2, and 4 shards, then the same 4-shard cluster running the
+lazy SPLIT migration *live* behind a cluster-wide two-phase epoch
+flip.  Two headline numbers:
+
+* **Shard scaling** — closed-loop TPC-C throughput at a fixed terminal
+  count as the warehouse partitions spread over 1 → 2 → 4 shards.
+  TPC-C transactions are single-warehouse here, so the router turns
+  every transaction into single-shard work and throughput should grow
+  with shard count until the (pure-Python, GIL-shared) client fleet
+  saturates.
+* **Migration transparency** — TPC-C throughput on 4 shards while the
+  SPLIT migration runs cluster-wide, plus the epoch-flip duration and
+  the count of mixed-epoch scatter retries (must be 0 errors): the
+  distributed flavour of the paper's "migration at full speed without
+  blocking".
+
+Writes ``results/cluster_bench.json``.  ``BULLFROG_NET_SMOKE=1``
+shrinks durations/scale for CI; also runs under pytest as the CI
+cluster job's smoke.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.bench.driver import DriverConfig, WorkloadDriver  # noqa: E402
+from repro.cluster import (  # noqa: E402
+    PARTITION_COLUMNS,
+    LocalCluster,
+    shard_for_warehouse,
+)
+from repro.net import NetworkTpccClient  # noqa: E402
+from repro.testing import ClusterInvariantChecker  # noqa: E402
+from repro.tpcc import SCENARIOS, SchemaVariant  # noqa: E402
+from repro.tpcc.schema import ScaleConfig  # noqa: E402
+
+SMOKE = os.environ.get("BULLFROG_NET_SMOKE") == "1"
+
+SHARD_COUNTS = (1, 2, 4)
+TPCC_SECONDS = 2.0 if SMOKE else 6.0
+TPCC_CLIENTS = 8 if SMOKE else 16
+WAREHOUSES = 4  # divisible by every shard count
+
+SCALE = ScaleConfig(
+    warehouses=WAREHOUSES,
+    districts_per_warehouse=2,
+    customers_per_district=12 if SMOKE else 20,
+    items=24 if SMOKE else 30,
+    initial_orders_per_district=12 if SMOKE else 20,
+)
+
+
+def _drive_tpcc(
+    cluster: LocalCluster,
+    seconds: float,
+    on_start=None,
+    new_variant=None,
+) -> dict:
+    def make_client(index: int) -> NetworkTpccClient:
+        return NetworkTpccClient(
+            "127.0.0.1", cluster.port, SCALE,
+            variant=SchemaVariant.BASE,
+            new_variant=new_variant,
+            seed=4242 + index,
+        )
+
+    driver = WorkloadDriver(
+        make_client,
+        DriverConfig(duration=seconds, rate=None, workers=TPCC_CLIENTS),
+    )
+    result = driver.run(on_start=on_start)
+    return {
+        "clients": TPCC_CLIENTS,
+        "duration": result.duration,
+        "completed": result.completed,
+        "failed": result.failed,
+        "tps": result.overall_tps,
+        "errors": result.errors,
+        "connection_errors": result.connection_errors,
+    }
+
+
+def bench_shard_scaling() -> list[dict]:
+    """TPC-C throughput at 1, 2, 4 shards, same data, same terminals."""
+    points = []
+    for n_shards in SHARD_COUNTS:
+        with LocalCluster(n_shards=n_shards, scale=SCALE) as cluster:
+            run = _drive_tpcc(cluster, TPCC_SECONDS)
+            run["shards"] = n_shards
+            points.append(run)
+            print(
+                f"scaling: {n_shards} shard(s)  {run['tps']:>8.1f} tps  "
+                f"({run['completed']} txns, "
+                f"{run['connection_errors']} conn errors)",
+                flush=True,
+            )
+    return points
+
+
+def bench_migration_on_cluster() -> dict:
+    """4-shard TPC-C through the live cluster-wide SPLIT migration."""
+    scenario = SCENARIOS["split"]
+    with LocalCluster(n_shards=4, scale=SCALE) as cluster:
+        rdb = cluster.router_db
+        flip_info: dict = {}
+
+        def on_start(drv):
+            def flip():
+                time.sleep(min(1.0, TPCC_SECONDS / 3))
+                flip_info.update(rdb.cluster_migrate("split"))
+                drv.mark("cluster flip")
+            threading.Thread(target=flip, daemon=True).start()
+
+        run = _drive_tpcc(
+            cluster, TPCC_SECONDS,
+            on_start=on_start, new_variant=scenario["variant"],
+        )
+
+        deadline = time.monotonic() + 60.0
+        while (
+            not cluster.migrations_complete()
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        checker = ClusterInvariantChecker(
+            cluster.shard_dbs,
+            PARTITION_COLUMNS,
+            replicated={"item"},
+            shard_of=lambda key: shard_for_warehouse(key, 4),
+        )
+        report = checker.check(expect_complete=True, structural_only=True)
+        run.update({
+            "shards": 4,
+            "flip_seconds": flip_info.get("elapsed_seconds"),
+            "migration_complete": cluster.migrations_complete(),
+            "mixed_epoch_retries": rdb.mixed_epoch_retries,
+            "mixed_epoch_errors": rdb.mixed_epoch_errors,
+            "invariant_violations": [str(v) for v in report.violations],
+        })
+        print(
+            f"migration: 4 shards  {run['tps']:.1f} tps through the flip "
+            f"(flip {1000.0 * (run['flip_seconds'] or 0):.1f}ms, "
+            f"mixed-epoch errors {run['mixed_epoch_errors']}, "
+            f"invariants {'ok' if report.ok else 'VIOLATED'})",
+            flush=True,
+        )
+        return run
+
+
+def run_all(out_path: str = "results/cluster_bench.json") -> dict:
+    results = {
+        "benchmark": "cluster_scaling",
+        "smoke": SMOKE,
+        "clients": TPCC_CLIENTS,
+        "warehouses": WAREHOUSES,
+        "scaling": bench_shard_scaling(),
+        "migration": bench_migration_on_cluster(),
+    }
+    os.makedirs(os.path.dirname(out_path), exist_ok=True)
+    with open(out_path, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"wrote {out_path}")
+    return results
+
+
+# ----------------------------------------------------------------------
+# pytest entry point (the CI cluster job)
+# ----------------------------------------------------------------------
+
+
+def test_cluster_bench():
+    results = run_all()
+    for point in results["scaling"]:
+        assert point["completed"] > 0
+        assert point["connection_errors"] == 0
+    migration = results["migration"]
+    assert migration["migration_complete"]
+    assert migration["mixed_epoch_errors"] == 0
+    assert migration["invariant_violations"] == []
+    assert "SchemaVersionError" not in migration["errors"]
+
+
+if __name__ == "__main__":
+    run_all()

@@ -109,6 +109,25 @@ def _extract_net(doc: dict) -> dict[str, float]:
     return metrics
 
 
+def _extract_cluster(doc: dict) -> dict[str, float]:
+    metrics: dict[str, float] = {}
+    for point in doc.get("scaling", []):
+        shards = point.get("shards")
+        for field in ("tps", "completed", "connection_errors"):
+            number = _as_float(point.get(field))
+            if number is not None:
+                metrics[f"scaling.{shards}_shards.{field}"] = number
+    migration = doc.get("migration", {})
+    for field in (
+        "tps", "completed", "flip_seconds",
+        "mixed_epoch_retries", "mixed_epoch_errors",
+    ):
+        number = _as_float(migration.get(field))
+        if number is not None:
+            metrics[f"migration.{field}"] = number
+    return metrics
+
+
 def _extract_si(doc: dict) -> dict[str, float]:
     metrics: dict[str, float] = {}
     for isolation in ("read_committed", "snapshot"):
@@ -141,6 +160,8 @@ def extract_metrics(name: str, doc: Any) -> dict[str, float]:
             return _extract_net(doc)
         if doc.get("benchmark") == "obs_overhead":
             return _extract_obs_overhead(doc)
+        if doc.get("benchmark") == "cluster_scaling":
+            return _extract_cluster(doc)
         if "p99_speedup" in doc or (
             "scenario" in doc and "snapshot" in doc
         ):

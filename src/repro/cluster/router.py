@@ -1,0 +1,931 @@
+"""``bullfrog-router``: one wire-protocol endpoint over N shards.
+
+The router *is* a :class:`~repro.net.server.BullfrogServer` — it
+reuses the event loop, the worker pool, prepared statements,
+pipelining, drain, and the META plumbing wholesale — serving a
+:class:`RouterDatabase` whose sessions route statements instead of
+executing them.  Clients connect with the unchanged client library and
+cannot tell the difference: HELLO/WELCOME, QUERY/PARSE/BIND/EXECUTE,
+COMPLETE frames carrying the (cluster) schema epoch, errors as
+structured frames.
+
+Routing (``RoutePlan``, cached per SQL string):
+
+* **single** — a WHERE/VALUES equality on the partition column of any
+  referenced table pins the statement to one shard (TPC-C transactions
+  are all of this shape: every table is co-partitioned by warehouse).
+* **any** — replicated-table reads (``item``) go to one shard,
+  round-robin.
+* **scatter** — cross-shard SELECTs fan out to every shard and the
+  rows are stitched back together: concatenate, re-sort by the ORDER
+  BY, re-apply LIMIT/OFFSET, and re-aggregate top-level
+  COUNT/SUM/MIN/MAX.  Cross-shard GROUP BY / DISTINCT / AVG are
+  rejected with a hint to filter on the partition column.
+* **broadcast** — DDL, replicated-table writes, and keyless
+  UPDATE/DELETE run on every shard (each shard touches only its own
+  rows); rowcounts sum.
+* **local** — system views (``bullfrog_stat_shards``, the server's own
+  ``bullfrog_stat_network``) execute on the router's embedded Database.
+
+Transactions bind lazily: BEGIN is deferred until the first keyed
+statement fixes the shard, then the whole transaction runs on one
+pooled backend connection (BEGIN forwarded first).  A statement that
+routes elsewhere mid-transaction is an error — the cluster offers
+single-shard transactions, exactly SLSM's model.
+
+The **cluster-wide schema switch** is a two-phase epoch flip
+(:meth:`RouterDatabase.cluster_migrate`): PREPARE closes every shard's
+statement gate (and the router's own routing gate), COMMIT performs
+each shard's logical switch and launches its lazy migration, and the
+router bumps its epoch once all shards committed — so a client
+observes exactly one epoch step and no shard ever serves mixed
+schemas.  Scatter reads double-check: each sub-result carries its
+shard's epoch, and a mixed set is retried until the flip settles.
+
+Tracing: the server parks the continued client context on the session
+(``_request_ctx``); the router sets it as ``trace_parent`` on the
+backend connection, so the shard-side server spans are children of the
+client's span — one request tree across three processes.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import uuid
+from typing import Any, Callable, Sequence
+
+from ..db import Database, Result, Session
+from ..errors import (
+    ConnectionClosedError,
+    ExecutionError,
+    ReproError,
+    SessionClosed,
+    TransactionError,
+)
+from ..net.client import Connection, ConnectionPool
+from ..sql import ast_nodes as ast
+from ..types import SqlType, TypeKind
+from .shardmap import ShardMap
+
+# RoutePlan modes.
+LOCAL = "local"
+SINGLE = "single"
+ANY = "any"
+SCATTER = "scatter"
+BROADCAST = "broadcast"
+
+_AGGS = {"COUNT", "SUM", "MIN", "MAX"}
+
+# value sources: ("param", index) | ("const", value)
+_Source = tuple[str, Any]
+
+
+def _resolve(source: _Source, params: Sequence[Any]) -> Any:
+    kind, value = source
+    if kind == "param":
+        try:
+            return params[value]
+        except IndexError:
+            raise ExecutionError(
+                f"statement references parameter ${value + 1} but only "
+                f"{len(params)} were bound"
+            ) from None
+    return value
+
+
+class MergeSpec:
+    """How to stitch a scatter SELECT's per-shard results together."""
+
+    __slots__ = ("aggregates", "order", "limit", "offset")
+
+    def __init__(
+        self,
+        aggregates: list[str] | None = None,
+        order: list[tuple[Any, bool]] | None = None,
+        limit: _Source | None = None,
+        offset: _Source | None = None,
+    ) -> None:
+        self.aggregates = aggregates
+        self.order = order or []
+        self.limit = limit
+        self.offset = offset
+
+
+class RoutePlan:
+    """The routing decision for one SQL string (cached by text)."""
+
+    __slots__ = ("mode", "key_sources", "merge", "error")
+
+    def __init__(
+        self,
+        mode: str,
+        key_sources: list[_Source] | None = None,
+        merge: MergeSpec | None = None,
+        error: ExecutionError | None = None,
+    ) -> None:
+        self.mode = mode
+        self.key_sources = key_sources
+        self.merge = merge
+        self.error = error
+
+    def key(self, params: Sequence[Any]) -> int:
+        assert self.key_sources
+        keys = {_resolve(source, params) for source in self.key_sources}
+        if len(keys) != 1:
+            raise ExecutionError(
+                "multi-row INSERT spans more than one shard "
+                f"(partition keys {sorted(keys)}); split it per warehouse"
+            )
+        key = keys.pop()
+        if not isinstance(key, int):
+            raise ExecutionError(
+                f"partition key must be an integer, got {key!r}"
+            )
+        return key
+
+
+# ----------------------------------------------------------------------
+# Statement analysis
+# ----------------------------------------------------------------------
+def _base_tables(node: Any, out: set[str]) -> None:
+    if isinstance(node, ast.Select):
+        for item in node.from_items:
+            _base_tables(item, out)
+    elif isinstance(node, ast.TableRef):
+        out.add(node.name.lower())
+    elif isinstance(node, ast.Join):
+        _base_tables(node.left, out)
+        _base_tables(node.right, out)
+    elif isinstance(node, ast.SubquerySource):
+        _base_tables(node.query, out)
+
+
+def _conjuncts(expr: Any):
+    if isinstance(expr, ast.BinaryOp) and expr.op.upper() == "AND":
+        yield from _conjuncts(expr.left)
+        yield from _conjuncts(expr.right)
+    else:
+        yield expr
+
+
+def _key_from_where(where: Any, pcols: set[str]) -> _Source | None:
+    """Find ``partition_col = ?`` (or literal) among top-level AND
+    conjuncts.  Any partitioned table in the query works — the TPC-C
+    tables are co-partitioned, so equality on any of their warehouse
+    columns pins the same shard."""
+    if where is None:
+        return None
+    for conjunct in _conjuncts(where):
+        if not (isinstance(conjunct, ast.BinaryOp) and conjunct.op == "="):
+            continue
+        for col, other in (
+            (conjunct.left, conjunct.right),
+            (conjunct.right, conjunct.left),
+        ):
+            if isinstance(col, ast.ColumnRef) and col.name.lower() in pcols:
+                if isinstance(other, ast.Param):
+                    return ("param", other.index)
+                if isinstance(other, ast.Literal) and isinstance(
+                    other.value, int
+                ):
+                    return ("const", other.value)
+    return None
+
+
+def _scalar_source(expr: Any, what: str) -> _Source | None:
+    if expr is None:
+        return None
+    if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+        return ("const", expr.value)
+    if isinstance(expr, ast.Param):
+        return ("param", expr.index)
+    raise _unsupported(f"{what} must be a literal or parameter")
+
+
+def _unsupported(what: str) -> ExecutionError:
+    return ExecutionError(
+        f"cross-shard {what} is not supported by the router; "
+        "add an equality filter on the partition column (e.g. w_id = ?)"
+    )
+
+
+def _merge_spec(stmt: ast.Select) -> tuple[MergeSpec | None, ExecutionError | None]:
+    try:
+        if stmt.distinct:
+            raise _unsupported("SELECT DISTINCT")
+        if stmt.group_by:
+            raise _unsupported("GROUP BY")
+        if stmt.having is not None:
+            raise _unsupported("HAVING")
+        aggregates: list[str] = []
+        has_agg = has_plain = False
+        for item in stmt.items:
+            expr = item.expr
+            if isinstance(expr, ast.FunctionCall) and (
+                expr.name.upper() in ast.AGGREGATE_FUNCTIONS
+            ):
+                name = expr.name.upper()
+                if name not in _AGGS:
+                    raise _unsupported(f"aggregate {name}")
+                if expr.distinct:
+                    raise _unsupported(f"{name}(DISTINCT ...)")
+                aggregates.append(name)
+                has_agg = True
+            else:
+                aggregates.append("")
+                has_plain = True
+        if has_agg and has_plain:
+            raise _unsupported("mixed aggregate/plain select list")
+        order: list[tuple[Any, bool]] = []
+        for item in stmt.order_by:
+            expr = item.expr
+            if isinstance(expr, ast.ColumnRef):
+                order.append((expr.name.lower(), item.descending))
+            elif isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                order.append((expr.value - 1, item.descending))  # ORDER BY 1
+            else:
+                raise _unsupported("ORDER BY on a computed expression")
+        merge = MergeSpec(
+            aggregates=aggregates if has_agg else None,
+            order=order,
+            limit=_scalar_source(stmt.limit, "LIMIT"),
+            offset=_scalar_source(stmt.offset, "OFFSET"),
+        )
+        return merge, None
+    except ExecutionError as exc:
+        return None, exc
+
+
+_DDL_NODES = (
+    ast.CreateTable, ast.CreateView, ast.CreateIndex, ast.DropTable,
+    ast.DropView, ast.DropIndex, ast.AlterTable,
+)
+
+
+class RouterDatabase(Database):
+    """A Database whose sessions route to shards.
+
+    The inherited local engine still matters: it parses SQL (shared
+    dialect with the shards), caches plans for local statements, and
+    hosts the router's virtual views — which is how ``SELECT * FROM
+    bullfrog_stat_shards`` is just SQL through the normal path.
+    """
+
+    def __init__(
+        self,
+        shard_map: ShardMap,
+        obs: Any = None,
+        pool_size: int = 8,
+        connect_timeout: float = 10.0,
+        isolation: Any = None,
+        flip_gate_timeout: float = 30.0,
+    ) -> None:
+        if shard_map.n_shards < 1:
+            raise ValueError("shard map must name at least one shard")
+        super().__init__(obs=obs, isolation=isolation)
+        self.shard_map = shard_map
+        self.flip_gate_timeout = flip_gate_timeout
+        trace = obs is not None
+        self.pools = [
+            ConnectionPool(
+                host, port, size=pool_size,
+                connect_timeout=connect_timeout,
+                auto_prepare=256, trace=trace, obs=obs,
+            )
+            for host, port in shard_map.addresses
+        ]
+        self.admins = [
+            _AdminLink(host, port, connect_timeout)
+            for host, port in shard_map.addresses
+        ]
+        self._route_cache: dict[str, RoutePlan] = {}
+        self._route_latch = threading.Lock()
+        self._rr = 0
+        # Closed for the duration of a cluster epoch flip: sessions
+        # hold *new* statements here (in-transaction statements pass,
+        # mirroring the shard-side gate).
+        self.flip_gate = threading.Event()
+        self.flip_gate.set()
+        self._flip_latch = threading.Lock()
+        # "Zero mixed-schema responses" accounting: retries are scatter
+        # reads that saw shards on different epochs and re-ran; errors
+        # are scatters that never converged (always 0 in a healthy
+        # cluster — the acceptance test asserts it).
+        self.mixed_epoch_retries = 0
+        self.mixed_epoch_errors = 0
+        self._register_shard_view()
+
+    # ------------------------------------------------------------------
+    def connect(
+        self, allow_retired: bool = False, isolation: Any = None
+    ) -> "RouterSession":
+        return RouterSession(self, allow_retired=allow_retired,
+                             isolation=isolation)
+
+    def next_rr(self) -> int:
+        self._rr = (self._rr + 1) % self.shard_map.n_shards
+        return self._rr
+
+    # ------------------------------------------------------------------
+    # Route plans
+    # ------------------------------------------------------------------
+    def route_plan(self, stmt: ast.Statement, sql_text: str | None) -> RoutePlan:
+        if sql_text is not None:
+            plan = self._route_cache.get(sql_text)
+            if plan is not None:
+                return plan
+        plan = self._analyze(stmt)
+        if sql_text is not None:
+            with self._route_latch:
+                if len(self._route_cache) < 10_000:
+                    self._route_cache[sql_text] = plan
+        return plan
+
+    def _analyze(self, stmt: ast.Statement) -> RoutePlan:
+        shard_map = self.shard_map
+        if isinstance(stmt, ast.Explain):
+            inner = self._analyze(stmt.query)
+            if inner.mode == LOCAL:
+                return inner
+            # EXPLAIN of a routed query: one shard's plan is as good as
+            # another's (identical schemas).
+            return RoutePlan(ANY)
+        if isinstance(stmt, ast.Select):
+            tables: set[str] = set()
+            _base_tables(stmt, tables)
+            known = {t for t in tables if shard_map.knows(t)}
+            if not known:
+                return RoutePlan(LOCAL)
+            if known != tables:
+                return RoutePlan(SCATTER, error=ExecutionError(
+                    f"query mixes sharded tables {sorted(known)} with "
+                    f"router-local tables {sorted(tables - known)}"
+                ))
+            pcols = {
+                shard_map.partition_column(t) for t in tables
+            } - {None}
+            if not pcols:
+                return RoutePlan(ANY)  # replicated-only read
+            key = _key_from_where(stmt.where, pcols)
+            if key is not None:
+                return RoutePlan(SINGLE, key_sources=[key])
+            merge, error = _merge_spec(stmt)
+            return RoutePlan(SCATTER, merge=merge, error=error)
+        if isinstance(stmt, ast.Insert):
+            table = stmt.table.lower()
+            if not shard_map.knows(table):
+                return RoutePlan(LOCAL)
+            if shard_map.is_replicated(table):
+                return RoutePlan(BROADCAST)
+            pcol = shard_map.partition_column(table)
+            assert pcol is not None
+            if stmt.query is not None:
+                return RoutePlan(SINGLE, error=ExecutionError(
+                    "INSERT ... SELECT through the router is not supported"
+                ))
+            if not stmt.columns:
+                return RoutePlan(SINGLE, error=ExecutionError(
+                    f"INSERT INTO {table} through the router needs an "
+                    "explicit column list (to locate the partition key)"
+                ))
+            lowered = [c.lower() for c in stmt.columns]
+            if pcol not in lowered:
+                return RoutePlan(SINGLE, error=ExecutionError(
+                    f"INSERT INTO {table} must set the partition column "
+                    f"{pcol}"
+                ))
+            position = lowered.index(pcol)
+            sources: list[_Source] = []
+            for row in stmt.rows:
+                value = row[position]
+                if isinstance(value, ast.Param):
+                    sources.append(("param", value.index))
+                elif isinstance(value, ast.Literal) and isinstance(
+                    value.value, int
+                ):
+                    sources.append(("const", value.value))
+                else:
+                    return RoutePlan(SINGLE, error=ExecutionError(
+                        f"partition column {pcol} in INSERT must be a "
+                        "literal or parameter"
+                    ))
+            return RoutePlan(SINGLE, key_sources=sources)
+        if isinstance(stmt, (ast.Update, ast.Delete)):
+            table = stmt.table.lower()
+            if not shard_map.knows(table):
+                return RoutePlan(LOCAL)
+            if shard_map.is_replicated(table):
+                return RoutePlan(BROADCAST)
+            pcol = shard_map.partition_column(table)
+            assert pcol is not None
+            key = _key_from_where(stmt.where, {pcol})
+            if key is not None:
+                return RoutePlan(SINGLE, key_sources=[key])
+            # Keyless write: every shard applies it to its own rows.
+            return RoutePlan(BROADCAST)
+        if isinstance(stmt, _DDL_NODES):
+            return RoutePlan(BROADCAST)
+        return RoutePlan(LOCAL)
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+    def forward(
+        self,
+        shard: int,
+        sql: str,
+        params: Sequence[Any],
+        trace_parent: Any = None,
+    ) -> tuple[Result, int]:
+        """Run one statement on one shard via its pool; returns the
+        result plus the schema epoch the shard reported with it."""
+        try:
+            with self.pools[shard].acquire() as conn:
+                conn.trace_parent = trace_parent
+                try:
+                    result = conn.execute(sql, params)
+                    return result, conn.schema_epoch
+                finally:
+                    conn.trace_parent = None
+        except ConnectionClosedError as exc:
+            host, port = self.shard_map.addresses[shard]
+            raise ExecutionError(
+                f"shard {shard} ({host}:{port}) unavailable: {exc}"
+            ) from exc
+
+    def _fan_out(
+        self, sql: str, params: Sequence[Any], trace_parent: Any
+    ) -> list[tuple[Result, int]]:
+        """Run one statement on every shard concurrently."""
+        n = self.shard_map.n_shards
+        slots: list[Any] = [None] * n
+
+        def run(i: int) -> None:
+            try:
+                slots[i] = self.forward(i, sql, params, trace_parent)
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                slots[i] = exc
+
+        threads = [
+            threading.Thread(target=run, args=(i,), daemon=True)
+            for i in range(1, n)
+        ]
+        for thread in threads:
+            thread.start()
+        run(0)
+        for thread in threads:
+            thread.join()
+        for slot in slots:
+            if isinstance(slot, BaseException):
+                raise slot
+        return slots
+
+    def broadcast(
+        self, sql: str, params: Sequence[Any], trace_parent: Any = None
+    ) -> Result:
+        outcomes = self._fan_out(sql, params, trace_parent)
+        first = outcomes[0][0]
+        total = sum(result.rowcount for result, _ in outcomes)
+        return Result(first.statement, rowcount=total)
+
+    def scatter(
+        self,
+        plan: RoutePlan,
+        sql: str,
+        params: Sequence[Any],
+        trace_parent: Any = None,
+        max_attempts: int = 4,
+    ) -> Result:
+        """Fan a read out to every shard and merge — retrying whenever
+        the sub-results straddle an epoch flip, so a client never sees
+        a response stitched from two schema versions."""
+        if plan.error is not None:
+            raise plan.error
+        for _attempt in range(max_attempts):
+            outcomes = self._fan_out(sql, params, trace_parent)
+            epochs = {epoch for _, epoch in outcomes}
+            if len(epochs) == 1:
+                return self._merge(
+                    [result for result, _ in outcomes], plan.merge, params
+                )
+            with self._flip_latch:
+                self.mixed_epoch_retries += 1
+            # Wait out the flip, then re-run both halves on the new
+            # schema (SchemaVersionError from a retired table will
+            # surface to the client as usual).
+            self.flip_gate.wait(self.flip_gate_timeout)
+        with self._flip_latch:
+            self.mixed_epoch_errors += 1
+        raise ExecutionError(
+            "scatter read kept observing shards on different schema "
+            f"epochs after {max_attempts} attempts"
+        )
+
+    def _merge(
+        self,
+        results: list[Result],
+        spec: MergeSpec | None,
+        params: Sequence[Any],
+    ) -> Result:
+        columns = results[0].columns
+        if spec is not None and spec.aggregates is not None:
+            row: list[Any] = []
+            for j, fn in enumerate(spec.aggregates):
+                values = [
+                    r.rows[0][j]
+                    for r in results
+                    if r.rows and r.rows[0][j] is not None
+                ]
+                if fn in ("COUNT", "SUM"):
+                    if values:
+                        row.append(sum(values))
+                    else:
+                        row.append(0 if fn == "COUNT" else None)
+                elif fn == "MIN":
+                    row.append(min(values) if values else None)
+                else:  # MAX
+                    row.append(max(values) if values else None)
+            return Result("SELECT", rows=[tuple(row)], columns=columns,
+                          rowcount=1)
+        rows = [row for result in results for row in result.rows]
+        if spec is not None:
+            for key, descending in reversed(spec.order):
+                if isinstance(key, int):
+                    index = key
+                    if not 0 <= index < len(columns):
+                        raise ExecutionError(
+                            f"ORDER BY position {index + 1} out of range"
+                        )
+                else:
+                    lowered = [c.lower() for c in columns]
+                    if key not in lowered:
+                        raise ExecutionError(
+                            f"cannot merge cross-shard ORDER BY: column "
+                            f"{key!r} is not in the select list"
+                        )
+                    index = lowered.index(key)
+                rows.sort(key=lambda r: r[index], reverse=descending)
+            if spec.offset is not None:
+                rows = rows[_resolve(spec.offset, params):]
+            if spec.limit is not None:
+                rows = rows[: _resolve(spec.limit, params)]
+        return Result("SELECT", rows=rows, columns=columns,
+                      rowcount=len(rows))
+
+    # ------------------------------------------------------------------
+    # Cluster-wide schema switch (two-phase epoch flip)
+    # ------------------------------------------------------------------
+    def cluster_migrate(self, scenario: str, prepare_only: bool = False) -> dict:
+        """Flip every shard to ``scenario``'s new schema atomically
+        (from any client's point of view) and launch the per-shard lazy
+        migrations.
+
+        Phase 1 — ``epoch prepare <token>`` on every shard: each closes
+        its statement gate (in-flight transactions drain, nothing new
+        starts).  Any prepare failure aborts the round everywhere.
+        Phase 2 — ``epoch commit <token> <scenario>``: each shard runs
+        the logical switch + submits its lazy migration, then reopens
+        its gate.  The router's routing gate is closed for the whole
+        round and its epoch is bumped once at the end, so router
+        clients observe a single epoch step.
+
+        ``prepare_only`` stops after phase 1 (fault-injection tests:
+        the shards' auto-abort timers must clean up).
+        """
+        token = uuid.uuid4().hex[:12]
+        began = time.monotonic()
+        self.flip_gate.clear()
+        prepared: list[int] = []
+        try:
+            for shard, admin in enumerate(self.admins):
+                admin.meta(f"epoch prepare {token}")
+                prepared.append(shard)
+            if prepare_only:
+                return {"token": token, "prepared": prepared,
+                        "committed": False}
+            for admin in self.admins:
+                admin.meta(f"epoch commit {token} {scenario}")
+        except BaseException:
+            for shard in prepared:
+                try:
+                    self.admins[shard].meta(f"epoch abort {token}")
+                except (ReproError, OSError):
+                    pass  # its auto-abort timer is the backstop
+            raise
+        finally:
+            if not prepare_only:
+                self.bump_epoch()  # router clients see the new epoch
+                self.flip_gate.set()
+        return {
+            "token": token,
+            "migration": scenario,
+            "shards": self.shard_map.n_shards,
+            "epoch": self.epoch,
+            "elapsed_seconds": time.monotonic() - began,
+            "committed": True,
+        }
+
+    def migrations_complete(self) -> bool:
+        """True when every shard reports its migration finished."""
+        for admin in self.admins:
+            status = json.loads(admin.meta("epoch status"))
+            migrations = status.get("migrations") or []
+            if not migrations or not all(m["complete"] for m in migrations):
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def shard_status(self) -> list[dict]:
+        """One dict per shard: address, pool stats
+        (:meth:`ConnectionPool.stats`), and the shard's live epoch/gate
+        state (``healthy: False`` with no epoch when unreachable)."""
+        out: list[dict] = []
+        for shard, (host, port) in enumerate(self.shard_map.addresses):
+            entry: dict[str, Any] = {
+                "shard": shard,
+                "addr": f"{host}:{port}",
+                "pool": self.pools[shard].stats(),
+            }
+            try:
+                status = json.loads(self.admins[shard].meta("epoch status"))
+            except (ReproError, OSError, ValueError):
+                entry["healthy"] = False
+            else:
+                entry["healthy"] = True
+                entry["epoch"] = status.get("epoch")
+                entry["gate_open"] = status.get("gate_open")
+                migrations = status.get("migrations") or []
+                entry["migration_complete"] = (
+                    all(m["complete"] for m in migrations)
+                    if migrations else None
+                )
+            out.append(entry)
+        return out
+
+    def _register_shard_view(self) -> None:
+        from ..catalog.catalog import VirtualTable
+
+        _INT = SqlType(TypeKind.BIGINT)
+        _FLOAT = SqlType(TypeKind.FLOAT)
+        _TEXT = SqlType(TypeKind.TEXT)
+        _BOOL = SqlType(TypeKind.BOOL)
+
+        def produce(ctx: Any) -> list[tuple]:
+            now = time.time()
+            rows = []
+            for entry in self.shard_status():
+                pool = entry["pool"]
+                last_ping = pool.get("last_ping")
+                rows.append((
+                    entry["shard"],
+                    entry["addr"],
+                    entry["healthy"],
+                    entry.get("epoch", -1),
+                    bool(entry.get("gate_open", True)),
+                    entry.get("migration_complete"),
+                    pool["size"],
+                    pool["in_use"],
+                    pool["idle"],
+                    pool["reconnects"],
+                    pool["health_check_failures"],
+                    (now - last_ping) if last_ping is not None else None,
+                ))
+            return rows
+
+        self.catalog._virtual["bullfrog_stat_shards"] = VirtualTable(
+            "bullfrog_stat_shards",
+            (
+                "shard", "addr", "healthy", "epoch", "gate_open",
+                "migration_complete", "pool_size", "pool_in_use",
+                "pool_idle", "pool_reconnects",
+                "pool_health_check_failures", "last_ping_age_seconds",
+            ),
+            (_INT, _TEXT, _BOOL, _INT, _BOOL, _BOOL, _INT, _INT, _INT,
+             _INT, _INT, _FLOAT),
+            produce,
+        )
+
+    def close(self) -> None:
+        for pool in self.pools:
+            pool.close()
+        for admin in self.admins:
+            admin.close()
+
+
+class _AdminLink:
+    """One dedicated coordinator connection per shard (PREPARE/COMMIT,
+    status polls) — kept out of the data pools so a saturated pool can
+    never block the flip.  Reconnects once per call on a dead link."""
+
+    def __init__(self, host: str, port: int, connect_timeout: float) -> None:
+        self.host = host
+        self.port = port
+        self.connect_timeout = connect_timeout
+        self._conn: Connection | None = None
+        self._lock = threading.Lock()
+
+    def meta(self, command: str) -> str:
+        with self._lock:
+            for attempt in (0, 1):
+                conn = self._conn
+                if conn is None or conn.closed:
+                    conn = self._conn = Connection(
+                        self.host, self.port,
+                        connect_timeout=self.connect_timeout,
+                        client_name="bullfrog-router-admin",
+                    )
+                try:
+                    return conn.meta(command)
+                except ConnectionClosedError:
+                    self._conn = None
+                    if attempt:
+                        raise
+            raise AssertionError("unreachable")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._conn is not None:
+                self._conn.close()
+                self._conn = None
+
+
+class RouterSession(Session):
+    """Session whose statements route to shards (see module docs).
+
+    Transaction state is router-local: ``BEGIN`` defers until the
+    first keyed statement binds the shard, then the transaction runs on
+    one pooled backend connection end-to-end.
+    """
+
+    def __init__(self, db: RouterDatabase, allow_retired: bool = False,
+                 isolation: Any = None) -> None:
+        super().__init__(db, allow_retired=allow_retired, isolation=isolation)
+        self._r_in_txn = False
+        self._r_shard: int | None = None
+        self._r_handle: Any = None  # _PooledConnection while bound
+
+    # -- transaction state ---------------------------------------------
+    @property
+    def in_transaction(self) -> bool:  # type: ignore[override]
+        return self._r_in_txn
+
+    def begin(self, isolation: Any = None):  # type: ignore[override]
+        if self._closed:
+            raise SessionClosed("session is closed")
+        if self._r_in_txn:
+            raise TransactionError("a transaction is already in progress")
+        self._r_in_txn = True
+        return None
+
+    def commit(self) -> None:
+        self._finish_txn("commit")
+
+    def rollback(self) -> None:
+        self._finish_txn("rollback")
+
+    def _finish_txn(self, op: str) -> None:
+        if not self._r_in_txn:
+            raise TransactionError("no transaction in progress")
+        handle, self._r_handle = self._r_handle, None
+        self._r_shard = None
+        self._r_in_txn = False
+        if handle is None:
+            return  # never bound: BEGIN with no routed statement
+        try:
+            if op == "commit":
+                handle.conn.commit()
+            else:
+                handle.conn.rollback()
+        finally:
+            handle.release()
+
+    def _abort_binding(self) -> None:
+        """The backend transaction is gone (remote abort/kill): drop
+        the binding so session state matches what the shard reports."""
+        handle, self._r_handle = self._r_handle, None
+        self._r_shard = None
+        self._r_in_txn = False
+        if handle is not None:
+            try:
+                handle.conn.reset()
+            except (ReproError, OSError):
+                pass
+            handle.release()
+
+    def close(self) -> None:
+        if not self._closed:
+            self._abort_binding()
+        super().close()
+
+    def reset(self) -> None:
+        self._abort_binding()
+        super().reset()
+
+    # -- statement execution -------------------------------------------
+    def execute_statement(
+        self,
+        stmt: ast.Statement,
+        params: Sequence[Any] = (),
+        sql_text: str | None = None,
+    ) -> Result:
+        if isinstance(stmt, ast.BeginTransaction):
+            self.begin()
+            return Result("BEGIN")
+        if isinstance(stmt, ast.CommitTransaction):
+            self.commit()
+            return Result("COMMIT")
+        if isinstance(stmt, ast.RollbackTransaction):
+            self.rollback()
+            return Result("ROLLBACK")
+        if self._closed:
+            raise SessionClosed("session is closed")
+        rdb: RouterDatabase = self.db  # type: ignore[assignment]
+        plan = rdb.route_plan(stmt, sql_text)
+        if plan.mode == LOCAL:
+            return super().execute_statement(stmt, params, sql_text)
+        if sql_text is None:
+            raise ExecutionError(
+                "the router needs the statement's SQL text to forward it"
+            )
+        if not self._r_in_txn:
+            # New work holds here while a cluster epoch flip runs
+            # (mirrors the shard-side gate; in-transaction statements
+            # pass so bound transactions can reach COMMIT).
+            rdb.flip_gate.wait(rdb.flip_gate_timeout)
+        trace_parent = self._request_ctx
+        if self._r_in_txn:
+            return self._execute_in_txn(plan, params, sql_text, trace_parent)
+        if plan.mode == SINGLE:
+            if plan.error is not None:
+                raise plan.error
+            shard = rdb.shard_map.shard_for_key(plan.key(params))
+            result, _ = rdb.forward(shard, sql_text, params, trace_parent)
+            return result
+        if plan.mode == ANY:
+            result, _ = rdb.forward(rdb.next_rr(), sql_text, params,
+                                    trace_parent)
+            return result
+        if plan.mode == BROADCAST:
+            return rdb.broadcast(sql_text, params, trace_parent)
+        return rdb.scatter(plan, sql_text, params, trace_parent)
+
+    def _execute_in_txn(
+        self,
+        plan: RoutePlan,
+        params: Sequence[Any],
+        sql_text: str,
+        trace_parent: Any,
+    ) -> Result:
+        rdb: RouterDatabase = self.db  # type: ignore[assignment]
+        if plan.mode == SINGLE:
+            if plan.error is not None:
+                raise plan.error
+            shard = rdb.shard_map.shard_for_key(plan.key(params))
+        elif plan.mode == ANY:
+            if self._r_shard is not None:
+                shard = self._r_shard
+            else:
+                # Replicated read before the transaction binds: serve
+                # it from any shard outside the transaction (replicated
+                # tables are read-mostly; TPC-C's `item` is read-only).
+                result, _ = rdb.forward(rdb.next_rr(), sql_text, params,
+                                        trace_parent)
+                return result
+        else:
+            raise ExecutionError(
+                "cross-shard statement inside a transaction; cluster "
+                "transactions are single-shard (filter on the partition "
+                "column, e.g. w_id = ?)"
+            )
+        if self._r_shard is None:
+            handle = rdb.pools[shard].acquire()
+            try:
+                handle.conn.begin()
+            except BaseException:
+                handle.release()
+                raise
+            self._r_handle = handle
+            self._r_shard = shard
+        elif shard != self._r_shard:
+            raise ExecutionError(
+                f"transaction is bound to shard {self._r_shard} but this "
+                f"statement routes to shard {shard}; cluster transactions "
+                "are single-shard"
+            )
+        conn: Connection = self._r_handle.conn
+        conn.trace_parent = trace_parent
+        try:
+            return conn.execute(sql_text, params)
+        except ReproError:
+            if conn.closed or not conn.in_transaction:
+                # The shard rolled the transaction back (abort, kill):
+                # reflect that, so the COMPLETE/ERROR frames the server
+                # builds from ``session.in_transaction`` stay truthful.
+                self._abort_binding()
+            raise
+        finally:
+            conn.trace_parent = None

@@ -1,0 +1,141 @@
+"""``bullfrog-router`` as a network daemon.
+
+:class:`RouterServer` is :class:`~repro.net.server.BullfrogServer`
+verbatim — event loop, worker pool, prepared statements, pipelining,
+tracing, drain — pointed at a :class:`~repro.cluster.router.RouterDatabase`
+so every session it creates routes to shards.  The subclass only adds
+the cluster-flavoured META verbs and folds per-shard pool health into
+``bullfrog_stat_network``.
+
+META additions (same wire frames, extensible vocabulary):
+
+* ``shards [json]`` — per-shard address, health, epoch, gate state,
+  migration progress, and pool stats.
+* ``cluster migrate <scenario>`` — run the two-phase epoch flip +
+  per-shard lazy migrations from any client (``\\shards`` and the
+  cluster tour use it).
+* ``progress`` — aggregated across shards (each shard's own
+  ``progress`` output under a ``shard N:`` header).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from ..errors import ProtocolError, ReproError
+from ..net.server import BullfrogServer, ServerConfig
+from .router import RouterDatabase
+
+__all__ = ["RouterServer", "serve_router"]
+
+
+class RouterServer(BullfrogServer):
+    """A shard-aware router speaking the unchanged wire protocol."""
+
+    db: RouterDatabase
+
+    def __init__(
+        self,
+        db: RouterDatabase,
+        config: ServerConfig | None = None,
+        faults: Any = None,
+    ) -> None:
+        if not isinstance(db, RouterDatabase):
+            raise TypeError("RouterServer requires a RouterDatabase")
+        super().__init__(db, config, faults=faults)
+
+    # ------------------------------------------------------------------
+    def _run_meta(self, command: str) -> str:
+        parts = command.split(None, 1)
+        name = parts[0] if parts else ""
+        arg = parts[1] if len(parts) > 1 else ""
+        if name == "shards":
+            status = self.db.shard_status()
+            if arg == "json":
+                return json.dumps(status, indent=2)
+            return self._render_shards(status)
+        if name == "cluster":
+            sub = arg.split()
+            if len(sub) == 2 and sub[0] == "migrate":
+                return json.dumps(self.db.cluster_migrate(sub[1]))
+            raise ProtocolError(f"unknown cluster command {arg!r}")
+        if name == "progress":
+            return self._cluster_progress()
+        return super()._run_meta(command)
+
+    def _render_shards(self, status: list[dict]) -> str:
+        lines = []
+        for entry in status:
+            pool = entry["pool"]
+            if entry["healthy"]:
+                migration = entry.get("migration_complete")
+                detail = (
+                    f"epoch={entry.get('epoch')} "
+                    f"gate={'open' if entry.get('gate_open') else 'CLOSED'} "
+                    + ("migration=done" if migration
+                       else "migration=running" if migration is False
+                       else "migration=none")
+                )
+            else:
+                detail = "UNREACHABLE"
+            lines.append(
+                f"  shard {entry['shard']}  {entry['addr']:<21} {detail}  "
+                f"pool {pool['in_use']}/{pool['size']} in use, "
+                f"{pool['reconnects']} reconnects"
+            )
+        return "\n".join(lines) or "(no shards)"
+
+    def _cluster_progress(self) -> str:
+        blocks = []
+        for shard, admin in enumerate(self.db.admins):
+            try:
+                body = admin.meta("progress")
+            except (ReproError, OSError) as exc:
+                body = f"  (unreachable: {exc})"
+            blocks.append(f"shard {shard}:\n{body}")
+        return "\n".join(blocks)
+
+    # ------------------------------------------------------------------
+    def _register_network_view(self) -> None:
+        """Client rows from the base server, plus one synthetic row per
+        shard pool so ``bullfrog_stat_network`` shows both sides of the
+        router: who is connected to us, and how our backend pools are
+        doing (satellite: surface :meth:`ConnectionPool.stats`)."""
+        super()._register_network_view()
+        view = self.db.catalog._virtual["bullfrog_stat_network"]
+        inner = view.producer
+        pools = self.db.pools
+        addresses = self.db.shard_map.addresses
+
+        def produce(ctx: Any) -> list[tuple]:
+            rows = inner(ctx)
+            for shard, pool in enumerate(pools):
+                stats = pool.stats()
+                host, port = addresses[shard]
+                rows.append((
+                    -(shard + 1),             # conn_id: negative = pool
+                    f"{host}:{port}",
+                    f"shard{shard}:pool",
+                    0.0,
+                    0.0,
+                    False,
+                    stats["in_use"],          # statements -> in use
+                    stats["reconnects"],      # transactions -> reconnects
+                    stats["idle"],            # bytes_in -> idle conns
+                    stats["size"],            # bytes_out -> pool size
+                    stats["health_check_failures"],
+                    0,
+                ))
+            return rows
+
+        self.db.catalog._virtual["bullfrog_stat_network"] = type(view)(
+            view.name, view.column_names, view.types, produce
+        )
+
+
+def serve_router(
+    db: RouterDatabase, config: ServerConfig | None = None, faults: Any = None
+) -> RouterServer:
+    """Start a router server and return it (non-blocking)."""
+    return RouterServer(db, config, faults=faults).start()

@@ -91,6 +91,10 @@ FAULT_POINTS: frozenset[str] = frozenset(
         "net.accept",
         "net.read",
         "net.write",
+        # Cluster two-phase epoch flip (shard side): before the gate
+        # closes at PREPARE / before the logical switch at COMMIT.
+        "cluster.prepare",
+        "cluster.commit",
     }
 )
 

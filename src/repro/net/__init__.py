@@ -15,6 +15,7 @@
 ``python -m repro.net --port 5433`` runs a standalone server.
 """
 
+from .addr import parse_hostport, parse_hostport_list
 from .client import (
     Connection,
     ConnectionPool,
@@ -38,5 +39,7 @@ __all__ = [
     "ServerConfig",
     "connect",
     "decorrelated_jitter",
+    "parse_hostport",
+    "parse_hostport_list",
     "serve",
 ]

@@ -1,0 +1,87 @@
+"""Shared ``host:port`` parsing for every place an address is typed.
+
+Three consumers used to split address strings ad hoc — the client's
+:func:`repro.net.connect`, the shell's ``--connect``, and now the
+router's shard list (``--shards host:port,host:port,...``).  One
+helper, one set of rules:
+
+* ``"host:5433"`` → ``("host", 5433)``
+* ``"host"``      → ``("host", default_port)``
+* ``":5433"``     → ``(default_host, 5433)``
+* ``"[::1]:5433"`` → ``("::1", 5433)`` (bracketed IPv6)
+* ``"5433"``       → ``(default_host, 5433)`` (bare port, shell idiom)
+
+Bad ports (non-numeric, out of 1–65535) raise ``ValueError`` with a
+message naming the offending string — callers surface it verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 5433
+
+
+def _parse_port(text: str, source: str) -> int:
+    try:
+        port = int(text)
+    except ValueError:
+        raise ValueError(f"invalid port {text!r} in address {source!r}") from None
+    if not 1 <= port <= 65535:
+        raise ValueError(f"port {port} out of range 1-65535 in address {source!r}")
+    return port
+
+
+def parse_hostport(
+    address: str,
+    default_host: str = DEFAULT_HOST,
+    default_port: int = DEFAULT_PORT,
+) -> tuple[str, int]:
+    """Split one address string into ``(host, port)`` (rules above)."""
+    text = address.strip()
+    if not text:
+        raise ValueError("empty address")
+    if text.startswith("["):
+        # Bracketed IPv6: [::1] or [::1]:5433.
+        end = text.find("]")
+        if end < 0:
+            raise ValueError(f"unterminated '[' in address {address!r}")
+        host = text[1:end] or default_host
+        rest = text[end + 1 :]
+        if not rest:
+            return host, default_port
+        if not rest.startswith(":"):
+            raise ValueError(f"junk after ']' in address {address!r}")
+        return host, _parse_port(rest[1:], address)
+    if text.count(":") > 1:
+        # Unbracketed IPv6 with no port ("::1").
+        return text, default_port
+    if ":" in text:
+        host, _, port_text = text.rpartition(":")
+        return host or default_host, _parse_port(port_text, address)
+    if text.isdigit():
+        return default_host, _parse_port(text, address)
+    return text, default_port
+
+
+def parse_hostport_list(
+    addresses: str | Sequence[str],
+    default_host: str = DEFAULT_HOST,
+    default_port: int = DEFAULT_PORT,
+) -> list[tuple[str, int]]:
+    """Parse a comma-separated string (or sequence) of addresses — the
+    router's ``--shards`` config.  Empty segments are skipped; an empty
+    overall list raises."""
+    if isinstance(addresses, str):
+        parts: Sequence[str] = addresses.split(",")
+    else:
+        parts = list(addresses)
+    out = [
+        parse_hostport(part, default_host, default_port)
+        for part in parts
+        if str(part).strip()
+    ]
+    if not out:
+        raise ValueError(f"no addresses in {addresses!r}")
+    return out

@@ -70,6 +70,7 @@ from ..errors import (
 )
 from ..obs.tracectx import TraceContext
 from . import protocol
+from .addr import parse_hostport
 
 
 def decorrelated_jitter(
@@ -100,6 +101,10 @@ def connect(
     trace: bool = False,
     trace_log: Any = None,
 ) -> "Connection":
+    # ``connect("host:5444")`` works: a combined address in ``host``
+    # wins over the ``port`` argument (shared parsing with the shell's
+    # --connect and the router's shard list).
+    host, port = parse_hostport(host, default_port=port)
     return Connection(host, port, connect_timeout=connect_timeout,
                       client_name=client_name, auto_prepare=auto_prepare,
                       isolation=isolation, trace=trace, trace_log=trace_log)
@@ -135,6 +140,10 @@ class Connection:
         self._trace_log = trace_log
         self.trace_capable = False
         self.last_trace: TraceContext | None = None
+        # When set, request contexts are minted as *children* of this
+        # context instead of fresh roots — how the router fans one
+        # client span out into per-shard server spans.
+        self.trace_parent: TraceContext | None = None
         try:
             self._sock = socket.create_connection(
                 (host, port), timeout=connect_timeout
@@ -258,7 +267,8 @@ class Connection:
         span's start in the local TraceLog's clock."""
         if not self._trace:
             return None, 0.0
-        ctx = TraceContext()
+        parent = self.trace_parent
+        ctx = parent.child() if parent is not None else TraceContext()
         self.last_trace = ctx
         log = self._trace_log
         return ctx, (log.now_us() if log is not None else 0.0)
@@ -803,6 +813,10 @@ class ConnectionPool:
         # the pool for the first time is not a reconnect.
         self.reconnects = 0
         self.health_check_failures = 0
+        self._in_use = 0
+        # Wall-clock of the last successful health-check PING (None
+        # until the first checked acquire) — ``stats()["last_ping"]``.
+        self.last_ping: float | None = None
 
     # ------------------------------------------------------------------
     def _connect_with_backoff(self) -> Connection:
@@ -846,6 +860,8 @@ class ConnectionPool:
                         self.health_check_failures += 1
                     conn.close()
                     conn = None
+                else:
+                    self.last_ping = time.time()
             if conn is None:
                 conn = self._connect_with_backoff()
                 with self._latch:
@@ -871,6 +887,8 @@ class ConnectionPool:
                         "pool.acquire", end_us - waited * 1e6, cat="net",
                         args={"wait": "pool"}, end_us=end_us,
                     )
+            with self._latch:
+                self._in_use += 1
             return _PooledConnection(self, conn)
         except BaseException:
             self._slots.release()
@@ -890,6 +908,7 @@ class ConnectionPool:
                 except (ReproError, OSError):
                     pass
             with self._latch:
+                self._in_use -= 1
                 keep = (
                     not self._closed
                     and not conn.closed
@@ -905,6 +924,24 @@ class ConnectionPool:
                     pass
         finally:
             self._slots.release()
+
+    def stats(self) -> dict[str, Any]:
+        """Point-in-time pool accounting — the router's per-shard pools
+        surface this in ``bullfrog_stat_shards`` / ``\\shards``.
+
+        ``last_ping`` is wall-clock seconds (``time.time()``) of the
+        most recent successful health-check PING, or ``None``.
+        """
+        with self._latch:
+            return {
+                "size": self.size,
+                "in_use": self._in_use,
+                "idle": len(self._idle),
+                "created": self._created,
+                "reconnects": self.reconnects,
+                "health_check_failures": self.health_check_failures,
+                "last_ping": self.last_ping,
+            }
 
     def close(self) -> None:
         with self._latch:

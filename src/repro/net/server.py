@@ -139,6 +139,12 @@ class ServerConfig:
     monitor_interval: float = 0.25  # history sampling cadence (seconds)
     monitor_capacity: int = 240  # history ring width (samples)
     incident_dir: str | None = None  # flight-recorder output (default results/incidents)
+    # Cluster two-phase epoch flip: how long a PREPARE may sit without
+    # its COMMIT/ABORT before the shard aborts unilaterally (coordinator
+    # died between the phases), and how long a gated statement waits for
+    # the flip to finish before running anyway.
+    epoch_prepare_timeout: float = 10.0
+    epoch_gate_timeout: float = 30.0
 
 
 class _Prepared:
@@ -246,6 +252,19 @@ class BullfrogServer:
         # already attached, e.g. by an embedding application) — shutdown
         # only stops a sampler it owns.
         self._monitor_owns_history = False
+        # Cluster epoch flip (DESIGN.md section 16): PREPARE closes the
+        # gate — new autocommit statements and BEGINs *wait* here while
+        # in-flight transactions run to COMMIT — and COMMIT performs
+        # the logical schema switch before reopening it, so no two
+        # statements on this shard ever straddle the flip.  The
+        # auto-abort timer reopens the gate if the coordinator dies
+        # between the phases.
+        self._epoch_gate = threading.Event()
+        self._epoch_gate.set()
+        self._epoch_latch = threading.Lock()
+        self._epoch_token: str | None = None
+        self._epoch_abort_timer: threading.Timer | None = None
+        self._migration_controller: Any = None
         self.port: int | None = None
         self._init_metrics()
         self._register_network_view()
@@ -1182,6 +1201,19 @@ class BullfrogServer:
     def _dispatch(
         self, conn: _Connection, ftype: int, payload: bytes, enq_ts: float
     ) -> str:
+        if (
+            not self._epoch_gate.is_set()
+            and not conn.session.in_transaction
+            and ftype in (protocol.QUERY, protocol.EXECUTE, protocol.TXN)
+        ):
+            # Epoch flip in progress: hold *new* work (autocommit
+            # statements, BEGINs) at the gate until COMMIT/ABORT
+            # reopens it.  Statements inside an already-open
+            # transaction pass — they must be able to reach their
+            # COMMIT, or the flip could deadlock against 2PL locks.
+            # (COMMIT/ROLLBACK frames on an idle session are errors
+            # either way, so gating them too is harmless.)
+            self._epoch_gate.wait(self.config.epoch_gate_timeout)
         if ftype == protocol.QUERY:
             frame = protocol.decode_query(payload)
             sql, params = frame["sql"], frame["params"]
@@ -1569,7 +1601,142 @@ class BullfrogServer:
             for index_name in table.indexes:
                 lines.append(f"  INDEX {index_name}")
             return "\n".join(lines)
+        if name == "epoch":
+            return self._run_epoch_meta(arg)
+        if name == "migrate" and arg:
+            return self._run_migrate(arg)
         raise ProtocolError(f"unknown meta command {command!r}")
+
+    # ------------------------------------------------------------------
+    # Cluster epoch flip (shard side of the two-phase switch)
+    # ------------------------------------------------------------------
+    def _run_epoch_meta(self, arg: str) -> str:
+        parts = arg.split()
+        verb = parts[0] if parts else "status"
+        if verb == "status":
+            engines = []
+            for engine in self.db.migration_engines():
+                progress = engine.progress()
+                engines.append({
+                    "migration": progress.get("migration"),
+                    "complete": bool(progress.get("complete")),
+                })
+            with self._epoch_latch:
+                token = self._epoch_token
+            return json.dumps({
+                "epoch": self.db.epoch,
+                "gate_open": self._epoch_gate.is_set(),
+                "prepared": token,
+                "migrations": engines,
+            })
+        if verb == "prepare" and len(parts) == 2:
+            return self._epoch_prepare(parts[1])
+        if verb == "commit" and len(parts) == 3:
+            return self._epoch_commit(parts[1], parts[2])
+        if verb == "abort" and len(parts) == 2:
+            return self._epoch_abort(parts[1])
+        raise ProtocolError(f"unknown meta command 'epoch {arg}'")
+
+    def _epoch_prepare(self, token: str) -> str:
+        faults = self.faults
+        if faults is not None and "cluster.prepare" in faults.watching:
+            faults.fire("cluster.prepare", token=token)
+        with self._epoch_latch:
+            if self._epoch_token is not None and self._epoch_token != token:
+                raise ProtocolError(
+                    f"epoch flip already prepared "
+                    f"(token {self._epoch_token!r})"
+                )
+            self._epoch_token = token
+            self._epoch_gate.clear()
+            if self._epoch_abort_timer is not None:
+                self._epoch_abort_timer.cancel()
+            timer = threading.Timer(
+                self.config.epoch_prepare_timeout,
+                self._epoch_auto_abort, (token,),
+            )
+            timer.daemon = True
+            timer.start()
+            self._epoch_abort_timer = timer
+        return json.dumps({"prepared": token, "epoch": self.db.epoch})
+
+    def _epoch_commit(self, token: str, scenario: str) -> str:
+        with self._epoch_latch:
+            if self._epoch_token != token:
+                raise ProtocolError(
+                    f"epoch commit {token!r} does not match prepared "
+                    f"token {self._epoch_token!r}"
+                )
+        faults = self.faults
+        if faults is not None and "cluster.commit" in faults.watching:
+            faults.fire("cluster.commit", token=token)
+        try:
+            # The logical switch happens inside submit() while the gate
+            # is closed: nothing new starts under the old schema, and
+            # nothing new starts under the new one until the gate
+            # reopens below — the shard never serves mixed schemas.
+            self._submit_scenario(scenario)
+        finally:
+            self._epoch_release(token)
+        return json.dumps({
+            "committed": token,
+            "epoch": self.db.epoch,
+            "migration": scenario,
+        })
+
+    def _epoch_abort(self, token: str) -> str:
+        released = self._epoch_release(token)
+        return json.dumps({"aborted": token if released else None,
+                           "epoch": self.db.epoch})
+
+    def _epoch_release(self, token: str) -> bool:
+        with self._epoch_latch:
+            if self._epoch_token != token:
+                return False
+            self._epoch_token = None
+            if self._epoch_abort_timer is not None:
+                self._epoch_abort_timer.cancel()
+                self._epoch_abort_timer = None
+            self._epoch_gate.set()
+            return True
+
+    def _epoch_auto_abort(self, token: str) -> None:
+        """The coordinator never sent phase 2: reopen unilaterally (the
+        router's next prepare starts a fresh round)."""
+        self._epoch_release(token)
+
+    def _run_migrate(self, arg: str) -> str:
+        parts = arg.split()
+        scenario = parts[0]
+        delay = float(parts[1]) if len(parts) > 1 else 0.5
+        handle = self._submit_scenario(scenario, background_delay=delay)
+        return json.dumps({
+            "migration": scenario,
+            "complete": handle.is_complete,
+            "epoch": self.db.epoch,
+        })
+
+    def _submit_scenario(self, scenario: str, background_delay: float = 0.5):
+        """Submit a named TPC-C migration scenario on this shard's
+        database — its own lazy engine, bitmaps/hashmaps, background
+        pass, exactly as the embedded controller would."""
+        from ..core import BackgroundConfig, MigrationController
+        from ..tpcc.migrations import SCENARIOS
+
+        spec = SCENARIOS.get(scenario)
+        if spec is None:
+            raise ProtocolError(
+                f"unknown migration scenario {scenario!r} "
+                f"(have: {', '.join(sorted(SCENARIOS))})"
+            )
+        if self._migration_controller is None:
+            self._migration_controller = MigrationController(self.db)
+        return self._migration_controller.submit(
+            scenario, spec["ddl"],
+            background=BackgroundConfig(delay=background_delay, chunk=64,
+                                        interval=0.002),
+            big_flip=spec["big_flip"],
+        )
 
     def _format_progress(self) -> str:
         engines = self.db.migration_engines()
@@ -1616,6 +1783,14 @@ class BullfrogServer:
             return {"drained": 0, "aborted": 0}
         self._running = False
         self._draining.set()
+        # A prepared flip can never commit once we are shutting down;
+        # reopen the gate so gated workers drain instead of timing out.
+        with self._epoch_latch:
+            if self._epoch_abort_timer is not None:
+                self._epoch_abort_timer.cancel()
+                self._epoch_abort_timer = None
+            self._epoch_token = None
+        self._epoch_gate.set()
         # Census first: every connection alive at this instant either
         # drains (self-retires at a statement boundary, or is killed
         # while idle with no transaction) or is aborted at the

@@ -23,7 +23,8 @@ for the JSON form), ``\\top [interval [frames]]`` is a live monitor
 (QPS, latency percentiles, wait-class breakdown, migration
 progress/ETA — ``\\top 0 1`` renders one frame and returns),
 ``\\health`` prints the health-rule report, ``\\dump [reason]`` writes
-a flight-recorder incident bundle, ``\\q`` quits.
+a flight-recorder incident bundle, ``\\shards`` shows per-shard health
+when connected to a ``bullfrog-router``, ``\\q`` quits.
 
 ``python -m repro --connect HOST:PORT`` attaches the same shell to a
 running ``bullfrogd`` instead of an embedded database: SQL travels over
@@ -174,10 +175,11 @@ class Shell:
             # the same execute() -> Result surface, so the REPL loop and
             # format_result work unchanged.  Meta-commands that need the
             # catalog/registry become server-side META requests.
+            from .net.addr import parse_hostport
             from .net.client import connect as net_connect
 
-            host, _, port = connect_to.rpartition(":")
-            self.remote = net_connect(host or "127.0.0.1", int(port or 5433))
+            host, port = parse_hostport(connect_to)
+            self.remote = net_connect(host, port)
             self.session = self.remote
             self.obs = None
             self.db = None
@@ -246,6 +248,11 @@ class Shell:
             reason = parts[1] if len(parts) > 1 else "manual"
             path = self.obs.flight.dump(reason, force=True)
             return f"incident bundle written: {path}"
+        if command == "\\shards":
+            return (
+                "\\shards needs a cluster: connect to a bullfrog-router "
+                "(python -m repro.cluster) with --connect HOST:PORT"
+            )
         return f"unknown meta-command {command!r}"
 
     def top_summary(self) -> dict:
@@ -315,6 +322,10 @@ class Shell:
             return self.remote.meta(f"dump {reason}")
         if command == "\\migrate":
             return "\\migrate is not available over --connect (run DDL as SQL)"
+        if command == "\\shards":
+            # Only a bullfrog-router answers this META verb; a plain
+            # bullfrogd rejects it, which we surface as-is.
+            return self.remote.meta("shards")
         return f"unknown meta-command {command!r}"
 
     def _format_progress(self) -> str:

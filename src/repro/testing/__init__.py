@@ -14,10 +14,16 @@ Every future performance PR is expected to run the fault suite as its
 correctness backstop; see DESIGN.md ("Fault injection & invariants").
 """
 
-from .invariants import InvariantChecker, InvariantReport, InvariantViolation
+from .invariants import (
+    ClusterInvariantChecker,
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+)
 from .harness import FaultHarness
 
 __all__ = [
+    "ClusterInvariantChecker",
     "FaultHarness",
     "InvariantChecker",
     "InvariantReport",

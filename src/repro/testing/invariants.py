@@ -282,6 +282,161 @@ class InvariantChecker:
                         )
 
 
+class ClusterInvariantChecker:
+    """Exactly-once invariants across a sharded cluster (DESIGN.md §16).
+
+    Extends the single-node story to SLSM-style shared-nothing
+    sharding.  At a cluster-wide quiesce point:
+
+    1. **Per-shard exactly-once.**  Every shard's migration engines
+       pass the full single-node :class:`InvariantChecker` — each
+       shard's lazy migration migrated its own rows exactly once.
+    2. **Placement.**  Every row of every partitioned table lives on
+       the shard that owns its partition key; a row on the wrong shard
+       means the router misrouted a write (it would also break check 3,
+       but this names the shard and key directly).
+    3. **No cross-shard duplicates.**  The union of each table's unique
+       keys across shards has no repeats — a granule migrated on two
+       shards, or a write applied twice by a broadcast, shows up here.
+    4. **Replicated identity.**  Replicated tables (``item``) hold the
+       same rows on every shard (count-only under ``structural_only``).
+
+    The checker deliberately takes the shard layout as plain data
+    (``partition_columns``, ``replicated``, a ``shard_of`` callable)
+    instead of importing the cluster package: the testing layer stays
+    importable without the network stack, and the tests can hand it a
+    deliberately-wrong layout to prove the checks fire.
+    """
+
+    def __init__(
+        self,
+        shard_dbs: list[Any],
+        partition_columns: dict[str, str],
+        replicated: frozenset[str] | set[str] = frozenset(),
+        shard_of: Any = None,
+    ) -> None:
+        self.shard_dbs = list(shard_dbs)
+        self.partition_columns = dict(partition_columns)
+        self.replicated = frozenset(replicated)
+        n = len(self.shard_dbs)
+        self.shard_of = shard_of or (lambda key: (int(key) - 1) % n)
+
+    # ------------------------------------------------------------------
+    def check(
+        self,
+        expect_complete: bool = False,
+        structural_only: bool = False,
+    ) -> InvariantReport:
+        report = InvariantReport()
+        for shard, db in enumerate(self.shard_dbs):
+            for engine in db.migration_engines():
+                local = InvariantChecker(engine).check(
+                    expect_complete=expect_complete,
+                    structural_only=structural_only,
+                )
+                report.units_checked += local.units_checked
+                report.rows_verified += local.rows_verified
+                report.violations.extend(
+                    f"[shard {shard}]{violation}"
+                    for violation in local.violations
+                )
+        self._check_placement(report)
+        self._check_cross_shard_keys(report)
+        self._check_replicated(report, structural_only)
+        return report
+
+    def _live_tables(self, db: Any) -> dict[str, Any]:
+        return {
+            t.schema.name: t
+            for t in db.catalog.tables()
+            if not t.retired
+        }
+
+    def _check_placement(self, report: InvariantReport) -> None:
+        for shard, db in enumerate(self.shard_dbs):
+            for name, table in self._live_tables(db).items():
+                pcol = self.partition_columns.get(name)
+                if pcol is None:
+                    continue
+                position = table.schema.column_index(pcol)
+                for _tid, row in table.heap.scan():
+                    report.rows_verified += 1
+                    owner = self.shard_of(row[position])
+                    if owner != shard:
+                        report.add(
+                            f"cluster:{name}",
+                            f"row with {pcol}={row[position]} found on "
+                            f"shard {shard} but belongs to shard {owner}",
+                        )
+
+    def _check_cross_shard_keys(self, report: InvariantReport) -> None:
+        names = {
+            name
+            for db in self.shard_dbs
+            for name in self._live_tables(db)
+            if name in self.partition_columns
+        }
+        for name in sorted(names):
+            key_sets: dict[tuple[str, ...], Counter] = {}
+            for db in self.shard_dbs:
+                table = self._live_tables(db).get(name)
+                if table is None:
+                    continue
+                for columns in table.schema.unique_column_sets():
+                    positions = [
+                        table.schema.column_index(c) for c in columns
+                    ]
+                    seen = key_sets.setdefault(tuple(columns), Counter())
+                    seen.update(
+                        tuple(row[p] for p in positions)
+                        for _tid, row in table.heap.scan()
+                    )
+            for columns, seen in key_sets.items():
+                duplicates = [(k, c) for k, c in seen.items() if c > 1]
+                for key, count in duplicates[:5]:
+                    report.add(
+                        f"cluster:{name}",
+                        f"key {key!r} on unique columns {list(columns)} "
+                        f"appears {count} times across the cluster",
+                    )
+
+    def _check_replicated(
+        self, report: InvariantReport, structural_only: bool
+    ) -> None:
+        for name in sorted(self.replicated):
+            rows_by_shard: list[Counter | None] = []
+            for db in self.shard_dbs:
+                table = self._live_tables(db).get(name)
+                rows_by_shard.append(
+                    None if table is None
+                    else Counter(row for _tid, row in table.heap.scan())
+                )
+            reference = next(
+                (rows for rows in rows_by_shard if rows is not None), None
+            )
+            if reference is None:
+                continue
+            for shard, rows in enumerate(rows_by_shard):
+                if rows is None:
+                    report.add(
+                        f"cluster:{name}",
+                        f"replicated table missing on shard {shard}",
+                    )
+                    continue
+                report.rows_verified += sum(rows.values())
+                if structural_only:
+                    same = sum(rows.values()) == sum(reference.values())
+                else:
+                    same = rows == reference
+                if not same:
+                    report.add(
+                        f"cluster:{name}",
+                        f"replicated table diverges on shard {shard} "
+                        f"({sum(rows.values())} rows vs "
+                        f"{sum(reference.values())} on the reference shard)",
+                    )
+
+
 def _schema_ordered(table: Any, values: dict[str, Any]) -> tuple:
     """Lay out produced values in the output table's physical column
     order, coerced the way the insert path coerces them, so multisets

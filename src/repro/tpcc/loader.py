@@ -15,6 +15,8 @@ import string
 from datetime import datetime, timedelta
 from decimal import Decimal
 
+from typing import Sequence
+
 from ..db import Database
 from ..exec.plan import ExecutionContext
 from .schema import ScaleConfig
@@ -67,8 +69,22 @@ def _text(rng: random.Random, low: int, high: int) -> str:
     return "".join(rng.choices(string.ascii_lowercase, k=length))
 
 
-def load_tpcc(db: Database, scale: ScaleConfig) -> None:
-    """Populate all nine tables at the given scale."""
+def load_tpcc(
+    db: Database,
+    scale: ScaleConfig,
+    warehouse_ids: Sequence[int] | None = None,
+) -> None:
+    """Populate all nine tables at the given scale.
+
+    ``warehouse_ids`` restricts the warehouse-rooted tables to a subset
+    of warehouses — how a cluster shard loads only the partition it
+    owns (``item`` is always loaded in full; it is replicated).  When a
+    subset is requested each warehouse gets its own RNG seeded from
+    ``(scale.seed, w_id)``, so the data a shard generates for warehouse
+    *w* does not depend on which other warehouses it owns.  The default
+    full load keeps the original single sequential RNG, byte-identical
+    with what it always produced.
+    """
     rng = random.Random(scale.seed)
     session = db.connect()
     session.internal = True
@@ -94,7 +110,19 @@ def load_tpcc(db: Database, scale: ScaleConfig) -> None:
     ]
     bulk("item", items)
 
-    for w_id in range(1, scale.warehouses + 1):
+    if warehouse_ids is None:
+        selected: Sequence[int] = range(1, scale.warehouses + 1)
+    else:
+        selected = sorted({int(w) for w in warehouse_ids})
+        bad = [w for w in selected if not 1 <= w <= scale.warehouses]
+        if bad:
+            raise ValueError(
+                f"warehouse ids {bad} out of range 1-{scale.warehouses}"
+            )
+
+    for w_id in selected:
+        if warehouse_ids is not None:
+            rng = random.Random(scale.seed * 1_000_003 + w_id)
         bulk(
             "warehouse",
             [

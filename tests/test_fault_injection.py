@@ -341,7 +341,8 @@ class TestFaultPlanValidation:
     def test_points_registry_is_closed(self):
         assert "migrate.before_mark" in FAULT_POINTS
         assert {"net.accept", "net.read", "net.write"} <= FAULT_POINTS
-        assert len(FAULT_POINTS) == 11
+        assert {"cluster.prepare", "cluster.commit"} <= FAULT_POINTS
+        assert len(FAULT_POINTS) == 13
 
 
 class TestInjectorBookkeeping:

@@ -493,3 +493,137 @@ def test_framestream_eof_mid_frame_raises():
 def test_framestream_clean_eof_returns_none():
     stream = protocol.FrameStream(_ScriptedSocket([]))
     assert stream.recv_frame() is None
+
+
+# ----------------------------------------------------------------------
+# Forward compatibility: unknown vocabulary against a live server
+# ----------------------------------------------------------------------
+# The protocol evolves by vocabulary, not by frame layout: new META
+# verbs (``epoch``, ``shards``, ...) and new HELLO options ride the
+# existing frames.  The compatibility contract, exercised on both
+# peer-version axes:
+#
+# * new client -> old server: unknown META verbs come back as a
+#   ProtocolError ERROR frame and the connection keeps working;
+# * old client -> new server: a HELLO without the options trailer is
+#   accepted, and the WELCOME carries no capabilities trailer;
+# * new client -> old server: unknown HELLO option keys are *ignored*
+#   (never echoed as capabilities, never an error).
+
+import socket as _socket
+
+from repro.db import Database
+from repro.net import BullfrogServer, ServerConfig, connect
+
+_fc_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+
+# First words the server (and the cluster router) currently accept;
+# the strategies below generate anything *but* these.
+_KNOWN_META = frozenset({
+    "metrics", "progress", "tables", "top", "history", "health",
+    "healthz", "dump", "describe", "epoch", "migrate", "shards",
+    "cluster",
+})
+_KNOWN_HELLO_OPTIONS = frozenset({"isolation", "trace"})
+
+_word = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=16
+)
+
+
+@pytest.fixture(scope="module")
+def fc_server():
+    server = BullfrogServer(
+        Database(), ServerConfig(port=0, monitor=False)
+    ).start()
+    yield server
+    server.shutdown()
+
+
+@_fc_settings
+@given(verb=_word.filter(lambda v: v not in _KNOWN_META))
+def test_unknown_meta_verb_rejected_connection_survives(fc_server, verb):
+    with connect(port=fc_server.port) as conn:
+        with pytest.raises(ProtocolError) as excinfo:
+            conn.meta(verb)
+        assert "unknown meta command" in str(excinfo.value)
+        # A vocabulary miss is a statement-level error, not a
+        # connection-level one: the same connection keeps working.
+        assert conn.execute("SELECT 1").rows == [(1,)]
+
+
+def _raw_handshake(port, hello_frame):
+    sock = _socket.create_connection(("127.0.0.1", port), timeout=10)
+    stream = protocol.FrameStream(sock)
+    stream.send_frame(hello_frame)
+    frame = stream.recv_frame()
+    assert frame is not None
+    return sock, stream, frame
+
+
+@_fc_settings
+@given(
+    options=st.dictionaries(
+        _word.filter(lambda k: k not in _KNOWN_HELLO_OPTIONS),
+        st.text(max_size=10),
+        max_size=5,
+    )
+)
+def test_unknown_hello_options_ignored(fc_server, options):
+    """A newer client advertising options this server has never heard
+    of gets a plain WELCOME: no error, no capability echo."""
+    sock, stream, (ftype, payload) = _raw_handshake(
+        fc_server.port,
+        protocol.encode_hello("newer-client", options=options),
+    )
+    try:
+        assert ftype == protocol.WELCOME
+        out = protocol.decode_welcome(payload)
+        assert out.get("capabilities", 0) == 0
+        # The session works normally after the ignored options.
+        stream.send_frame(protocol.encode_query("SELECT 1"))
+        seen = []
+        while True:
+            frame = stream.recv_frame()
+            assert frame is not None
+            seen.append(frame[0])
+            if frame[0] in (protocol.COMPLETE, protocol.ERROR):
+                break
+        assert seen[-1] == protocol.COMPLETE
+    finally:
+        sock.close()
+
+
+def test_old_client_short_hello_accepted(fc_server):
+    """A pre-options client (payload stops after client_name) must be
+    welcomed byte-identically to how old servers welcomed it."""
+    sock, stream, (ftype, payload) = _raw_handshake(
+        fc_server.port, protocol.encode_hello("old-client")
+    )
+    try:
+        assert ftype == protocol.WELCOME
+        out = protocol.decode_welcome(payload)
+        assert out.get("capabilities", 0) == 0
+        assert out["schema_epoch"] == 0
+    finally:
+        sock.close()
+
+
+@_fc_settings
+@given(arg=_word.filter(
+    lambda v: v not in {"status", "prepare", "commit", "abort"}
+))
+def test_unknown_epoch_subverb_rejected(fc_server, arg):
+    """The cluster verbs are vocabulary too: ``epoch`` with an unknown
+    sub-verb must fail the statement, not the connection."""
+    with connect(port=fc_server.port) as conn:
+        with pytest.raises(ProtocolError):
+            conn.meta(f"epoch {arg} tok")
+        assert conn.execute("SELECT 1").rows == [(1,)]
