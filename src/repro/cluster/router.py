@@ -18,9 +18,14 @@ Routing (``RoutePlan``, cached per SQL string):
   round-robin.
 * **scatter** — cross-shard SELECTs fan out to every shard and the
   rows are stitched back together: concatenate, re-sort by the ORDER
-  BY, re-apply LIMIT/OFFSET, and re-aggregate top-level
-  COUNT/SUM/MIN/MAX.  Cross-shard GROUP BY / DISTINCT / AVG are
-  rejected with a hint to filter on the partition column.
+  BY (NULLs ordered exactly as the shard engine orders them),
+  re-apply LIMIT/OFFSET, and re-aggregate top-level
+  COUNT/SUM/MIN/MAX.  A query with an OFFSET is rewritten for the
+  shards — ``LIMIT limit+offset``, no OFFSET — because a shard must
+  not skip its own first rows (they may belong in the global result);
+  the offset is applied exactly once, at merge time.  Cross-shard
+  GROUP BY / DISTINCT / AVG are rejected with a hint to filter on the
+  partition column.
 * **broadcast** — DDL, replicated-table writes, and keyless
   UPDATE/DELETE run on every shard (each shard touches only its own
   rows); rowcounts sum.
@@ -37,10 +42,14 @@ The **cluster-wide schema switch** is a two-phase epoch flip
 (:meth:`RouterDatabase.cluster_migrate`): PREPARE closes every shard's
 statement gate (and the router's own routing gate), COMMIT performs
 each shard's logical switch and launches its lazy migration, and the
-router bumps its epoch once all shards committed — so a client
+router bumps its epoch only once every shard committed — so a client
 observes exactly one epoch step and no shard ever serves mixed
-schemas.  Scatter reads double-check: each sub-result carries its
-shard's epoch, and a mixed set is retried until the flip settles.
+schemas.  A prepare failure aborts the round everywhere; once every
+shard is prepared, commit is driven to completion with per-shard
+retries (classic 2PC — aborting a shard that already committed would
+strand the cluster on mixed epochs).  Scatter reads double-check:
+each sub-result carries its shard's epoch, and a mixed set is retried
+until the flip settles.
 
 Tracing: the server parks the continued client context on the session
 (``_request_ctx``); the router sets it as ``trace_parent`` on the
@@ -50,6 +59,8 @@ client's span — one request tree across three processes.
 
 from __future__ import annotations
 
+import dataclasses
+import itertools
 import json
 import threading
 import time
@@ -64,8 +75,10 @@ from ..errors import (
     SessionClosed,
     TransactionError,
 )
+from ..exec.plan import _OrderKey as OrderKey
 from ..net.client import Connection, ConnectionPool
 from ..sql import ast_nodes as ast
+from ..sql.render import render_select
 from ..types import SqlType, TypeKind
 from .shardmap import ShardMap
 
@@ -95,10 +108,19 @@ def _resolve(source: _Source, params: Sequence[Any]) -> Any:
     return value
 
 
+def _resolve_count(source: _Source, params: Sequence[Any], what: str) -> int:
+    value = _resolve(source, params)
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise ExecutionError(
+            f"{what} must be a non-negative integer, got {value!r}"
+        )
+    return value
+
+
 class MergeSpec:
     """How to stitch a scatter SELECT's per-shard results together."""
 
-    __slots__ = ("aggregates", "order", "limit", "offset")
+    __slots__ = ("aggregates", "order", "limit", "offset", "select")
 
     def __init__(
         self,
@@ -106,11 +128,15 @@ class MergeSpec:
         order: list[tuple[Any, bool]] | None = None,
         limit: _Source | None = None,
         offset: _Source | None = None,
+        select: ast.Select | None = None,
     ) -> None:
         self.aggregates = aggregates
         self.order = order or []
         self.limit = limit
         self.offset = offset
+        # The parsed statement, kept so the shard-bound query can be
+        # rewritten when an OFFSET must not reach the shards.
+        self.select = select
 
 
 class RoutePlan:
@@ -252,6 +278,7 @@ def _merge_spec(stmt: ast.Select) -> tuple[MergeSpec | None, ExecutionError | No
             order=order,
             limit=_scalar_source(stmt.limit, "LIMIT"),
             offset=_scalar_source(stmt.offset, "OFFSET"),
+            select=stmt,
         )
         return merge, None
     except ExecutionError as exc:
@@ -302,7 +329,9 @@ class RouterDatabase(Database):
         ]
         self._route_cache: dict[str, RoutePlan] = {}
         self._route_latch = threading.Lock()
-        self._rr = 0
+        # itertools.count: next() is atomic under the GIL, so
+        # concurrent worker threads never observe the same tick.
+        self._rr = itertools.count()
         # Closed for the duration of a cluster epoch flip: sessions
         # hold *new* statements here (in-transaction statements pass,
         # mirroring the shard-side gate).
@@ -315,6 +344,10 @@ class RouterDatabase(Database):
         # cluster — the acceptance test asserts it).
         self.mixed_epoch_retries = 0
         self.mixed_epoch_errors = 0
+        # Broadcasts that applied on some shards but failed on others:
+        # replicated tables/schemas may have diverged (the cluster
+        # invariant checker's replicated-identity check finds it).
+        self.broadcast_partial_failures = 0
         self._register_shard_view()
 
     # ------------------------------------------------------------------
@@ -325,8 +358,7 @@ class RouterDatabase(Database):
                              isolation=isolation)
 
     def next_rr(self) -> int:
-        self._rr = (self._rr + 1) % self.shard_map.n_shards
-        return self._rr
+        return next(self._rr) % self.shard_map.n_shards
 
     # ------------------------------------------------------------------
     # Route plans
@@ -457,15 +489,17 @@ class RouterDatabase(Database):
 
     def _fan_out(
         self, sql: str, params: Sequence[Any], trace_parent: Any
-    ) -> list[tuple[Result, int]]:
-        """Run one statement on every shard concurrently."""
+    ) -> list[Any]:
+        """Run one statement on every shard concurrently.  Each slot is
+        either a ``(Result, epoch)`` pair or the exception that shard
+        raised — callers decide how partial failure is handled."""
         n = self.shard_map.n_shards
         slots: list[Any] = [None] * n
 
         def run(i: int) -> None:
             try:
                 slots[i] = self.forward(i, sql, params, trace_parent)
-            except BaseException as exc:  # noqa: BLE001 - re-raised below
+            except BaseException as exc:  # noqa: BLE001 - callers re-raise
                 slots[i] = exc
 
         threads = [
@@ -477,18 +511,42 @@ class RouterDatabase(Database):
         run(0)
         for thread in threads:
             thread.join()
-        for slot in slots:
-            if isinstance(slot, BaseException):
-                raise slot
         return slots
 
     def broadcast(
         self, sql: str, params: Sequence[Any], trace_parent: Any = None
     ) -> Result:
-        outcomes = self._fan_out(sql, params, trace_parent)
-        first = outcomes[0][0]
-        total = sum(result.rowcount for result, _ in outcomes)
-        return Result(first.statement, rowcount=total)
+        slots = self._fan_out(sql, params, trace_parent)
+        failed = {
+            shard: slot for shard, slot in enumerate(slots)
+            if isinstance(slot, BaseException)
+        }
+        if not failed:
+            first = slots[0][0]
+            total = sum(result.rowcount for result, _ in slots)
+            return Result(first.statement, rowcount=total)
+        applied = [shard for shard in range(len(slots)) if shard not in failed]
+        first_exc = next(iter(failed.values()))
+        if not applied:
+            # Uniformly rejected (e.g. a SQL error every shard agrees
+            # on): nothing diverged, surface the shard's own error.
+            raise first_exc
+        # Partial failure: some shards applied the write/DDL, so
+        # replicated tables or schemas are now divergent.  Say exactly
+        # which shards did what — the caller must repair before
+        # retrying, since a blind retry re-applies on the shards that
+        # already succeeded.
+        with self._flip_latch:
+            self.broadcast_partial_failures += 1
+        detail = "; ".join(
+            f"shard {shard}: {exc}" for shard, exc in sorted(failed.items())
+        )
+        raise ExecutionError(
+            f"broadcast applied on shard(s) {applied} but failed on "
+            f"shard(s) {sorted(failed)} — {detail}; replicated tables or "
+            "schemas may have diverged, run the cluster invariant checker "
+            "and repair the failed shards before retrying"
+        ) from first_exc
 
     def scatter(
         self,
@@ -503,8 +561,12 @@ class RouterDatabase(Database):
         a response stitched from two schema versions."""
         if plan.error is not None:
             raise plan.error
+        shard_sql, shard_params = self._shard_query(plan, sql, params)
         for _attempt in range(max_attempts):
-            outcomes = self._fan_out(sql, params, trace_parent)
+            outcomes = self._fan_out(shard_sql, shard_params, trace_parent)
+            for slot in outcomes:
+                if isinstance(slot, BaseException):
+                    raise slot
             epochs = {epoch for _, epoch in outcomes}
             if len(epochs) == 1:
                 return self._merge(
@@ -522,6 +584,38 @@ class RouterDatabase(Database):
             "scatter read kept observing shards on different schema "
             f"epochs after {max_attempts} attempts"
         )
+
+    def _shard_query(
+        self, plan: RoutePlan, sql: str, params: Sequence[Any]
+    ) -> tuple[str, Sequence[Any]]:
+        """The statement each shard actually runs.  Verbatim, unless
+        the SELECT carries an OFFSET: a shard must not skip its own
+        first rows (they may belong in the global result), so the
+        shard-bound query becomes ``LIMIT limit+offset`` with no
+        OFFSET and the offset is applied exactly once in
+        :meth:`_merge`.  Parameters consumed by the rewritten
+        LIMIT/OFFSET are dropped from the forwarded bind list (they
+        are the last placeholders in the statement, so the remaining
+        positions are unchanged)."""
+        spec = plan.merge
+        if spec is None or spec.offset is None or spec.select is None:
+            return sql, params
+        offset = _resolve_count(spec.offset, params, "OFFSET")
+        consumed = {spec.offset[1]} if spec.offset[0] == "param" else set()
+        shard_limit = None
+        if spec.limit is not None:
+            limit = _resolve_count(spec.limit, params, "LIMIT")
+            shard_limit = ast.Literal(limit + offset)
+            if spec.limit[0] == "param":
+                consumed.add(spec.limit[1])
+        shard_select = dataclasses.replace(
+            spec.select, limit=shard_limit, offset=None
+        )
+        shard_params = [
+            value for index, value in enumerate(params)
+            if index not in consumed
+        ]
+        return render_select(shard_select), shard_params
 
     def _merge(
         self,
@@ -547,49 +641,68 @@ class RouterDatabase(Database):
                     row.append(min(values) if values else None)
                 else:  # MAX
                     row.append(max(values) if values else None)
-            return Result("SELECT", rows=[tuple(row)], columns=columns,
-                          rowcount=1)
-        rows = [row for result in results for row in result.rows]
+            rows: list[tuple] = [tuple(row)]
+        else:
+            rows = [row for result in results for row in result.rows]
+            if spec is not None:
+                for key, descending in reversed(spec.order):
+                    if isinstance(key, int):
+                        index = key
+                        if not 0 <= index < len(columns):
+                            raise ExecutionError(
+                                f"ORDER BY position {index + 1} out of range"
+                            )
+                    else:
+                        lowered = [c.lower() for c in columns]
+                        if key not in lowered:
+                            raise ExecutionError(
+                                f"cannot merge cross-shard ORDER BY: column "
+                                f"{key!r} is not in the select list"
+                            )
+                        index = lowered.index(key)
+                    # OrderKey gives the shard engine's total order —
+                    # NULLs last ascending — so a nullable sort column
+                    # merges instead of raising TypeError on None.
+                    rows.sort(
+                        key=lambda r: OrderKey(r[index]), reverse=descending
+                    )
         if spec is not None:
-            for key, descending in reversed(spec.order):
-                if isinstance(key, int):
-                    index = key
-                    if not 0 <= index < len(columns):
-                        raise ExecutionError(
-                            f"ORDER BY position {index + 1} out of range"
-                        )
-                else:
-                    lowered = [c.lower() for c in columns]
-                    if key not in lowered:
-                        raise ExecutionError(
-                            f"cannot merge cross-shard ORDER BY: column "
-                            f"{key!r} is not in the select list"
-                        )
-                    index = lowered.index(key)
-                rows.sort(key=lambda r: r[index], reverse=descending)
             if spec.offset is not None:
-                rows = rows[_resolve(spec.offset, params):]
+                rows = rows[_resolve_count(spec.offset, params, "OFFSET"):]
             if spec.limit is not None:
-                rows = rows[: _resolve(spec.limit, params)]
+                rows = rows[: _resolve_count(spec.limit, params, "LIMIT")]
         return Result("SELECT", rows=rows, columns=columns,
                       rowcount=len(rows))
 
     # ------------------------------------------------------------------
     # Cluster-wide schema switch (two-phase epoch flip)
     # ------------------------------------------------------------------
-    def cluster_migrate(self, scenario: str, prepare_only: bool = False) -> dict:
+    def cluster_migrate(
+        self,
+        scenario: str,
+        prepare_only: bool = False,
+        commit_attempts: int = 3,
+    ) -> dict:
         """Flip every shard to ``scenario``'s new schema atomically
         (from any client's point of view) and launch the per-shard lazy
         migrations.
 
         Phase 1 — ``epoch prepare <token>`` on every shard: each closes
         its statement gate (in-flight transactions drain, nothing new
-        starts).  Any prepare failure aborts the round everywhere.
+        starts).  Any prepare failure aborts the round everywhere and
+        nothing about the cluster changed.
         Phase 2 — ``epoch commit <token> <scenario>``: each shard runs
         the logical switch + submits its lazy migration, then reopens
-        its gate.  The router's routing gate is closed for the whole
-        round and its epoch is bumped once at the end, so router
-        clients observe a single epoch step.
+        its gate.  Once every shard is prepared the round is past the
+        point of no return: a shard whose commit fails is *retried*
+        (``commit_attempts`` times, treating a lost reply after an
+        applied commit as success), never aborted — aborting would
+        strand already-committed shards on the new epoch, i.e. exactly
+        the mixed-schema cluster the flip exists to prevent.  The
+        router's routing gate is closed for the whole round and its
+        epoch is bumped only after every shard committed, so router
+        clients observe a single epoch step and a failed round leaves
+        the router's epoch untouched.
 
         ``prepare_only`` stops after phase 1 (fault-injection tests:
         the shards' auto-abort timers must clean up).
@@ -597,26 +710,41 @@ class RouterDatabase(Database):
         token = uuid.uuid4().hex[:12]
         began = time.monotonic()
         self.flip_gate.clear()
-        prepared: list[int] = []
         try:
-            for shard, admin in enumerate(self.admins):
-                admin.meta(f"epoch prepare {token}")
-                prepared.append(shard)
+            pre_epochs = self._prepare_all(token)
             if prepare_only:
-                return {"token": token, "prepared": prepared,
-                        "committed": False}
-            for admin in self.admins:
-                admin.meta(f"epoch commit {token} {scenario}")
-        except BaseException:
-            for shard in prepared:
-                try:
-                    self.admins[shard].meta(f"epoch abort {token}")
-                except (ReproError, OSError):
-                    pass  # its auto-abort timer is the backstop
-            raise
+                return {
+                    "token": token,
+                    "prepared": list(range(self.shard_map.n_shards)),
+                    "committed": False,
+                }
+            failures: dict[int, Exception] = {}
+            for shard in range(self.shard_map.n_shards):
+                exc = self._commit_shard(
+                    shard, token, scenario, pre_epochs[shard],
+                    commit_attempts,
+                )
+                if exc is not None:
+                    failures[shard] = exc
+            if failures:
+                committed = [
+                    shard for shard in range(self.shard_map.n_shards)
+                    if shard not in failures
+                ]
+                detail = "; ".join(
+                    f"shard {shard}: {exc}"
+                    for shard, exc in sorted(failures.items())
+                )
+                raise ExecutionError(
+                    f"epoch commit failed on shard(s) {sorted(failures)} "
+                    f"after {commit_attempts} attempts — {detail}; "
+                    f"shard(s) {committed} already committed to the new "
+                    "schema, so the cluster is on mixed epochs until the "
+                    "failed shards are repaired and the flip is re-run"
+                )
+            self.bump_epoch()  # router clients see the new epoch
         finally:
             if not prepare_only:
-                self.bump_epoch()  # router clients see the new epoch
                 self.flip_gate.set()
         return {
             "token": token,
@@ -626,6 +754,65 @@ class RouterDatabase(Database):
             "elapsed_seconds": time.monotonic() - began,
             "committed": True,
         }
+
+    def _prepare_all(self, token: str) -> list[int]:
+        """Phase 1 on every shard; abort the round everywhere if any
+        shard refuses.  Returns each shard's pre-flip epoch (used to
+        recognise a commit that applied but lost its reply)."""
+        prepared: list[int] = []
+        pre_epochs: list[int] = []
+        try:
+            for shard, admin in enumerate(self.admins):
+                reply = admin.meta(f"epoch prepare {token}")
+                prepared.append(shard)
+                try:
+                    pre_epochs.append(int(json.loads(reply)["epoch"]))
+                except (ValueError, KeyError, TypeError):
+                    pre_epochs.append(-1)
+        except BaseException:
+            for shard in prepared:
+                try:
+                    self.admins[shard].meta(f"epoch abort {token}")
+                except (ReproError, OSError):
+                    pass  # its auto-abort timer is the backstop
+            raise
+        return pre_epochs
+
+    def _commit_shard(
+        self,
+        shard: int,
+        token: str,
+        scenario: str,
+        pre_epoch: int,
+        attempts: int,
+    ) -> Exception | None:
+        """Drive one shard's phase-2 commit to completion.  Returns
+        ``None`` on success, or the final exception once retries are
+        exhausted (or provably futile)."""
+        admin = self.admins[shard]
+        last: Exception | None = None
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(0.05 * attempt)
+            try:
+                admin.meta(f"epoch commit {token} {scenario}")
+                return None
+            except (ReproError, OSError) as exc:
+                last = exc
+                try:
+                    status = json.loads(admin.meta("epoch status"))
+                except (ReproError, OSError, ValueError):
+                    continue  # can't tell; retry the commit
+                if status.get("prepared") == token:
+                    continue  # still prepared; retry the commit
+                # Token released without us: either the commit applied
+                # and only its reply was lost (epoch moved — success),
+                # or the shard auto-aborted this round (epoch did not
+                # move — no retry can succeed with this token).
+                if int(status.get("epoch", pre_epoch)) > pre_epoch:
+                    return None
+                return last
+        return last
 
     def migrations_complete(self) -> bool:
         """True when every shard reports its migration finished."""

@@ -198,6 +198,31 @@ def test_route_scatter_rejections(rdb):
         assert plan.mode == SCATTER and plan.error is not None
 
 
+def test_shard_query_offset_rewrite(rdb):
+    sql = "SELECT w_id FROM warehouse ORDER BY w_id LIMIT ? OFFSET ?"
+    plan = plan_for(rdb, sql)
+    shard_sql, shard_params = rdb._shard_query(plan, sql, (2, 1))
+    assert "OFFSET" not in shard_sql
+    assert "LIMIT 3" in shard_sql
+    assert shard_params == []
+    # Placeholders ahead of LIMIT/OFFSET keep their positions.
+    sql = ("SELECT w_id FROM warehouse WHERE w_id > ? "
+           "ORDER BY w_id LIMIT 2 OFFSET ?")
+    plan = plan_for(rdb, sql)
+    shard_sql, shard_params = rdb._shard_query(plan, sql, (1, 3))
+    assert "LIMIT 5" in shard_sql and "OFFSET" not in shard_sql
+    assert shard_params == [1]
+    # Without an OFFSET the statement is forwarded verbatim.
+    sql = "SELECT w_id FROM warehouse ORDER BY w_id LIMIT ?"
+    plan = plan_for(rdb, sql)
+    assert rdb._shard_query(plan, sql, (5,)) == (sql, (5,))
+    # Bad counts are rejected before anything reaches a shard.
+    sql = "SELECT w_id FROM warehouse ORDER BY w_id LIMIT ? OFFSET ?"
+    plan = plan_for(rdb, sql)
+    with pytest.raises(ExecutionError, match="OFFSET"):
+        rdb._shard_query(plan, sql, (2, -1))
+
+
 def test_route_writes(rdb):
     plan = plan_for(
         rdb,
@@ -269,6 +294,58 @@ def test_scatter_merge_sort_limit_and_aggregates(cluster, router_conn):
         CLUSTER_SCALE.warehouses * CLUSTER_SCALE.districts_per_warehouse
     )
     assert per_shard > 0
+
+
+def test_scatter_offset_applied_exactly_once(cluster, router_conn):
+    # Warehouses 1..4 interleave across the 2 shards (0: 1,3 / 1: 2,4),
+    # so a per-shard OFFSET would drop rows that belong in the global
+    # result.  The router must rewrite the shard query to
+    # LIMIT limit+offset and apply the offset only at merge time.
+    rows = router_conn.execute(
+        "SELECT w_id FROM warehouse ORDER BY w_id LIMIT 2 OFFSET 1"
+    ).rows
+    assert rows == [(2,), (3,)]
+    rows = router_conn.execute(
+        "SELECT w_id FROM warehouse ORDER BY w_id LIMIT ? OFFSET ?",
+        (2, 1),
+    ).rows
+    assert rows == [(2,), (3,)]
+    # OFFSET with no LIMIT, and an offset past one shard's whole share.
+    rows = router_conn.execute(
+        "SELECT w_id FROM warehouse ORDER BY w_id OFFSET 1"
+    ).rows
+    assert rows == [(2,), (3,), (4,)]
+    rows = router_conn.execute(
+        "SELECT w_id FROM warehouse ORDER BY w_id DESC OFFSET 3"
+    ).rows
+    assert rows == [(1,)]
+    # Other parameters keep their positions when the router strips the
+    # LIMIT/OFFSET placeholders from the shard-bound statement.
+    rows = router_conn.execute(
+        "SELECT w_id FROM warehouse WHERE w_id > ? "
+        "ORDER BY w_id LIMIT ? OFFSET ?",
+        (1, 2, 1),
+    ).rows
+    assert rows == [(3,), (4,)]
+
+
+def test_scatter_merge_orders_nulls_like_the_shards(cluster, router_conn):
+    # The loader leaves o_carrier_id NULL for undelivered orders; a
+    # cross-shard ORDER BY on it must merge (not TypeError on None)
+    # with the shard engine's NULLs-last-ascending order.
+    rows = router_conn.execute(
+        "SELECT o_w_id, o_carrier_id FROM orders ORDER BY o_carrier_id"
+    ).rows
+    carriers = [r[1] for r in rows]
+    assert None in carriers and any(c is not None for c in carriers)
+    first_null = carriers.index(None)
+    assert all(c is None for c in carriers[first_null:])
+    rows = router_conn.execute(
+        "SELECT o_w_id, o_carrier_id FROM orders ORDER BY o_carrier_id DESC"
+    ).rows
+    carriers = [r[1] for r in rows]
+    last_null = max(i for i, c in enumerate(carriers) if c is None)
+    assert all(c is None for c in carriers[: last_null + 1])
 
 
 def test_cross_shard_group_by_rejected(cluster, router_conn):
@@ -383,6 +460,28 @@ def test_router_rejects_unbindable_txn_write(cluster, router_conn):
     conn.rollback()
 
 
+def test_broadcast_partial_failure_names_shards(cluster, router_conn):
+    # Pre-create the index on shard 1 only: the broadcast then applies
+    # on shard 0 but fails on shard 1, and the error must say exactly
+    # which shards diverged (a blind retry would re-apply on shard 0).
+    direct = connect(port=cluster.shard_servers[1].port)
+    try:
+        direct.execute("CREATE INDEX ix_partial ON stock (s_quantity)")
+        before = cluster.router_db.broadcast_partial_failures
+        with pytest.raises(ExecutionError) as excinfo:
+            router_conn.execute(
+                "CREATE INDEX ix_partial ON stock (s_quantity)"
+            )
+        message = str(excinfo.value)
+        assert "applied on shard(s) [0]" in message
+        assert "failed on shard(s) [1]" in message
+        assert cluster.router_db.broadcast_partial_failures == before + 1
+    finally:
+        # Both shards have the index now; the broadcast drop heals it.
+        router_conn.execute("DROP INDEX ix_partial")
+        direct.close()
+
+
 def test_cluster_invariants_clean_before_migration(cluster):
     checker = ClusterInvariantChecker(
         cluster.shard_dbs,
@@ -457,9 +556,14 @@ def test_prepare_failure_aborts_everywhere():
     with LocalCluster(
         n_shards=2, scale=flip_scale(), shard_faults={1: faults}
     ) as cluster:
+        epoch_before = cluster.router_db.epoch
         with pytest.raises(Exception):
             cluster.router_db.cluster_migrate("split")
         assert faults.fired("cluster.prepare") == 1
+        # The failed round changed nothing: no shard moved, the router
+        # still advertises the old epoch, and its gate reopened.
+        assert cluster.router_db.epoch == epoch_before
+        assert cluster.router_db.flip_gate.is_set()
         # Both shards reopened (shard 0 via the abort broadcast), no
         # migration ran, and the data path never stalls.
         for admin in cluster.router_db.admins:
@@ -471,6 +575,37 @@ def test_prepare_failure_aborts_everywhere():
         # The cluster recovers: a retry (fault exhausted) succeeds.
         out = cluster.router_db.cluster_migrate("split")
         assert out["committed"]
+        assert cluster.router_db.epoch == epoch_before + 1
+        conn.close()
+
+
+def test_commit_failure_is_retried_not_aborted():
+    # Once every shard is prepared, 2PC is past the point of no
+    # return: a transient commit failure on one shard must be retried
+    # to completion, never aborted — an abort would strand the shards
+    # that already committed on the new epoch.
+    faults = FaultInjector(FaultPlan([
+        FaultRule(point="cluster.commit", action=FaultAction.ABORT, times=1),
+    ]))
+    with LocalCluster(
+        n_shards=2, scale=flip_scale(), shard_faults={1: faults}
+    ) as cluster:
+        out = cluster.router_db.cluster_migrate("split")
+        assert out["committed"]
+        assert faults.fired("cluster.commit") == 1
+        # Every shard converged on the same (new) epoch.
+        statuses = [
+            json.loads(admin.meta("epoch status"))
+            for admin in cluster.router_db.admins
+        ]
+        assert len({status["epoch"] for status in statuses}) == 1
+        assert all(status["gate_open"] for status in statuses)
+        conn = connect(port=cluster.port)
+        count = conn.execute(
+            "SELECT COUNT(*) FROM customer_private"
+        ).scalar()
+        scale = cluster.scale
+        assert count == scale.warehouses * scale.districts_per_warehouse * 8
         conn.close()
 
 
